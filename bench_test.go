@@ -1,0 +1,296 @@
+package mb2
+
+// One benchmark per table and figure of the paper's evaluation (Sec 8).
+// Each regenerates the experiment on the quick configuration and reports
+// its headline numbers as custom benchmark metrics, so
+//
+//	go test -bench . -benchmem -benchtime 1x
+//
+// doubles as the reproduction run. cmd/mb2-bench prints the full tables.
+
+import (
+	"testing"
+
+	"mb2/internal/experiments"
+)
+
+func pipelineB(b *testing.B) *experiments.Pipeline {
+	b.Helper()
+	p, err := experiments.QuickPipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkTab02Overhead regenerates Table 2: behavior-model computation
+// and storage cost.
+func BenchmarkTab02Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := experiments.BuildPipeline(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := experiments.Tab2(p)
+		b.ReportMetric(float64(rows[0].DataBytes), "ou-data-B")
+		b.ReportMetric(float64(rows[0].ModelBytes), "ou-models-B")
+		b.ReportMetric(rows[0].RunnerWallMS, "runner-ms")
+		b.ReportMetric(rows[0].TrainWallMS, "train-ms")
+	}
+}
+
+// BenchmarkFig01IndexBuildExample regenerates Fig 1: TPC-C latency while
+// building the CUSTOMER index with 4 vs 8 threads.
+func BenchmarkFig01IndexBuildExample(b *testing.B) {
+	p := pipelineB(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((r.End4-r.Start4)/1e3, "build4T-ms")
+		b.ReportMetric((r.End8-r.Start8)/1e3, "build8T-ms")
+		base := r.Latency4[0]
+		b.ReportMetric(r.Latency4[5]/base, "impact4T-x")
+		b.ReportMetric(r.Latency8[5]/base, "impact8T-x")
+	}
+}
+
+// BenchmarkFig05OUModelAccuracy regenerates Fig 5: per-OU test relative
+// error across ML algorithms.
+func BenchmarkFig05OUModelAccuracy(b *testing.B) {
+	p := pipelineB(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(p, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		under := 0
+		for _, errs := range r.Errors {
+			best := errs[0]
+			for _, e := range errs {
+				if e < best {
+					best = e
+				}
+			}
+			if best < 0.2 {
+				under++
+			}
+		}
+		b.ReportMetric(float64(under)/float64(len(r.Errors))*100, "OUs-under-20pct-%")
+	}
+}
+
+// BenchmarkFig06LabelAccuracy regenerates Fig 6: per-label error with and
+// without output-label normalization.
+func BenchmarkFig06LabelAccuracy(b *testing.B) {
+	p := pipelineB(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(p, []string{"gbm"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var with, without float64
+		for l := range r.WithNorm {
+			with += r.WithNorm[l][0]
+			without += r.WithoutNorm[l][0]
+		}
+		b.ReportMetric(with/float64(len(r.WithNorm)), "err-normalized")
+		b.ReportMetric(without/float64(len(r.WithoutNorm)), "err-raw")
+	}
+}
+
+// BenchmarkFig07aOLAPGeneralization regenerates Fig 7a: QPPNet vs MB2 on
+// TPC-H at 0.1x/1x/10x scale.
+func BenchmarkFig07aOLAPGeneralization(b *testing.B) {
+	p := pipelineB(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7a(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[2].QPPNet, "qppnet-10G-err")
+		b.ReportMetric(rows[2].MB2, "mb2-10G-err")
+		b.ReportMetric(rows[2].MB2NoNorm, "mb2nonorm-10G-err")
+	}
+}
+
+// BenchmarkFig07bOLTPGeneralization regenerates Fig 7b: OLTP query runtime
+// prediction on TPC-C/TATP/SmallBank.
+func BenchmarkFig07bOLTPGeneralization(b *testing.B) {
+	p := pipelineB(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7b(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[2].QPPNet, "qppnet-smallbank-us")
+		b.ReportMetric(rows[2].MB2, "mb2-smallbank-us")
+	}
+}
+
+// BenchmarkFig08aInterferenceThreads regenerates Fig 8a: interference-model
+// accuracy at untrained thread counts.
+func BenchmarkFig08aInterferenceThreads(b *testing.B) {
+	p := pipelineB(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8a(p, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.Actual, "actual-16T")
+		b.ReportMetric(last.Estimated, "estimated-16T")
+	}
+}
+
+// BenchmarkFig08bInterferenceSizes regenerates Fig 8b: interference-model
+// generalization across dataset sizes.
+func BenchmarkFig08bInterferenceSizes(b *testing.B) {
+	p := pipelineB(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8b(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].Actual, "actual-10G")
+		b.ReportMetric(rows[1].Estimated, "estimated-10G")
+	}
+}
+
+// BenchmarkFig09aAdaptation regenerates Fig 9a: single-OU retraining under
+// simulated DBMS updates.
+func BenchmarkFig09aAdaptation(b *testing.B) {
+	p := pipelineB(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9a(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Stale vs refreshed model on the fastest DBMS version.
+		last := len(r.Versions) - 1
+		b.ReportMetric(r.Errors[last][0], "stale-model-err")
+		b.ReportMetric(r.Errors[last][last], "fresh-model-err")
+		b.ReportMetric(float64(r.FullWall)/float64(r.RetrainWall+1), "retrain-speedup-x")
+	}
+}
+
+// BenchmarkFig09bNoisyCardinality regenerates Fig 9b: robustness to 30%
+// cardinality noise.
+func BenchmarkFig09bNoisyCardinality(b *testing.B) {
+	p := pipelineB(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9b(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].Accurate, "accurate-1G-err")
+		b.ReportMetric(rows[1].Noisy, "noisy-1G-err")
+	}
+}
+
+// BenchmarkFig10HardwareContext regenerates Fig 10: CPU-frequency hardware
+// context.
+func BenchmarkFig10HardwareContext(b *testing.B) {
+	p := pipelineB(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Error at the frequency farthest from base training (1.6 GHz).
+		b.ReportMetric(r.TPCH[0].TrainedBase, "tpch-1.6GHz-base-err")
+		b.ReportMetric(r.TPCH[0].TrainedMany, "tpch-1.6GHz-multi-err")
+	}
+}
+
+// BenchmarkFig11EndToEnd regenerates Fig 11a/b: the end-to-end self-driving
+// scenario with the 8-thread build.
+func BenchmarkFig11EndToEnd(b *testing.B) {
+	p := pipelineB(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(p, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((r.BuildEndS-r.BuildStartS)*1e3, "build-actual-ms")
+		b.ReportMetric((r.PredBuildEndS-r.BuildStartS)*1e3, "build-predicted-ms")
+		b.ReportMetric(r.Decision.BenefitRatio, "predicted-benefit-x")
+	}
+}
+
+// BenchmarkFig11cFourThreadBuild regenerates Fig 11c: the alternative
+// 4-thread plan (longer build, smaller impact).
+func BenchmarkFig11cFourThreadBuild(b *testing.B) {
+	p := pipelineB(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(p, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((r.BuildEndS-r.BuildStartS)*1e3, "build-actual-ms")
+		b.ReportMetric(r.Decision.ImpactRatio, "predicted-impact-x")
+	}
+}
+
+// BenchmarkAblationInterferenceNorm measures the interference model's input
+// normalization (DESIGN.md ablation).
+func BenchmarkAblationInterferenceNorm(b *testing.B) {
+	p := pipelineB(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationInterferenceNorm(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.NormalizedErr, "normalized-err")
+		b.ReportMetric(r.RawErr, "raw-err")
+	}
+}
+
+// BenchmarkAblationModelSelection measures per-OU model selection vs fixed
+// algorithm families.
+func BenchmarkAblationModelSelection(b *testing.B) {
+	p := pipelineB(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationModelSelection(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SelectionErr, "selection-err")
+		worst := 0.0
+		for _, e := range r.FixedErrs {
+			if e > worst {
+				worst = e
+			}
+		}
+		b.ReportMetric(worst, "worst-fixed-err")
+	}
+}
+
+// BenchmarkAblationTrimmedMean measures robust label derivation under
+// measurement noise.
+func BenchmarkAblationTrimmedMean(b *testing.B) {
+	p := pipelineB(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationTrimmedMean(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TrimmedErr, "trimmed-err")
+		b.ReportMetric(r.PlainErr, "plain-err")
+	}
+}
+
+// BenchmarkAblationInterferenceSummaries compares the paper's sum/deviation
+// interference summaries against a percentile-extended variant (Sec 5.1).
+func BenchmarkAblationInterferenceSummaries(b *testing.B) {
+	p := pipelineB(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationInterferenceSummaries(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.StandardErr, "standard-err")
+		b.ReportMetric(r.WithPercentile, "percentile-err")
+	}
+}

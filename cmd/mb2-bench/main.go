@@ -1,0 +1,185 @@
+// Command mb2-bench regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	mb2-bench [-full] [-seed N] -exp tab1|tab2|fig1|fig5|fig6|fig7a|fig7b|
+//	          fig8a|fig8b|fig9a|fig9b|fig10|fig11|fig11c|ablations|all
+//
+// Each experiment prints the same rows/series the paper reports; shapes
+// (who wins, by roughly what factor, where crossovers fall) are the
+// comparison target, not absolute numbers (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mb2/internal/experiments"
+)
+
+var experimentOrder = []string{
+	"tab1", "tab2", "fig1", "fig5", "fig6", "fig7a", "fig7b",
+	"fig8a", "fig8b", "fig9a", "fig9b", "fig10", "fig11", "fig11c",
+	"ablations",
+}
+
+func main() {
+	full := flag.Bool("full", false, "use the paper-scale configuration (slower)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	exp := flag.String("exp", "all", "experiment id or 'all': "+strings.Join(experimentOrder, "|"))
+	flag.Parse()
+
+	cfg := experiments.Quick()
+	if *full {
+		cfg = experiments.Full()
+	}
+	cfg.Seed = *seed
+	cfg.Runner.Seed = *seed
+	cfg.Train.Seed = *seed
+
+	var selected []string
+	if *exp == "all" {
+		selected = experimentOrder
+	} else {
+		for _, e := range strings.Split(*exp, ",") {
+			selected = append(selected, strings.TrimSpace(e))
+		}
+	}
+
+	// Table 1 needs no trained models.
+	needsPipeline := false
+	for _, e := range selected {
+		if e != "tab1" {
+			needsPipeline = true
+		}
+	}
+
+	var p *experiments.Pipeline
+	if needsPipeline {
+		fmt.Fprintln(os.Stderr, "building pipeline (runners + training)...")
+		var err error
+		p, err = experiments.BuildPipeline(cfg)
+		if err != nil {
+			log.Fatalf("mb2-bench: %v", err)
+		}
+		if err := p.TrainInterference(); err != nil {
+			log.Fatalf("mb2-bench: %v", err)
+		}
+	}
+
+	for _, e := range selected {
+		if err := run(e, p); err != nil {
+			log.Fatalf("mb2-bench: %s: %v", e, err)
+		}
+		fmt.Println()
+	}
+}
+
+func run(exp string, p *experiments.Pipeline) error {
+	w := os.Stdout
+	switch exp {
+	case "tab1":
+		experiments.PrintTab1(w)
+	case "tab2":
+		experiments.PrintTab2(w, p)
+	case "fig1":
+		r, err := experiments.Fig1(p)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig1(w, r)
+	case "fig5":
+		r, err := experiments.Fig5(p, nil)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig5(w, r)
+	case "fig6":
+		r, err := experiments.Fig6(p, nil)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig6(w, r)
+	case "fig7a":
+		r, err := experiments.Fig7a(p)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig7a(w, r)
+	case "fig7b":
+		r, err := experiments.Fig7b(p)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig7b(w, r)
+	case "fig8a":
+		r, err := experiments.Fig8a(p, nil)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig8(w, "Fig 8a (varying concurrent threads)", r)
+	case "fig8b":
+		r, err := experiments.Fig8b(p)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig8(w, "Fig 8b (varying dataset sizes)", r)
+	case "fig9a":
+		r, err := experiments.Fig9a(p)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig9a(w, r)
+	case "fig9b":
+		r, err := experiments.Fig9b(p)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig9b(w, r)
+	case "fig10":
+		r, err := experiments.Fig10(p)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig10(w, r)
+	case "fig11":
+		r, err := experiments.Fig11(p, 8)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig11(w, r, 8)
+	case "fig11c":
+		r, err := experiments.Fig11(p, 4)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig11(w, r, 4)
+	case "ablations":
+		in, err := experiments.AblationInterferenceNorm(p)
+		if err != nil {
+			return err
+		}
+		sel, err := experiments.AblationModelSelection(p)
+		if err != nil {
+			return err
+		}
+		tm, err := experiments.AblationTrimmedMean(p)
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblations(w, in, sel, tm)
+		sum, err := experiments.AblationInterferenceSummaries(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Ablation: interference summaries, sum/deviation vs +percentiles\n")
+		fmt.Fprintf(w, "  standard=%.3f percentile-extended=%.3f\n", sum.StandardErr, sum.WithPercentile)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+// Quickstart: train MB2's OU-models from scratch, run a query on the
+// engine, and compare the models' prediction against the measured behavior.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/exec"
+	"mb2/internal/hw"
+	"mb2/internal/metrics"
+	"mb2/internal/modeling"
+	"mb2/internal/plan"
+	"mb2/internal/runner"
+	"mb2/internal/storage"
+)
+
+func main() {
+	// 1. Generate training data: every OU-runner sweeps its operating
+	//    unit's feature space (tiny sweep for the quickstart).
+	cfg := runner.DefaultConfig()
+	cfg.MaxRows = 2048
+	cfg.Repetitions = 3
+	cfg.Warmups = 1
+	repo := metrics.NewRepository()
+	report := runner.RunAll(repo, cfg)
+	fmt.Printf("OU-runners produced %d training records (%.1fs of simulated DBMS time)\n",
+		report.Records, report.SimulatedUS/1e6)
+
+	// 2. Train one model per OU with automatic algorithm selection.
+	opts := modeling.DefaultTrainOptions()
+	opts.Candidates = []string{"huber", "gbm"}
+	models, err := modeling.TrainModelSet(repo, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained OU-models for %d operating units\n", len(models.Kinds()))
+
+	// 3. Build a database and a query.
+	db := engine.Open(catalog.DefaultKnobs())
+	schema := catalog.NewSchema(
+		catalog.Column{Name: "id", Type: catalog.Int64},
+		catalog.Column{Name: "grp", Type: catalog.Int64},
+		catalog.Column{Name: "val", Type: catalog.Float64},
+	)
+	if _, err := db.CreateTable("readings", schema); err != nil {
+		log.Fatal(err)
+	}
+	const n = 20000
+	rows := make([]storage.Tuple, n)
+	for i := range rows {
+		rows[i] = storage.Tuple{
+			storage.NewInt(int64(i)),
+			storage.NewInt(int64(i % 100)),
+			storage.NewFloat(float64(i) * 0.5),
+		}
+	}
+	if err := db.BulkLoad("readings", rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// SELECT grp, avg(val) FROM readings WHERE id < 10000 GROUP BY grp.
+	query := &plan.AggNode{
+		Child: &plan.SeqScanNode{
+			Table:  "readings",
+			Filter: plan.Cmp{Op: plan.LT, L: plan.Col(0), R: plan.IntConst(n / 2)},
+			Rows:   plan.Estimates{Rows: n / 2},
+		},
+		GroupBy: []int{1},
+		Aggs:    []plan.AggSpec{{Fn: plan.Avg, Arg: plan.Col(2)}},
+		Rows:    plan.Estimates{Rows: 100, Distinct: 100},
+	}
+
+	// 4. Predict the query's behavior from the plan alone — the table is
+	//    10x larger than anything the runners saw; output-label
+	//    normalization carries the extrapolation.
+	tr := modeling.NewTranslator(db, catalog.Interpret)
+	predicted, perOU, err := models.PredictQuery(tr.TranslatePlan(query))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Execute it for real and compare.
+	th := hw.NewThread(hw.DefaultCPU())
+	ctx := &exec.Ctx{
+		DB:      db,
+		Tracker: metrics.NewTracker(nil, th),
+		Mode:    catalog.Interpret, Contenders: 1,
+	}
+	before := th.Counters()
+	result, err := exec.Execute(ctx, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual := th.Since(before)
+
+	fmt.Printf("\nquery returned %d groups\n", len(result.Rows))
+	fmt.Printf("%-12s %12s %12s\n", "", "predicted", "actual")
+	fmt.Printf("%-12s %10.1fus %10.1fus\n", "elapsed", predicted.ElapsedUS, actual.ElapsedUS)
+	fmt.Printf("%-12s %10.1fus %10.1fus\n", "cpu time", predicted.CPUTimeUS, actual.CPUTimeUS)
+	fmt.Printf("%-12s %12.0f %12.0f\n", "memory (B)", predicted.MemoryBytes, actual.MemoryBytes)
+	fmt.Println("\nper-OU breakdown (explainability):")
+	for i, inv := range tr.TranslatePlan(query) {
+		fmt.Printf("  %-14s %8.1fus\n", inv.Kind, perOU[i].ElapsedUS)
+	}
+}

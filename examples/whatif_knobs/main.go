@@ -1,0 +1,71 @@
+// What-if knob analysis: use MB2's models to predict how the execution-mode
+// knob (bytecode interpreter vs JIT compilation) changes each TPC-H query's
+// runtime, then verify against real execution under both settings — the
+// knob-change action of the paper's Fig 11.
+//
+//	go run ./examples/whatif_knobs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mb2/internal/catalog"
+	"mb2/internal/experiments"
+	"mb2/internal/modeling"
+	"mb2/internal/planner"
+)
+
+func main() {
+	fmt.Println("training MB2's behavior models (quick sweep)...")
+	p, err := experiments.BuildPipeline(experiments.Quick())
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, templates, err := p.LoadTPCH(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	trI := modeling.NewTranslator(db, catalog.Interpret)
+	trC := modeling.NewTranslator(db, catalog.Compile)
+
+	fmt.Printf("\n%-6s %14s %14s %12s\n", "query", "pred-interp", "pred-compile", "pred-gain")
+	for _, q := range templates {
+		pi, _, err := p.Models.PredictQuery(trI.TranslatePlan(q.Plan))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pc, _, err := p.Models.PredictQuery(trC.TranslatePlan(q.Plan))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %12.1fus %12.1fus %11.0f%%\n",
+			q.Name, pi.ElapsedUS, pc.ElapsedUS, (1-pc.ElapsedUS/pi.ElapsedUS)*100)
+	}
+
+	// The planner's aggregate decision over the forecast interval.
+	forecast := modeling.IntervalForecast{IntervalUS: 1_000_000, Threads: 4}
+	for _, q := range templates {
+		forecast.Queries = append(forecast.Queries, modeling.ForecastQuery{Plan: q.Plan, Count: 10})
+	}
+	pl := planner.New(db, p.Models)
+	d, err := pl.EvaluateModeChange(forecast)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplanner decision: switch to %s (predicted %.0f%% avg latency reduction)\n",
+		d.Best, d.PredictedReduction*100)
+
+	// Verify against real executions in both modes.
+	var actI, actC float64
+	for _, q := range templates {
+		actI += experiments.MeasureOne(db, q)
+	}
+	db.SetKnobs(func() catalog.Knobs { k := db.Knobs(); k.ExecutionMode = catalog.Compile; return k }())
+	for _, q := range templates {
+		actC += experiments.MeasureOneCompiled(db, q)
+	}
+	fmt.Printf("actual: interp=%.1fus compile=%.1fus (%.0f%% reduction)\n",
+		actI, actC, (1-actC/actI)*100)
+}

@@ -1,0 +1,3 @@
+module mb2
+
+go 1.22

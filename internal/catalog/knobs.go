@@ -1,0 +1,58 @@
+package catalog
+
+// ExecutionMode selects how the execution engine runs query pipelines: the
+// NoisePage-specific knob MB2 appends to every execution OU's features
+// (Sec 4.2, feature 7).
+type ExecutionMode int
+
+// Execution modes.
+const (
+	// Interpret runs plans through the bytecode interpreter: no startup
+	// cost, higher per-tuple cost.
+	Interpret ExecutionMode = iota
+	// Compile JIT-compiles pipelines: per-query compilation overhead, much
+	// lower per-tuple cost. Plans are cached, so repeated executions skip
+	// compilation (Sec 3 assumptions).
+	Compile
+)
+
+// String implements fmt.Stringer.
+func (m ExecutionMode) String() string {
+	if m == Compile {
+		return "COMPILE"
+	}
+	return "INTERPRET"
+}
+
+// Knobs are the DBMS configuration parameters a self-driving DBMS may tune.
+// Behavior knobs (Sec 4.2) are appended to the features of the OUs they
+// affect; resource knobs bound what the planner may allocate.
+type Knobs struct {
+	// ExecutionMode affects every execution-engine OU.
+	ExecutionMode ExecutionMode
+	// LogFlushIntervalUS is how often the WAL flusher wakes (affects the
+	// log-flush batch OU).
+	LogFlushIntervalUS float64
+	// LogBufferBytes is the size of one log buffer.
+	LogBufferBytes int
+	// GCIntervalUS is how often garbage collection runs.
+	GCIntervalUS float64
+	// IndexBuildThreads is the parallelism used for index construction: the
+	// contending-OU knob the planner chooses in the paper's Fig 1/11.
+	IndexBuildThreads int
+	// WorkMemBytes caps per-query working memory (resource knob).
+	WorkMemBytes float64
+}
+
+// DefaultKnobs returns the configuration used unless an experiment says
+// otherwise.
+func DefaultKnobs() Knobs {
+	return Knobs{
+		ExecutionMode:      Interpret,
+		LogFlushIntervalUS: 10_000,
+		LogBufferBytes:     64 * 1024,
+		GCIntervalUS:       50_000,
+		IndexBuildThreads:  4,
+		WorkMemBytes:       1 << 30,
+	}
+}

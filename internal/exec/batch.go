@@ -1,0 +1,35 @@
+package exec
+
+import "mb2/internal/storage"
+
+// Batch is a materialized set of rows flowing between operators. Scans over
+// base tables also carry row identities so DML parents can write back.
+type Batch struct {
+	Rows   []storage.Tuple
+	RowIDs []storage.RowID // nil once provenance is lost (joins, aggs)
+}
+
+// NumRows returns the row count.
+func (b *Batch) NumRows() float64 { return float64(len(b.Rows)) }
+
+// NumCols returns the column count of the first row (0 when empty).
+func (b *Batch) NumCols() float64 {
+	if len(b.Rows) == 0 {
+		return 0
+	}
+	return float64(len(b.Rows[0]))
+}
+
+// AvgWidth returns the average tuple width in bytes, sampled.
+func (b *Batch) AvgWidth() float64 {
+	if len(b.Rows) == 0 {
+		return 0
+	}
+	step := len(b.Rows)/64 + 1
+	total, n := 0, 0
+	for i := 0; i < len(b.Rows); i += step {
+		total += b.Rows[i].Bytes()
+		n++
+	}
+	return float64(total) / float64(n)
+}

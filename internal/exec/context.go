@@ -1,0 +1,106 @@
+// Package exec implements the execution engine: materialized operators for
+// every execution OU in Table 1, DML with index maintenance and logging,
+// transaction OUs, and the background maintenance tasks (GC, WAL). Every
+// operator brackets its work with the metrics tracker so training runs
+// produce (feature, label) records per OU invocation.
+package exec
+
+import (
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/hw"
+	"mb2/internal/metrics"
+	"mb2/internal/ou"
+	"mb2/internal/txn"
+)
+
+// interpretFactor is the per-tuple instruction overhead of the bytecode
+// interpreter relative to JIT-compiled pipelines. Memory traffic is
+// unaffected; only operator logic pays it.
+const interpretFactor = 2.8
+
+// Ctx carries everything one worker needs to execute plans.
+type Ctx struct {
+	DB      *engine.DB
+	Tracker *metrics.Tracker
+	Txn     *txn.Txn
+	Mode    catalog.ExecutionMode
+
+	// Contenders is the number of worker threads concurrently mutating
+	// shared structures (latch-charge scaling).
+	Contenders float64
+	// TxnRate is the transaction arrival rate in the current forecast
+	// interval: the contending txn OUs' feature (Sec 4.2).
+	TxnRate float64
+
+	// JHTSleepEvery injects a 1us sleep every N tuples into the join
+	// hash-table build: the simulated software update of the adaptation
+	// experiment (Sec 8.5). Zero disables it.
+	JHTSleepEvery int
+}
+
+// NewCtx builds a context with a fresh collector-less tracker on the given
+// CPU — convenient for tests and loaders.
+func NewCtx(db *engine.DB, cpu hw.CPU) *Ctx {
+	return &Ctx{
+		DB:         db,
+		Tracker:    metrics.NewTracker(nil, hw.NewThread(cpu)),
+		Mode:       db.Knobs().ExecutionMode,
+		Contenders: 1,
+	}
+}
+
+// Thread returns the worker's hardware thread.
+func (c *Ctx) Thread() *hw.Thread { return c.Tracker.Thread() }
+
+func (c *Ctx) compiled() bool { return c.Mode == catalog.Compile }
+
+// compute charges operator logic, scaled by the execution mode.
+func (c *Ctx) compute(n float64) {
+	if !c.compiled() {
+		n *= interpretFactor
+	}
+	c.Thread().Compute(n)
+}
+
+// snapshot returns the worker's visibility pair. With no open transaction
+// it reads the latest committed state.
+func (c *Ctx) snapshot() (txnID, readTS uint64) {
+	if c.Txn != nil {
+		return c.Txn.ID, c.Txn.ReadTS
+	}
+	return 0, c.DB.Txns.LastCommitTS()
+}
+
+// Begin opens a transaction on the context, recording the TXN_BEGIN OU.
+func (c *Ctx) Begin() *txn.Txn {
+	start := c.Tracker.Start()
+	t := c.DB.Txns.Begin(c.Thread())
+	feats := ou.TxnFeatures(c.TxnRate, float64(c.DB.Txns.ActiveCount()))
+	c.Tracker.Stop(ou.TxnBegin, feats, start)
+	c.Txn = t
+	return t
+}
+
+// Commit commits the context's transaction, recording the TXN_COMMIT OU and
+// handing the commit record to the WAL.
+func (c *Ctx) Commit() error {
+	start := c.Tracker.Start()
+	active := float64(c.DB.Txns.ActiveCount())
+	_, err := c.Txn.Commit(c.Thread())
+	if err == nil {
+		c.DB.WAL.Enqueue(c.Thread(), walCommitRecord(c.Txn.ID))
+	}
+	feats := ou.TxnFeatures(c.TxnRate, active)
+	c.Tracker.Stop(ou.TxnCommit, feats, start)
+	c.Txn = nil
+	return err
+}
+
+// Abort rolls the context's transaction back (no OU: the paper does not
+// model aborts, Sec 3).
+func (c *Ctx) Abort() error {
+	err := c.Txn.Abort(c.Thread())
+	c.Txn = nil
+	return err
+}

@@ -1,0 +1,147 @@
+package exec
+
+import (
+	"fmt"
+
+	"mb2/internal/index"
+	"mb2/internal/ou"
+	"mb2/internal/plan"
+	"mb2/internal/wal"
+)
+
+func walCommitRecord(txnID uint64) wal.Record {
+	return wal.Record{Type: wal.RecordCommit, TxnID: txnID}
+}
+
+func execInsert(ctx *Ctx, n *plan.InsertNode) (*Batch, error) {
+	if ctx.Txn == nil {
+		return nil, fmt.Errorf("exec: INSERT requires an open transaction")
+	}
+	tbl := ctx.DB.Table(n.Table)
+	if tbl == nil {
+		return nil, fmt.Errorf("exec: table %q does not exist", n.Table)
+	}
+	idxMetas := ctx.DB.Catalog.TableIndexes(tbl.Meta.ID)
+
+	start := ctx.Tracker.Start()
+	for _, data := range n.Tuples {
+		row := tbl.Insert(ctx.Thread(), ctx.Txn.ID, data)
+		for _, im := range idxMetas {
+			if bt := ctx.DB.Index(im.Name); bt != nil {
+				bt.Insert(ctx.Thread(), index.KeyFromTuple(data, im.KeyCols), row, ctx.Contenders)
+			}
+		}
+		ctx.Txn.RecordWrite(tbl, row, data)
+		ctx.DB.WAL.Enqueue(ctx.Thread(), wal.Record{
+			Type: wal.RecordInsert, TxnID: ctx.Txn.ID,
+			TableID: int32(tbl.Meta.ID), Row: int64(row), Payload: data,
+		})
+		ctx.compute(20)
+	}
+	nrows := float64(len(n.Tuples))
+	width := float64(tbl.Meta.Schema.TupleBytes())
+	cols := float64(tbl.Meta.Schema.NumColumns())
+	feats := ou.ExecFeatures(nrows, cols, width, 0, 0, 1, ctx.compiled())
+	ctx.Tracker.Stop(ou.Insert, feats, start)
+	return &Batch{}, nil
+}
+
+func execUpdate(ctx *Ctx, n *plan.UpdateNode) (*Batch, error) {
+	if ctx.Txn == nil {
+		return nil, fmt.Errorf("exec: UPDATE requires an open transaction")
+	}
+	child, err := Execute(ctx, n.Child)
+	if err != nil {
+		return nil, err
+	}
+	if child.RowIDs == nil && len(child.Rows) > 0 {
+		return nil, fmt.Errorf("exec: UPDATE child lost row identities")
+	}
+	tbl := ctx.DB.Table(n.Table)
+	if tbl == nil {
+		return nil, fmt.Errorf("exec: table %q does not exist", n.Table)
+	}
+	idxMetas := ctx.DB.Catalog.TableIndexes(tbl.Meta.ID)
+
+	start := ctx.Tracker.Start()
+	for i, old := range child.Rows {
+		row := child.RowIDs[i]
+		updated := old.Clone()
+		for j, col := range n.SetCols {
+			updated[col] = n.SetExprs[j].Eval(old)
+			ctx.compute(n.SetExprs[j].Ops() * 2)
+		}
+		if err := tbl.Update(ctx.Thread(), row, ctx.Txn.ID, ctx.Txn.ReadTS, updated); err != nil {
+			ctx.Tracker.Stop(ou.Update, ou.ExecFeatures(float64(i), float64(len(old)),
+				float64(tbl.Meta.Schema.TupleBytes()), 0, 0, 1, ctx.compiled()), start)
+			return nil, err
+		}
+		for _, im := range idxMetas {
+			bt := ctx.DB.Index(im.Name)
+			if bt == nil {
+				continue
+			}
+			oldKey := index.KeyFromTuple(old, im.KeyCols)
+			newKey := index.KeyFromTuple(updated, im.KeyCols)
+			if !oldKey.Equal(newKey) {
+				bt.Delete(ctx.Thread(), oldKey, row, ctx.Contenders)
+				bt.Insert(ctx.Thread(), newKey, row, ctx.Contenders)
+			}
+		}
+		ctx.Txn.RecordWrite(tbl, row, updated)
+		ctx.DB.WAL.Enqueue(ctx.Thread(), wal.Record{
+			Type: wal.RecordUpdate, TxnID: ctx.Txn.ID,
+			TableID: int32(tbl.Meta.ID), Row: int64(row), Payload: updated,
+		})
+		ctx.compute(20)
+	}
+	width := float64(tbl.Meta.Schema.TupleBytes())
+	cols := float64(tbl.Meta.Schema.NumColumns())
+	feats := ou.ExecFeatures(child.NumRows(), cols, width, 0, 0, 1, ctx.compiled())
+	ctx.Tracker.Stop(ou.Update, feats, start)
+	return &Batch{}, nil
+}
+
+func execDelete(ctx *Ctx, n *plan.DeleteNode) (*Batch, error) {
+	if ctx.Txn == nil {
+		return nil, fmt.Errorf("exec: DELETE requires an open transaction")
+	}
+	child, err := Execute(ctx, n.Child)
+	if err != nil {
+		return nil, err
+	}
+	if child.RowIDs == nil && len(child.Rows) > 0 {
+		return nil, fmt.Errorf("exec: DELETE child lost row identities")
+	}
+	tbl := ctx.DB.Table(n.Table)
+	if tbl == nil {
+		return nil, fmt.Errorf("exec: table %q does not exist", n.Table)
+	}
+	idxMetas := ctx.DB.Catalog.TableIndexes(tbl.Meta.ID)
+
+	start := ctx.Tracker.Start()
+	for i, old := range child.Rows {
+		row := child.RowIDs[i]
+		if err := tbl.Delete(ctx.Thread(), row, ctx.Txn.ID, ctx.Txn.ReadTS); err != nil {
+			ctx.Tracker.Stop(ou.Delete, ou.ExecFeatures(float64(i), float64(len(old)),
+				float64(tbl.Meta.Schema.TupleBytes()), 0, 0, 1, ctx.compiled()), start)
+			return nil, err
+		}
+		for _, im := range idxMetas {
+			if bt := ctx.DB.Index(im.Name); bt != nil {
+				bt.Delete(ctx.Thread(), index.KeyFromTuple(old, im.KeyCols), row, ctx.Contenders)
+			}
+		}
+		ctx.Txn.RecordWrite(tbl, row, nil)
+		ctx.DB.WAL.Enqueue(ctx.Thread(), wal.Record{
+			Type: wal.RecordDelete, TxnID: ctx.Txn.ID,
+			TableID: int32(tbl.Meta.ID), Row: int64(row),
+		})
+		ctx.compute(15)
+	}
+	width := float64(tbl.Meta.Schema.TupleBytes())
+	cols := float64(tbl.Meta.Schema.NumColumns())
+	feats := ou.ExecFeatures(child.NumRows(), cols, width, 0, 0, 1, ctx.compiled())
+	ctx.Tracker.Stop(ou.Delete, feats, start)
+	return &Batch{}, nil
+}

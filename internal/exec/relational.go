@@ -1,0 +1,494 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"mb2/internal/catalog"
+	"mb2/internal/index"
+	"mb2/internal/ou"
+	"mb2/internal/plan"
+	"mb2/internal/storage"
+)
+
+// Execute runs a plan and returns the materialized result.
+func Execute(ctx *Ctx, node plan.Node) (*Batch, error) {
+	switch n := node.(type) {
+	case *plan.SeqScanNode:
+		return execSeqScan(ctx, n)
+	case *plan.IdxScanNode:
+		return execIdxScan(ctx, n)
+	case *plan.HashJoinNode:
+		return execHashJoin(ctx, n)
+	case *plan.IndexJoinNode:
+		return execIndexJoin(ctx, n)
+	case *plan.AggNode:
+		return execAgg(ctx, n)
+	case *plan.SortNode:
+		return execSort(ctx, n)
+	case *plan.ProjectNode:
+		return execProject(ctx, n)
+	case *plan.FilterNode:
+		return execFilter(ctx, n)
+	case *plan.InsertNode:
+		return execInsert(ctx, n)
+	case *plan.UpdateNode:
+		return execUpdate(ctx, n)
+	case *plan.DeleteNode:
+		return execDelete(ctx, n)
+	case *plan.OutputNode:
+		return execOutput(ctx, n)
+	default:
+		return nil, fmt.Errorf("exec: unsupported plan node %T", node)
+	}
+}
+
+func project(rows []storage.Tuple, cols []int) []storage.Tuple {
+	if cols == nil {
+		return rows
+	}
+	out := make([]storage.Tuple, len(rows))
+	for i, r := range rows {
+		t := make(storage.Tuple, len(cols))
+		for j, c := range cols {
+			t[j] = r[c]
+		}
+		out[i] = t
+	}
+	return out
+}
+
+func execSeqScan(ctx *Ctx, n *plan.SeqScanNode) (*Batch, error) {
+	tbl := ctx.DB.Table(n.Table)
+	if tbl == nil {
+		return nil, fmt.Errorf("exec: table %q does not exist", n.Table)
+	}
+	id, ts := ctx.snapshot()
+
+	start := ctx.Tracker.Start()
+	var rows []storage.Tuple
+	var rowIDs []storage.RowID
+	tbl.Scan(ctx.Thread(), id, ts, func(r storage.RowID, t storage.Tuple) bool {
+		rows = append(rows, t)
+		rowIDs = append(rowIDs, r)
+		return true
+	})
+	scanned := float64(len(rows))
+	ctx.compute(scanned * 6)
+	width := float64(tbl.Meta.Schema.TupleBytes())
+	cols := float64(tbl.Meta.Schema.NumColumns())
+	if n.Filter == nil && n.Project != nil {
+		rows = project(rows, n.Project)
+		ctx.compute(scanned * float64(len(n.Project)) * 2)
+	}
+	feats := ou.ExecFeatures(scanned, cols, width, 0, 0, 1, ctx.compiled())
+	ctx.Tracker.Stop(ou.SeqScan, feats, start)
+
+	b := &Batch{Rows: rows, RowIDs: rowIDs}
+	if n.Filter != nil {
+		b = applyFilter(ctx, b, n.Filter)
+		if n.Project != nil {
+			b.Rows = project(b.Rows, n.Project)
+			b.RowIDs = nil
+		}
+	}
+	if n.Project != nil {
+		b.RowIDs = nil
+	}
+	return b, nil
+}
+
+// applyFilter evaluates a predicate over the batch as an ARITHMETIC OU.
+func applyFilter(ctx *Ctx, b *Batch, pred plan.Expr) *Batch {
+	start := ctx.Tracker.Start()
+	nrows := b.NumRows()
+	ops := nrows * pred.Ops()
+	ctx.Thread().SeqRead(nrows, b.AvgWidth())
+	ctx.compute(ops * 2)
+	var rows []storage.Tuple
+	var rowIDs []storage.RowID
+	for i, r := range b.Rows {
+		if plan.Truthy(pred.Eval(r)) {
+			rows = append(rows, r)
+			if b.RowIDs != nil {
+				rowIDs = append(rowIDs, b.RowIDs[i])
+			}
+		}
+	}
+	ctx.Tracker.Stop(ou.Arithmetic, ou.ArithmeticFeatures(ops, ctx.compiled()), start)
+	if b.RowIDs == nil {
+		rowIDs = nil
+	}
+	return &Batch{Rows: rows, RowIDs: rowIDs}
+}
+
+func execIdxScan(ctx *Ctx, n *plan.IdxScanNode) (*Batch, error) {
+	tbl := ctx.DB.Table(n.Table)
+	idx := ctx.DB.Index(n.Index)
+	if tbl == nil || idx == nil {
+		return nil, fmt.Errorf("exec: missing table %q or index %q", n.Table, n.Index)
+	}
+	id, ts := ctx.snapshot()
+	loops := n.Loops
+	if loops < 1 {
+		loops = 1
+	}
+
+	start := ctx.Tracker.Start()
+	var rowIDs []storage.RowID
+	if n.Eq != nil {
+		rowIDs = idx.SearchEQ(ctx.Thread(), index.EncodeKey(n.Eq...), loops)
+	} else {
+		var lo, hi index.Key
+		if n.Lo != nil {
+			lo = index.EncodeKey(n.Lo...)
+		}
+		if n.Hi != nil {
+			hi = index.EncodeKey(n.Hi...)
+		}
+		idx.SearchRange(ctx.Thread(), lo, hi, func(_ index.Key, r storage.RowID) bool {
+			rowIDs = append(rowIDs, r)
+			return true
+		})
+	}
+	var rows []storage.Tuple
+	var liveIDs []storage.RowID
+	for _, r := range rowIDs {
+		t, err := tbl.Read(ctx.Thread(), r, id, ts)
+		if err != nil {
+			continue // version not visible at this snapshot
+		}
+		rows = append(rows, t)
+		liveIDs = append(liveIDs, r)
+	}
+	matched := float64(len(rows))
+	ctx.compute(matched * 8)
+	width := float64(tbl.Meta.Schema.TupleBytes())
+	cols := float64(tbl.Meta.Schema.NumColumns())
+	if n.Filter == nil && n.Project != nil {
+		rows = project(rows, n.Project)
+		ctx.compute(matched * float64(len(n.Project)) * 2)
+	}
+	// The cardinality feature carries the index's key population: descent
+	// depth and cache behavior depend on the structure's size, not just on
+	// how many rows match.
+	feats := ou.ExecFeatures(matched, cols, width, float64(idx.NumRows()), 0, loops, ctx.compiled())
+	ctx.Tracker.Stop(ou.IdxScan, feats, start)
+
+	b := &Batch{Rows: rows, RowIDs: liveIDs}
+	if n.Filter != nil {
+		b = applyFilter(ctx, b, n.Filter)
+		if n.Project != nil {
+			b.Rows = project(b.Rows, n.Project)
+			b.RowIDs = nil
+		}
+	}
+	if n.Project != nil {
+		b.RowIDs = nil
+	}
+	return b, nil
+}
+
+func keyOf(t storage.Tuple, cols []int) string {
+	return string(index.KeyFromTuple(t, cols))
+}
+
+func execHashJoin(ctx *Ctx, n *plan.HashJoinNode) (*Batch, error) {
+	left, err := Execute(ctx, n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Execute(ctx, n.Right)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build phase: hash table over the left input.
+	buildRows := left.NumRows()
+	keyBytes := 8.0 * float64(len(n.LeftKeys))
+	entryBytes := keyBytes + 8 + 16
+	htBytes := buildRows * entryBytes
+
+	start := ctx.Tracker.Start()
+	ctx.Thread().Alloc(htBytes) // join hash tables pre-allocate (Sec 4.3)
+	ht := make(map[string][]int, len(left.Rows))
+	for i, r := range left.Rows {
+		k := keyOf(r, n.LeftKeys)
+		ht[k] = append(ht[k], i)
+		ctx.compute(10)
+		ctx.Thread().RandWrite(1, htBytes)
+		if ctx.JHTSleepEvery > 0 && i%ctx.JHTSleepEvery == 0 {
+			ctx.Thread().Sleep(1)
+		}
+	}
+	card := float64(len(ht))
+	buildFeats := ou.ExecFeatures(buildRows, left.NumCols(), left.AvgWidth(), card, entryBytes, 1, ctx.compiled())
+	ctx.Tracker.Stop(ou.HashJoinBuild, buildFeats, start)
+
+	// Probe phase.
+	start = ctx.Tracker.Start()
+	var out []storage.Tuple
+	for _, r := range right.Rows {
+		k := keyOf(r, n.RightKeys)
+		ctx.compute(10)
+		ctx.Thread().RandRead(1, htBytes, 1)
+		for _, li := range ht[k] {
+			joined := make(storage.Tuple, 0, len(left.Rows[li])+len(r))
+			joined = append(joined, left.Rows[li]...)
+			joined = append(joined, r...)
+			out = append(out, joined)
+		}
+	}
+	outRows := float64(len(out))
+	ctx.Thread().SeqWrite(outRows, left.AvgWidth()+right.AvgWidth())
+	// The probe's work volume covers both the probing input and the
+	// materialized matches, so its tuple-count feature is their sum —
+	// otherwise low-cardinality joins with large fan-out are invisible to
+	// the model. Its payload feature is the emitted tuple width, which
+	// drives the materialization cost.
+	probeFeats := ou.ExecFeatures(right.NumRows()+outRows, right.NumCols(), right.AvgWidth(),
+		card, left.AvgWidth()+right.AvgWidth(), 1, ctx.compiled())
+	ctx.Tracker.Stop(ou.HashJoinProbe, probeFeats, start)
+
+	ctx.Thread().Free(htBytes) // the hash table is query-lifetime scratch
+	return &Batch{Rows: out}, nil
+}
+
+func execIndexJoin(ctx *Ctx, n *plan.IndexJoinNode) (*Batch, error) {
+	outer, err := Execute(ctx, n.Outer)
+	if err != nil {
+		return nil, err
+	}
+	tbl := ctx.DB.Table(n.Table)
+	idx := ctx.DB.Index(n.Index)
+	if tbl == nil || idx == nil {
+		return nil, fmt.Errorf("exec: missing table %q or index %q", n.Table, n.Index)
+	}
+	id, ts := ctx.snapshot()
+	loops := outer.NumRows()
+	if loops < 1 {
+		loops = 1
+	}
+
+	start := ctx.Tracker.Start()
+	var out []storage.Tuple
+	for _, or := range outer.Rows {
+		k := index.KeyFromTuple(or, n.OuterKeys)
+		for _, r := range idx.SearchEQ(ctx.Thread(), k, loops) {
+			inner, err := tbl.Read(ctx.Thread(), r, id, ts)
+			if err != nil {
+				continue
+			}
+			joined := make(storage.Tuple, 0, len(or)+len(inner))
+			joined = append(joined, or...)
+			joined = append(joined, inner...)
+			out = append(out, joined)
+		}
+		ctx.compute(12)
+	}
+	width := float64(tbl.Meta.Schema.TupleBytes())
+	feats := ou.ExecFeatures(float64(len(out)), outer.NumCols(), width, float64(idx.NumRows()), 0, loops, ctx.compiled())
+	ctx.Tracker.Stop(ou.IdxScan, feats, start)
+	return &Batch{Rows: out}, nil
+}
+
+type aggState struct {
+	group  storage.Tuple
+	counts []float64
+	sums   []float64
+	mins   []float64
+	maxs   []float64
+	init   bool
+}
+
+func execAgg(ctx *Ctx, n *plan.AggNode) (*Batch, error) {
+	child, err := Execute(ctx, n.Child)
+	if err != nil {
+		return nil, err
+	}
+	entryBytes := 8.0*float64(len(n.GroupBy)) + 24*float64(len(n.Aggs)) + 16
+
+	// Build: aggregate hash table grows with inserted unique keys (Sec 4.3).
+	start := ctx.Tracker.Start()
+	groups := make(map[string]*aggState)
+	var order []string
+	for _, r := range child.Rows {
+		k := keyOf(r, n.GroupBy)
+		st, ok := groups[k]
+		if !ok {
+			st = &aggState{
+				group:  projectRow(r, n.GroupBy),
+				counts: make([]float64, len(n.Aggs)),
+				sums:   make([]float64, len(n.Aggs)),
+				mins:   make([]float64, len(n.Aggs)),
+				maxs:   make([]float64, len(n.Aggs)),
+			}
+			groups[k] = st
+			order = append(order, k)
+			ctx.Thread().Alloc(entryBytes)
+		}
+		htBytes := float64(len(groups)) * entryBytes
+		ctx.Thread().RandRead(1, htBytes, 1)
+		for ai, spec := range n.Aggs {
+			var v float64
+			if spec.Fn != plan.Count {
+				v = valueAsFloat(spec.Arg.Eval(r))
+			}
+			st.counts[ai]++
+			st.sums[ai] += v
+			if !st.init || v < st.mins[ai] {
+				st.mins[ai] = v
+			}
+			if !st.init || v > st.maxs[ai] {
+				st.maxs[ai] = v
+			}
+			ctx.compute(4 + spec.Arg.Ops())
+		}
+		st.init = true
+		ctx.compute(8)
+	}
+	card := float64(len(groups))
+	buildFeats := ou.ExecFeatures(child.NumRows(), child.NumCols(), child.AvgWidth(), card, entryBytes, 1, ctx.compiled())
+	ctx.Tracker.Stop(ou.AggBuild, buildFeats, start)
+
+	// Probe/iterate: produce one output row per group.
+	start = ctx.Tracker.Start()
+	out := make([]storage.Tuple, 0, len(groups))
+	for _, k := range order {
+		st := groups[k]
+		row := make(storage.Tuple, 0, len(st.group)+len(n.Aggs))
+		row = append(row, st.group...)
+		for ai, spec := range n.Aggs {
+			switch spec.Fn {
+			case plan.Count:
+				row = append(row, storage.NewInt(int64(st.counts[ai])))
+			case plan.Sum:
+				row = append(row, storage.NewFloat(st.sums[ai]))
+			case plan.Min:
+				row = append(row, storage.NewFloat(st.mins[ai]))
+			case plan.Max:
+				row = append(row, storage.NewFloat(st.maxs[ai]))
+			default: // Avg
+				row = append(row, storage.NewFloat(st.sums[ai]/st.counts[ai]))
+			}
+			ctx.compute(3)
+		}
+		out = append(out, row)
+	}
+	ctx.Thread().SeqWrite(card, entryBytes)
+	probeFeats := ou.ExecFeatures(card, float64(len(n.GroupBy)+len(n.Aggs)), entryBytes, card, entryBytes, 1, ctx.compiled())
+	ctx.Tracker.Stop(ou.AggProbe, probeFeats, start)
+
+	ctx.Thread().Free(card * entryBytes)
+	return &Batch{Rows: out}, nil
+}
+
+func projectRow(r storage.Tuple, cols []int) storage.Tuple {
+	out := make(storage.Tuple, len(cols))
+	for i, c := range cols {
+		out[i] = r[c]
+	}
+	return out
+}
+
+func valueAsFloat(v storage.Value) float64 {
+	if v.Kind == catalog.Float64 {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+func execSort(ctx *Ctx, n *plan.SortNode) (*Batch, error) {
+	child, err := Execute(ctx, n.Child)
+	if err != nil {
+		return nil, err
+	}
+	nrows := child.NumRows()
+	width := child.AvgWidth()
+
+	// Build: copy into the sort buffer and sort — O(n log n).
+	start := ctx.Tracker.Start()
+	buf := make([]storage.Tuple, len(child.Rows))
+	copy(buf, child.Rows)
+	ctx.Thread().Alloc(nrows * (width + 8))
+	ctx.Thread().SeqWrite(nrows, width)
+	comparisons := 0.0
+	sort.SliceStable(buf, func(i, j int) bool {
+		comparisons++
+		for _, k := range n.Keys {
+			c := buf[i][k.Col].Compare(buf[j][k.Col])
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	ctx.compute(comparisons * float64(len(n.Keys)) * 4)
+	buildFeats := ou.ExecFeatures(nrows, child.NumCols(), width, float64(len(n.Keys)), 0, 1, ctx.compiled())
+	ctx.Tracker.Stop(ou.SortBuild, buildFeats, start)
+
+	// Iterate: stream the sorted output (bounded by the limit).
+	start = ctx.Tracker.Start()
+	out := buf
+	if n.Limit > 0 && n.Limit < len(buf) {
+		out = buf[:n.Limit]
+	}
+	ctx.Thread().SeqRead(float64(len(out)), width)
+	ctx.compute(float64(len(out)) * 2)
+	iterFeats := ou.ExecFeatures(float64(len(out)), child.NumCols(), width, float64(len(n.Keys)), 0, 1, ctx.compiled())
+	ctx.Tracker.Stop(ou.SortIter, iterFeats, start)
+
+	return &Batch{Rows: out}, nil
+}
+
+func execProject(ctx *Ctx, n *plan.ProjectNode) (*Batch, error) {
+	child, err := Execute(ctx, n.Child)
+	if err != nil {
+		return nil, err
+	}
+	start := ctx.Tracker.Start()
+	opsPerRow := 0.0
+	for _, e := range n.Exprs {
+		opsPerRow += e.Ops()
+	}
+	ops := child.NumRows() * opsPerRow
+	ctx.Thread().SeqRead(child.NumRows(), child.AvgWidth())
+	ctx.compute(ops * 2)
+	out := make([]storage.Tuple, len(child.Rows))
+	for i, r := range child.Rows {
+		t := make(storage.Tuple, len(n.Exprs))
+		for j, e := range n.Exprs {
+			t[j] = e.Eval(r)
+		}
+		out[i] = t
+	}
+	ctx.Tracker.Stop(ou.Arithmetic, ou.ArithmeticFeatures(ops, ctx.compiled()), start)
+	return &Batch{Rows: out}, nil
+}
+
+func execFilter(ctx *Ctx, n *plan.FilterNode) (*Batch, error) {
+	child, err := Execute(ctx, n.Child)
+	if err != nil {
+		return nil, err
+	}
+	return applyFilter(ctx, child, n.Pred), nil
+}
+
+func execOutput(ctx *Ctx, n *plan.OutputNode) (*Batch, error) {
+	child, err := Execute(ctx, n.Child)
+	if err != nil {
+		return nil, err
+	}
+	start := ctx.Tracker.Start()
+	nrows := child.NumRows()
+	width := child.AvgWidth()
+	ctx.Thread().SeqRead(nrows, width)
+	ctx.compute(nrows * (child.NumCols()*4 + 6)) // wire-format serialization
+	ctx.Thread().SeqWrite(nrows, width)          // socket buffer copy
+	feats := ou.ExecFeatures(nrows, child.NumCols(), width, 0, 0, 1, ctx.compiled())
+	ctx.Tracker.Stop(ou.Output, feats, start)
+	return child, nil
+}

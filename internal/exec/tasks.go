@@ -1,0 +1,38 @@
+package exec
+
+import (
+	"mb2/internal/gc"
+	"mb2/internal/ou"
+	"mb2/internal/wal"
+)
+
+// RunGC performs one garbage-collection pass as a GC batch OU, with
+// intervalUS the time since the previous pass (the batch OU's third
+// feature).
+func RunGC(ctx *Ctx, intervalUS float64) gc.RunStats {
+	start := ctx.Tracker.Start()
+	st := ctx.DB.GC.Run(ctx.Thread())
+	feats := ou.GCFeatures(float64(st.TxnsProcessed), float64(st.VersionsPruned), intervalUS)
+	ctx.Tracker.Stop(ou.GC, feats, start)
+	return st
+}
+
+// RunLogSerialize drains the WAL record queue into log buffers as a
+// LOG_SERIALIZE batch OU.
+func RunLogSerialize(ctx *Ctx, intervalUS float64) wal.SerializeStats {
+	start := ctx.Tracker.Start()
+	st := ctx.DB.WAL.Serialize(ctx.Thread())
+	feats := ou.LogSerializeFeatures(float64(st.Records), float64(st.Bytes), float64(st.Buffers), intervalUS)
+	ctx.Tracker.Stop(ou.LogSerialize, feats, start)
+	return st
+}
+
+// RunLogFlush writes sealed log buffers to the device as a LOG_FLUSH batch
+// OU.
+func RunLogFlush(ctx *Ctx, intervalUS float64) wal.FlushStats {
+	start := ctx.Tracker.Start()
+	st := ctx.DB.WAL.Flush(ctx.Thread())
+	feats := ou.LogFlushFeatures(float64(st.Bytes), float64(st.Buffers), intervalUS)
+	ctx.Tracker.Stop(ou.LogFlush, feats, start)
+	return st
+}

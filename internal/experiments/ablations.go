@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"sort"
+
+	"mb2/internal/hw"
+	"mb2/internal/metrics"
+	"mb2/internal/ml"
+	"mb2/internal/modeling"
+	"mb2/internal/ou"
+	"mb2/internal/runner"
+)
+
+// AblationInterferenceNormResult compares the interference model with and
+// without its input normalization (dividing by target elapsed time and
+// interval length, Sec 5.1) when generalizing to a different dataset size.
+type AblationInterferenceNormResult struct {
+	NormalizedErr float64
+	RawErr        float64
+}
+
+// rawInterferenceFeatures is the un-normalized feature construction the
+// ablation compares against.
+func rawInterferenceFeatures(target hw.Metrics, totals []hw.Metrics) []float64 {
+	out := append([]float64(nil), target.Vec()...)
+	sum := make([]float64, hw.NumLabels)
+	for _, t := range totals {
+		for i, v := range t.Vec() {
+			sum[i] += v
+		}
+	}
+	out = append(out, sum...)
+	out = append(out, float64(len(totals)))
+	return out
+}
+
+// AblationInterferenceNorm trains both variants on 1x TPC-H samples and
+// tests ratio prediction on 0.25x samples (different absolute run times).
+func AblationInterferenceNorm(p *Pipeline) (AblationInterferenceNormResult, error) {
+	res := AblationInterferenceNormResult{}
+	gen := func(scale float64) ([]modeling.InterferenceSample, error) {
+		db, templates, err := p.LoadTPCH(scale)
+		if err != nil {
+			return nil, err
+		}
+		ccfg := runner.DefaultConcurrentConfig()
+		ccfg.IntervalUS = p.Cfg.IntervalUS
+		tr := modeling.NewTranslator(db, ccfg.Mode)
+		return runner.GenerateInterference(db, p.Models, tr, templates, ccfg,
+			p.Cfg.InterferenceThreads, p.Cfg.InterferenceRates)
+	}
+	train, err := gen(1)
+	if err != nil {
+		return res, err
+	}
+	test, err := gen(0.25)
+	if err != nil {
+		return res, err
+	}
+
+	// Normalized variant: the production path.
+	normModel, err := modeling.TrainInterference(train, []string{"random_forest"}, p.Cfg.Seed)
+	if err != nil {
+		return res, err
+	}
+	var normErrs, rawErrs float64
+	n := float64(len(test))
+	for _, s := range test {
+		pred := normModel.PredictRatios(s.TargetPred, s.ThreadTotals, s.IntervalUS)
+		normErrs += math.Abs(pred[hw.LabelElapsedUS]-s.ActualRatios[hw.LabelElapsedUS]) /
+			s.ActualRatios[hw.LabelElapsedUS]
+	}
+
+	// Raw variant.
+	data := ml.Dataset{}
+	for _, s := range train {
+		data.X = append(data.X, rawInterferenceFeatures(s.TargetPred, s.ThreadTotals))
+		data.Y = append(data.Y, s.ActualRatios)
+	}
+	rawModel, _, err := ml.SelectAndTrain(data, []string{"random_forest"}, p.Cfg.Seed, 0.05)
+	if err != nil {
+		return res, err
+	}
+	for _, s := range test {
+		pred := rawModel.Predict(rawInterferenceFeatures(s.TargetPred, s.ThreadTotals))
+		r := pred[hw.LabelElapsedUS]
+		if r < 1 {
+			r = 1
+		}
+		rawErrs += math.Abs(r-s.ActualRatios[hw.LabelElapsedUS]) / s.ActualRatios[hw.LabelElapsedUS]
+	}
+	res.NormalizedErr = normErrs / n
+	res.RawErr = rawErrs / n
+	return res, nil
+}
+
+// AblationModelSelectionResult compares per-OU best-algorithm selection
+// against pinning one algorithm family for every OU.
+type AblationModelSelectionResult struct {
+	SelectionErr float64
+	FixedErrs    map[string]float64
+}
+
+// AblationModelSelection measures the average held-out error across OUs for
+// MB2's per-OU selection versus each fixed family.
+func AblationModelSelection(p *Pipeline) (AblationModelSelectionResult, error) {
+	res := AblationModelSelectionResult{FixedErrs: map[string]float64{}}
+	kinds := p.Repo.Kinds()
+
+	// Fixed algorithms.
+	for _, algo := range p.Cfg.Train.Candidates {
+		total := 0.0
+		for _, kind := range kinds {
+			e, _, err := modeling.EvaluateAlgorithm(kind, p.Repo.Records(kind), algo, p.Cfg.Train)
+			if err != nil {
+				return res, err
+			}
+			total += e
+		}
+		res.FixedErrs[algo] = total / float64(len(kinds))
+	}
+
+	// Selection: train with full candidate list on an 80% split, test on
+	// the rest.
+	total := 0.0
+	for _, kind := range kinds {
+		train, test := modeling.SplitRecords(p.Repo.Records(kind), 0.8, p.Cfg.Seed)
+		if len(test) == 0 {
+			test = train
+		}
+		m, err := modeling.TrainOUModel(kind, train, p.Cfg.Train)
+		if err != nil {
+			return res, err
+		}
+		e, _ := m.TestError(test, p.Cfg.Train.RelFloor)
+		total += e
+	}
+	res.SelectionErr = total / float64(len(kinds))
+	return res, nil
+}
+
+// AblationTrimmedMeanResult compares label derivation with the 20% trimmed
+// mean versus a plain mean under noisy measurements.
+type AblationTrimmedMeanResult struct {
+	TrimmedErr float64 // deviation of derived labels from noise-free truth
+	PlainErr   float64
+}
+
+// AblationTrimmedMean reruns the sequential-scan OU-runner with heavy
+// measurement noise under both statistics and measures how far the derived
+// elapsed-time labels land from the noise-free reference (Sec 6.2's
+// robust-statistics argument).
+func AblationTrimmedMean(p *Pipeline) (AblationTrimmedMeanResult, error) {
+	res := AblationTrimmedMeanResult{}
+	runScan := func(noise, trim float64) *metrics.Repository {
+		cfg := p.Cfg.Runner
+		cfg.NoiseScale = noise
+		cfg.TrimFrac = trim
+		cfg.Repetitions = 10
+		repo := metrics.NewRepository()
+		for _, r := range runner.AllRunners() {
+			if r.Name == "seq_scan" {
+				r.Run(repo, cfg)
+			}
+		}
+		return repo
+	}
+	ref := runScan(0, 0.2).Records(ou.SeqScan)
+	trimmed := runScan(0.5, 0.2).Records(ou.SeqScan)
+	plain := runScan(0.5, -1).Records(ou.SeqScan)
+
+	dev := func(recs []metrics.Record) float64 {
+		total, n := 0.0, 0.0
+		for i := range recs {
+			if i >= len(ref) {
+				break
+			}
+			denom := ref[i].Labels.ElapsedUS
+			if denom < 1e-9 {
+				continue
+			}
+			total += math.Abs(recs[i].Labels.ElapsedUS-denom) / denom
+			n++
+		}
+		return total / n
+	}
+	res.TrimmedErr = dev(trimmed)
+	res.PlainErr = dev(plain)
+	return res, nil
+}
+
+// PrintAblations renders all three ablation studies.
+func PrintAblations(w io.Writer, in AblationInterferenceNormResult,
+	sel AblationModelSelectionResult, tm AblationTrimmedMeanResult) {
+	fprintf(w, "Ablation: interference-model input normalization (elapsed-ratio error)\n")
+	fprintf(w, "  normalized=%.3f raw=%.3f\n", in.NormalizedErr, in.RawErr)
+	fprintf(w, "Ablation: per-OU model selection vs fixed algorithm (avg rel error)\n")
+	fprintf(w, "  selection=%.3f", sel.SelectionErr)
+	for algo, e := range sel.FixedErrs {
+		fprintf(w, " %s=%.3f", algo, e)
+	}
+	fprintf(w, "\n")
+	fprintf(w, "Ablation: trimmed mean vs plain mean under 50%% measurement noise\n")
+	fprintf(w, "  trimmed=%.3f plain=%.3f\n", tm.TrimmedErr, tm.PlainErr)
+}
+
+// AblationSummariesResult compares the paper's sum+deviation summary
+// statistics against an extended variant that also feeds percentiles of the
+// per-thread totals (Sec 5.1 notes MB2 "can include other summaries, such
+// as percentiles" but finds sum/variance effective).
+type AblationSummariesResult struct {
+	StandardErr    float64
+	WithPercentile float64
+}
+
+// percentileFeatures appends the median and 90th percentile of per-thread
+// elapsed totals (normalized by the interval) to the standard features.
+func percentileFeatures(s modeling.InterferenceSample) []float64 {
+	base := modeling.InterferenceFeatures(s.TargetPred, s.ThreadTotals, s.IntervalUS)
+	els := make([]float64, 0, len(s.ThreadTotals))
+	for _, t := range s.ThreadTotals {
+		els = append(els, t.ElapsedUS)
+	}
+	sort.Float64s(els)
+	pct := func(p float64) float64 {
+		if len(els) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(els)-1))
+		return els[i] / s.IntervalUS
+	}
+	return append(base, pct(0.5), pct(0.9))
+}
+
+// AblationInterferenceSummaries trains both variants on 1x TPC-H samples
+// and evaluates elapsed-ratio error on 0.25x samples.
+func AblationInterferenceSummaries(p *Pipeline) (AblationSummariesResult, error) {
+	res := AblationSummariesResult{}
+	gen := func(scale float64) ([]modeling.InterferenceSample, error) {
+		db, templates, err := p.LoadTPCH(scale)
+		if err != nil {
+			return nil, err
+		}
+		ccfg := runner.DefaultConcurrentConfig()
+		ccfg.IntervalUS = p.Cfg.IntervalUS
+		tr := modeling.NewTranslator(db, ccfg.Mode)
+		return runner.GenerateInterference(db, p.Models, tr, templates, ccfg,
+			p.Cfg.InterferenceThreads, p.Cfg.InterferenceRates)
+	}
+	train, err := gen(1)
+	if err != nil {
+		return res, err
+	}
+	test, err := gen(0.25)
+	if err != nil {
+		return res, err
+	}
+
+	std, err := modeling.TrainInterference(train, []string{"random_forest"}, p.Cfg.Seed)
+	if err != nil {
+		return res, err
+	}
+	data := ml.Dataset{}
+	for _, s := range train {
+		data.X = append(data.X, percentileFeatures(s))
+		data.Y = append(data.Y, s.ActualRatios)
+	}
+	ext, _, err := ml.SelectAndTrain(data, []string{"random_forest"}, p.Cfg.Seed, 0.05)
+	if err != nil {
+		return res, err
+	}
+
+	n := float64(len(test))
+	for _, s := range test {
+		sp := std.PredictRatios(s.TargetPred, s.ThreadTotals, s.IntervalUS)
+		res.StandardErr += math.Abs(sp[hw.LabelElapsedUS]-s.ActualRatios[hw.LabelElapsedUS]) /
+			s.ActualRatios[hw.LabelElapsedUS]
+		ep := ext.Predict(percentileFeatures(s))
+		r := ep[hw.LabelElapsedUS]
+		if r < 1 {
+			r = 1
+		}
+		res.WithPercentile += math.Abs(r-s.ActualRatios[hw.LabelElapsedUS]) /
+			s.ActualRatios[hw.LabelElapsedUS]
+	}
+	res.StandardErr /= n
+	res.WithPercentile /= n
+	return res, nil
+}

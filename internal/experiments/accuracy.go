@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"io"
+
+	"mb2/internal/hw"
+	"mb2/internal/modeling"
+	"mb2/internal/ou"
+)
+
+// Fig5Result holds the per-OU test relative error for each ML algorithm.
+type Fig5Result struct {
+	Algorithms []string
+	// Errors[ouName][algoIndex] is the held-out average relative error.
+	Errors map[string][]float64
+	Order  []string // OU names in Fig 5's x-axis order
+}
+
+// fig5Order mirrors the paper's x-axis.
+var fig5Order = []string{
+	"LOG_FLUSH", "OUTPUT", "SEQ_SCAN", "IDX_SCAN", "SORT_BUILD",
+	"HASHJOIN_BUILD", "AGG_BUILD", "SORT_ITER", "HASHJOIN_PROBE",
+	"AGG_PROBE", "INSERT", "UPDATE", "DELETE", "INDEX_BUILD", "GC",
+	"LOG_SERIALIZE", "TXN_BEGIN", "TXN_COMMIT", "ARITHMETICS",
+}
+
+// Fig5 measures OU-model accuracy per OU across algorithm families
+// (test relative error averaged over all output labels).
+func Fig5(p *Pipeline, algorithms []string) (Fig5Result, error) {
+	if algorithms == nil {
+		algorithms = p.Cfg.Train.Candidates
+	}
+	res := Fig5Result{Algorithms: algorithms, Errors: map[string][]float64{}, Order: fig5Order}
+	for _, name := range fig5Order {
+		kind, ok := ou.ByName(name)
+		if !ok {
+			continue
+		}
+		recs := p.Repo.Records(kind)
+		if len(recs) == 0 {
+			continue
+		}
+		errs := make([]float64, len(algorithms))
+		for ai, algo := range algorithms {
+			e, _, err := modeling.EvaluateAlgorithm(kind, recs, algo, p.Cfg.Train)
+			if err != nil {
+				return res, err
+			}
+			errs[ai] = e
+		}
+		res.Errors[name] = errs
+	}
+	return res, nil
+}
+
+// PrintFig5 renders the figure as a table.
+func PrintFig5(w io.Writer, r Fig5Result) {
+	fprintf(w, "Fig 5: OU-model test relative error (avg across output labels)\n")
+	fprintf(w, "%-16s", "OU")
+	for _, a := range r.Algorithms {
+		fprintf(w, " %14s", a)
+	}
+	fprintf(w, "\n")
+	for _, name := range r.Order {
+		errs, ok := r.Errors[name]
+		if !ok {
+			continue
+		}
+		fprintf(w, "%-16s", name)
+		for _, e := range errs {
+			fprintf(w, " %14.3f", e)
+		}
+		fprintf(w, "\n")
+	}
+}
+
+// Fig6Result holds per-output-label errors with and without normalization.
+type Fig6Result struct {
+	Algorithms []string
+	Labels     []string
+	// WithNorm[labelIdx][algoIdx] and WithoutNorm likewise.
+	WithNorm    [][]float64
+	WithoutNorm [][]float64
+}
+
+// Fig6 measures OU-model accuracy per output label, averaged across all
+// OUs, with and without output-label normalization.
+func Fig6(p *Pipeline, algorithms []string) (Fig6Result, error) {
+	if algorithms == nil {
+		algorithms = p.Cfg.Train.Candidates
+	}
+	res := Fig6Result{Algorithms: algorithms, Labels: hw.LabelNames[:]}
+	res.WithNorm = make([][]float64, hw.NumLabels)
+	res.WithoutNorm = make([][]float64, hw.NumLabels)
+	for l := range res.WithNorm {
+		res.WithNorm[l] = make([]float64, len(algorithms))
+		res.WithoutNorm[l] = make([]float64, len(algorithms))
+	}
+
+	for ai, algo := range algorithms {
+		for variant := 0; variant < 2; variant++ {
+			opts := p.Cfg.Train
+			opts.Normalize = variant == 0
+			sums := make([]float64, hw.NumLabels)
+			n := 0.0
+			for _, kind := range p.Repo.Kinds() {
+				recs := p.Repo.Records(kind)
+				if len(recs) == 0 {
+					continue
+				}
+				_, perLabel, err := modeling.EvaluateAlgorithm(kind, recs, algo, opts)
+				if err != nil {
+					return res, err
+				}
+				for l, e := range perLabel {
+					sums[l] += e
+				}
+				n++
+			}
+			for l := range sums {
+				v := sums[l] / n
+				if variant == 0 {
+					res.WithNorm[l][ai] = v
+				} else {
+					res.WithoutNorm[l][ai] = v
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// PrintFig6 renders the figure as a table.
+func PrintFig6(w io.Writer, r Fig6Result) {
+	fprintf(w, "Fig 6: OU-model test relative error per output label (avg across OUs)\n")
+	fprintf(w, "%-12s", "label")
+	for _, a := range r.Algorithms {
+		fprintf(w, " %12s %12s", a, a+"-nonorm")
+	}
+	fprintf(w, "\n")
+	for l, name := range r.Labels {
+		fprintf(w, "%-12s", name)
+		for ai := range r.Algorithms {
+			fprintf(w, " %12.3f %12.3f", r.WithNorm[l][ai], r.WithoutNorm[l][ai])
+		}
+		fprintf(w, "\n")
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"io"
+	"strconv"
+
+	"mb2/internal/catalog"
+	"mb2/internal/hw"
+	"mb2/internal/modeling"
+	"mb2/internal/runner"
+)
+
+// Fig8Row is one interference-accuracy measurement: the actual versus
+// model-estimated average query runtime increment (ratio - 1) under a
+// concurrent environment.
+type Fig8Row struct {
+	Label     string
+	Actual    float64
+	Estimated float64
+}
+
+// interferenceIncrement runs one concurrent interval on the given database
+// and compares the observed average runtime increment against the
+// interference model's estimate. The run uses compiled mode while the model
+// was trained in interpretive mode, testing knob generalization (Sec 8.4).
+func (p *Pipeline) interferenceIncrement(dbScale float64, threads int) (Fig8Row, error) {
+	row := Fig8Row{}
+	db, templates, err := p.LoadTPCH(dbScale)
+	if err != nil {
+		return row, err
+	}
+	ccfg := runner.DefaultConcurrentConfig()
+	ccfg.IntervalUS = p.Cfg.IntervalUS
+	ccfg.Mode = catalog.Compile
+
+	subset := make([]int, len(templates))
+	for i := range subset {
+		subset[i] = i
+	}
+	assignment := runner.RoundRobinAssignment(subset, threads, 2)
+	run, err := runner.ExecuteInterval(db, ccfg, templates, assignment, nil)
+	if err != nil {
+		return row, err
+	}
+
+	// Actual increment: mean over executed queries of concurrent/isolated - 1.
+	var actual float64
+	for _, q := range run.Queries {
+		if q.Isolated.ElapsedUS > 0 {
+			actual += q.Concurrent.ElapsedUS/q.Isolated.ElapsedUS - 1
+		}
+	}
+	actual /= float64(len(run.Queries))
+
+	// Estimated increment from the interference model over OU-model
+	// predictions.
+	tr := modeling.NewTranslator(db, ccfg.Mode)
+	preds := make([]hw.Metrics, len(templates))
+	for i, q := range templates {
+		pr, _, err := p.Models.PredictQuery(tr.TranslatePlan(q.Plan))
+		if err != nil {
+			return row, err
+		}
+		preds[i] = pr
+	}
+	predTotals := make([]hw.Metrics, threads)
+	for t, list := range assignment {
+		for _, ti := range list {
+			predTotals[t].Add(preds[ti])
+		}
+	}
+	var estimated float64
+	var n float64
+	for _, list := range assignment {
+		for _, ti := range list {
+			r := p.Models.Interference.PredictRatios(preds[ti], predTotals, ccfg.IntervalUS)
+			estimated += r[hw.LabelElapsedUS] - 1
+			n++
+		}
+	}
+	estimated /= n
+
+	row.Actual = actual
+	row.Estimated = estimated
+	return row, nil
+}
+
+// Fig8a measures interference accuracy at thread counts excluded from
+// training (the model trains on odd counts, tests on even ones).
+func Fig8a(p *Pipeline, threadCounts []int) ([]Fig8Row, error) {
+	if threadCounts == nil {
+		threadCounts = []int{2, 8, 16}
+	}
+	var rows []Fig8Row
+	for _, t := range threadCounts {
+		row, err := p.interferenceIncrement(1, t)
+		if err != nil {
+			return nil, err
+		}
+		row.Label = strconv.Itoa(t) + " threads"
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig8b measures interference generalization across dataset sizes the
+// model never trained on.
+func Fig8b(p *Pipeline) ([]Fig8Row, error) {
+	var rows []Fig8Row
+	for _, s := range []struct {
+		name string
+		mult float64
+	}{{"TPC-H 0.1G", 0.1}, {"TPC-H 10G", 10}} {
+		row, err := p.interferenceIncrement(s.mult, 8)
+		if err != nil {
+			return nil, err
+		}
+		row.Label = s.name
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig8 renders either interference figure.
+func PrintFig8(w io.Writer, title string, rows []Fig8Row) {
+	fprintf(w, "%s: average query runtime increment (actual vs estimated)\n", title)
+	fprintf(w, "%-14s %10s %10s\n", "setting", "actual", "estimated")
+	for _, r := range rows {
+		fprintf(w, "%-14s %10.2f %10.2f\n", r.Label, r.Actual, r.Estimated)
+	}
+}

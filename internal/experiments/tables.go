@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"io"
+
+	"mb2/internal/ou"
+)
+
+// Tab1Row is one line of Table 1: the OU property summary.
+type Tab1Row struct {
+	Name     string
+	Features int
+	Knobs    int
+	Type     string
+}
+
+// Tab1 reproduces Table 1 from the OU registry.
+func Tab1() []Tab1Row {
+	var rows []Tab1Row
+	for _, s := range ou.All() {
+		rows = append(rows, Tab1Row{
+			Name:     s.Name,
+			Features: s.NumFeatures(),
+			Knobs:    s.KnobCount,
+			Type:     s.Type.String(),
+		})
+	}
+	return rows
+}
+
+// PrintTab1 renders the table.
+func PrintTab1(w io.Writer) {
+	fprintf(w, "Table 1: Operating Unit property summary\n")
+	fprintf(w, "%-18s %9s %6s %s\n", "Operating Unit", "Features", "Knobs", "Type")
+	for _, r := range Tab1() {
+		fprintf(w, "%-18s %9d %6d %s\n", r.Name, r.Features, r.Knobs, r.Type)
+	}
+}
+
+// Tab2Row is one line of Table 2: behavior-model computation and storage
+// cost.
+type Tab2Row struct {
+	ModelType    string
+	RunnerWallMS float64
+	DataBytes    int
+	TrainWallMS  float64
+	ModelBytes   int
+}
+
+// Tab2 reproduces Table 2 from a built pipeline (runner/training times are
+// wall-clock on this machine; the paper reports minutes on real hardware —
+// the shape to check is runners >> training for OU-models, and a tiny
+// interference model versus large OU-models).
+func Tab2(p *Pipeline) []Tab2Row {
+	interfModel := 0
+	if p.Models.Interference != nil {
+		interfModel = p.Models.Interference.Model.SizeBytes()
+	}
+	return []Tab2Row{
+		{
+			ModelType:    "OUs",
+			RunnerWallMS: float64(p.RunnerWall.Milliseconds()),
+			DataBytes:    p.DataBytes,
+			TrainWallMS:  float64(p.TrainWall.Milliseconds()),
+			ModelBytes:   p.Models.SizeBytes(),
+		},
+		{
+			ModelType:    "Interference",
+			RunnerWallMS: float64(p.InterfWall.Milliseconds()),
+			DataBytes:    p.InterfDataBytes,
+			TrainWallMS:  0, // included in InterfWall; reported jointly
+			ModelBytes:   interfModel,
+		},
+	}
+}
+
+// PrintTab2 renders the table.
+func PrintTab2(w io.Writer, p *Pipeline) {
+	fprintf(w, "Table 2: MB2 overhead (this machine, simulated DBMS)\n")
+	fprintf(w, "%-13s %14s %12s %14s %12s\n",
+		"Model Type", "Runner (ms)", "Data (B)", "Training (ms)", "Model (B)")
+	for _, r := range Tab2(p) {
+		fprintf(w, "%-13s %14.0f %12d %14.0f %12d\n",
+			r.ModelType, r.RunnerWallMS, r.DataBytes, r.TrainWallMS, r.ModelBytes)
+	}
+	fprintf(w, "records=%d simulated-runner-time=%.1fs interference-samples=%d\n",
+		p.Repo.NumRecords(), p.RunnerSimUS/1e6, p.InterfSamples)
+}

@@ -1,0 +1,163 @@
+// Package forecast implements the workload-forecasting substrate MB2
+// assumes as input (Sec 3, citing the QB5000 line of work): it tracks the
+// arrival volume of each query template per fixed interval and predicts
+// future interval volumes with an ensemble of a linear trend and a
+// seasonal-naive component. A self-driving DBMS feeds these predictions to
+// MB2's inference pipeline as the workload forecast.
+package forecast
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// History accumulates per-template arrival counts in fixed intervals.
+type History struct {
+	mu         sync.Mutex
+	intervalUS float64
+	intervals  int
+	counts     map[string][]float64
+}
+
+// NewHistory creates an empty history with the given interval length.
+func NewHistory(intervalUS float64) *History {
+	return &History{intervalUS: intervalUS, counts: make(map[string][]float64)}
+}
+
+// IntervalUS returns the interval length.
+func (h *History) IntervalUS() float64 { return h.intervalUS }
+
+// Len returns the number of recorded intervals.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.intervals
+}
+
+// Append records one interval's per-template counts. Templates absent from
+// the map count zero for the interval.
+func (h *History) Append(counts map[string]float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.intervals++
+	for name := range counts {
+		if _, ok := h.counts[name]; !ok {
+			h.counts[name] = make([]float64, h.intervals-1)
+		}
+	}
+	for name, series := range h.counts {
+		h.counts[name] = append(series, counts[name])
+	}
+}
+
+// Series returns a copy of one template's count series.
+func (h *History) Series(template string) []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.counts[template]...)
+}
+
+// Templates lists the observed template names, sorted.
+func (h *History) Templates() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.counts))
+	for name := range h.counts {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Forecaster predicts future interval volumes from a history.
+type Forecaster struct {
+	// Season is the seasonal period in intervals (0 disables the seasonal
+	// component).
+	Season int
+	// Window bounds how much history the trend component fits (0 = all).
+	Window int
+}
+
+// linearTrend fits y = a + b*t by least squares over the series tail and
+// extrapolates `ahead` steps past the end.
+func linearTrend(series []float64, window, ahead int) float64 {
+	n := len(series)
+	if n == 0 {
+		return 0
+	}
+	start := 0
+	if window > 0 && n > window {
+		start = n - window
+	}
+	xs := series[start:]
+	m := float64(len(xs))
+	if m == 1 {
+		return xs[0]
+	}
+	var sumT, sumY, sumTT, sumTY float64
+	for i, y := range xs {
+		t := float64(i)
+		sumT += t
+		sumY += y
+		sumTT += t * t
+		sumTY += t * y
+	}
+	denom := m*sumTT - sumT*sumT
+	if math.Abs(denom) < 1e-12 {
+		return sumY / m
+	}
+	b := (m*sumTY - sumT*sumY) / denom
+	a := (sumY - b*sumT) / m
+	return a + b*(float64(len(xs)-1)+float64(ahead))
+}
+
+// Forecast predicts the template's volume for the next horizon intervals.
+// The prediction ensembles a linear trend with the value one season ago
+// (when a full season of history exists), mirroring the hybrid design of
+// query-volume forecasters.
+func (f Forecaster) Forecast(h *History, template string, horizon int) []float64 {
+	series := h.Series(template)
+	out := make([]float64, horizon)
+	for ahead := 1; ahead <= horizon; ahead++ {
+		trend := linearTrend(series, f.Window, ahead)
+		pred := trend
+		if f.Season > 0 && len(series) >= f.Season {
+			idx := len(series) + ahead - 1 - f.Season
+			for idx >= len(series) {
+				idx -= f.Season
+			}
+			if idx >= 0 {
+				pred = (trend + series[idx]) / 2
+			}
+		}
+		if pred < 0 {
+			pred = 0
+		}
+		out[ahead-1] = pred
+	}
+	return out
+}
+
+// ForecastAll predicts every observed template.
+func (f Forecaster) ForecastAll(h *History, horizon int) map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, name := range h.Templates() {
+		out[name] = f.Forecast(h, name, horizon)
+	}
+	return out
+}
+
+// MAPE computes the mean absolute percentage error of predictions against
+// actuals (denominator floored at 1 query).
+func MAPE(pred, actual []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	total := 0.0
+	for i := range pred {
+		denom := math.Max(1, math.Abs(actual[i]))
+		total += math.Abs(pred[i]-actual[i]) / denom
+	}
+	return total / float64(len(pred))
+}

@@ -1,0 +1,135 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+)
+
+func recordSeries(h *History, name string, values []float64) {
+	for _, v := range values {
+		h.Append(map[string]float64{name: v})
+	}
+}
+
+func TestHistoryAppendAndSeries(t *testing.T) {
+	h := NewHistory(1e6)
+	h.Append(map[string]float64{"a": 10})
+	h.Append(map[string]float64{"a": 20, "b": 5})
+	h.Append(map[string]float64{"b": 7})
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	a := h.Series("a")
+	if len(a) != 3 || a[0] != 10 || a[1] != 20 || a[2] != 0 {
+		t.Fatalf("series a = %v", a)
+	}
+	// b appeared late: leading zeros.
+	b := h.Series("b")
+	if len(b) != 3 || b[0] != 0 || b[1] != 5 || b[2] != 7 {
+		t.Fatalf("series b = %v", b)
+	}
+	names := h.Templates()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("templates = %v", names)
+	}
+	if h.IntervalUS() != 1e6 {
+		t.Fatal("interval lost")
+	}
+}
+
+func TestForecastConstantSeries(t *testing.T) {
+	h := NewHistory(1e6)
+	recordSeries(h, "q", []float64{50, 50, 50, 50, 50, 50})
+	got := Forecaster{}.Forecast(h, "q", 3)
+	for _, v := range got {
+		if math.Abs(v-50) > 1e-6 {
+			t.Fatalf("constant forecast = %v", got)
+		}
+	}
+}
+
+func TestForecastLinearTrend(t *testing.T) {
+	h := NewHistory(1e6)
+	series := make([]float64, 12)
+	for i := range series {
+		series[i] = 10 + 5*float64(i)
+	}
+	recordSeries(h, "q", series)
+	got := Forecaster{}.Forecast(h, "q", 2)
+	if math.Abs(got[0]-70) > 1e-6 || math.Abs(got[1]-75) > 1e-6 {
+		t.Fatalf("trend forecast = %v, want [70 75]", got)
+	}
+}
+
+func TestForecastSeasonal(t *testing.T) {
+	// Daily-style cycle with period 4: flat trend + strong seasonality.
+	h := NewHistory(1e6)
+	cycle := []float64{100, 10, 10, 100}
+	var series []float64
+	for rep := 0; rep < 5; rep++ {
+		series = append(series, cycle...)
+	}
+	recordSeries(h, "q", series)
+
+	plain := Forecaster{}
+	seasonal := Forecaster{Season: 4}
+	horizon := 4
+	actual := cycle
+
+	errPlain := MAPE(plain.Forecast(h, "q", horizon), actual)
+	errSeasonal := MAPE(seasonal.Forecast(h, "q", horizon), actual)
+	if errSeasonal >= errPlain {
+		t.Fatalf("seasonal component must help on periodic load: %v vs %v",
+			errSeasonal, errPlain)
+	}
+}
+
+func TestForecastNonNegative(t *testing.T) {
+	h := NewHistory(1e6)
+	recordSeries(h, "q", []float64{100, 80, 60, 40, 20, 0})
+	got := Forecaster{}.Forecast(h, "q", 5)
+	for _, v := range got {
+		if v < 0 {
+			t.Fatalf("negative volume forecast: %v", got)
+		}
+	}
+}
+
+func TestForecastWindowLimitsHistory(t *testing.T) {
+	// Old regime is flat at 100; recent regime trends down steeply. A
+	// windowed forecaster follows the recent regime.
+	h := NewHistory(1e6)
+	series := []float64{100, 100, 100, 100, 100, 100, 90, 80, 70, 60}
+	recordSeries(h, "q", series)
+	all := Forecaster{}.Forecast(h, "q", 1)[0]
+	windowed := Forecaster{Window: 4}.Forecast(h, "q", 1)[0]
+	if windowed >= all {
+		t.Fatalf("windowed forecast must track the recent trend: %v vs %v", windowed, all)
+	}
+	if math.Abs(windowed-50) > 5 {
+		t.Fatalf("windowed forecast = %v, want ~50", windowed)
+	}
+}
+
+func TestForecastAllAndUnknown(t *testing.T) {
+	h := NewHistory(1e6)
+	recordSeries(h, "a", []float64{5, 5, 5})
+	preds := Forecaster{}.ForecastAll(h, 2)
+	if len(preds) != 1 || len(preds["a"]) != 2 {
+		t.Fatalf("ForecastAll = %v", preds)
+	}
+	// Unknown template forecasts zero.
+	got := Forecaster{}.Forecast(h, "ghost", 2)
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("unknown template forecast = %v", got)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	if got := MAPE([]float64{90, 110}, []float64{100, 100}); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("MAPE = %v", got)
+	}
+	if MAPE(nil, nil) != 0 {
+		t.Fatal("empty MAPE must be 0")
+	}
+}

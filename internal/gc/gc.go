@@ -1,0 +1,65 @@
+// Package gc implements MVCC garbage collection: the background maintenance
+// task that prunes version chains behind the oldest active snapshot. It is
+// the paper's garbage-collection batch OU (Table 1) — one of the internal
+// operations a self-driving DBMS's models must cover even though no query
+// asks for it.
+package gc
+
+import (
+	"sync"
+
+	"mb2/internal/hw"
+	"mb2/internal/storage"
+	"mb2/internal/txn"
+)
+
+// RunStats summarizes one GC invocation: the batch OU's work volume.
+type RunStats struct {
+	TxnsProcessed  uint64 // transactions retired since the previous run
+	VersionsPruned int
+	SlotsExamined  int
+}
+
+// Collector prunes version chains across the registered tables.
+type Collector struct {
+	mgr *txn.Manager
+
+	mu            sync.Mutex
+	tables        []*storage.Table
+	lastCommitted uint64
+}
+
+// NewCollector returns a collector bound to the transaction manager.
+func NewCollector(mgr *txn.Manager) *Collector {
+	return &Collector{mgr: mgr}
+}
+
+// Register adds a table to the collection set.
+func (c *Collector) Register(t *storage.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables = append(c.tables, t)
+}
+
+// Run performs one garbage-collection pass, charging its work to th.
+func (c *Collector) Run(th *hw.Thread) RunStats {
+	oldest := c.mgr.OldestActiveTS()
+
+	c.mu.Lock()
+	tables := append([]*storage.Table(nil), c.tables...)
+	_, committed, aborted := c.mgr.Stats()
+	retired := committed + aborted
+	processed := retired - c.lastCommitted
+	c.lastCommitted = retired
+	c.mu.Unlock()
+
+	st := RunStats{TxnsProcessed: processed}
+	for _, t := range tables {
+		st.VersionsPruned += t.Vacuum(th, oldest)
+		st.SlotsExamined += t.NumRows()
+	}
+	if th != nil {
+		th.Compute(200 + 5*float64(processed))
+	}
+	return st
+}

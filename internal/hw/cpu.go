@@ -1,0 +1,118 @@
+package hw
+
+import "math"
+
+// CacheLineBytes is the modeled cache-line size.
+const CacheLineBytes = 64
+
+// BlockBytes is the modeled disk block size used by the WAL.
+const BlockBytes = 4096
+
+// CPU describes the timing model of one simulated processor. The defaults
+// approximate the paper's Xeon E5-2630v4 (2.2 GHz base, 25 MB LLC).
+type CPU struct {
+	FreqGHz float64 // core frequency; cycles / (FreqGHz * 1e3) = microseconds
+
+	L1Bytes  float64 // first-level data cache capacity
+	LLCBytes float64 // last-level cache capacity
+
+	CPIBase      float64 // cycles per instruction, everything cached
+	HitCycles    float64 // extra cycles per cache reference that hits
+	MissCycles   float64 // penalty cycles per last-level miss
+	SeqMissRatio float64 // miss ratio of streaming access (prefetcher-covered)
+
+	BlockReadUS  float64 // microseconds per block read (not on-CPU)
+	BlockWriteUS float64 // microseconds per block write (not on-CPU)
+}
+
+// DefaultCPU returns the reference processor used throughout the
+// reproduction. All experiments that do not explicitly vary hardware use it.
+func DefaultCPU() CPU {
+	return CPU{
+		FreqGHz:      2.2,
+		L1Bytes:      32 * 1024,
+		LLCBytes:     25 * 1024 * 1024,
+		CPIBase:      0.5,
+		HitCycles:    2,
+		MissCycles:   180,
+		SeqMissRatio: 0.06,
+		BlockReadUS:  80,
+		BlockWriteUS: 60,
+	}
+}
+
+// WithFreq returns a copy of c running at the given core frequency. It is
+// how the hardware-context experiments (Sec 8.6) sweep the power governor.
+func (c CPU) WithFreq(ghz float64) CPU {
+	c.FreqGHz = ghz
+	return c
+}
+
+// RandMissProb returns the probability that a random access into a structure
+// of the given size misses the last-level cache. Small structures live in
+// cache; once the working set exceeds the LLC the miss probability
+// approaches 1. loops > 1 models an access stream that revisits the same
+// structure repeatedly (e.g. index nested-loop joins), which warms the cache
+// and cuts the effective miss rate (the paper's "number of loops" feature
+// exists to let models capture exactly this effect).
+func (c CPU) RandMissProb(structBytes, loops float64) float64 {
+	if structBytes <= c.L1Bytes {
+		return 0.002
+	}
+	p := 1 - c.LLCBytes/structBytes
+	if p < 0 {
+		p = 0
+	}
+	// Even LLC-resident structures miss occasionally (TLB, conflict misses).
+	p = 0.02 + 0.98*p
+	if loops > 1 {
+		p /= math.Sqrt(loops)
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Counters are the raw per-thread accumulators that charges update. Metrics
+// are derived from counter deltas.
+type Counters struct {
+	Instructions float64
+	CacheRefs    float64
+	CacheMisses  float64
+	BlockReads   float64
+	BlockWrites  float64
+	MemoryBytes  float64
+	IOWaitUS     float64
+}
+
+// Sub returns c - o, the delta between two counter snapshots.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Instructions: c.Instructions - o.Instructions,
+		CacheRefs:    c.CacheRefs - o.CacheRefs,
+		CacheMisses:  c.CacheMisses - o.CacheMisses,
+		BlockReads:   c.BlockReads - o.BlockReads,
+		BlockWrites:  c.BlockWrites - o.BlockWrites,
+		MemoryBytes:  c.MemoryBytes - o.MemoryBytes,
+		IOWaitUS:     c.IOWaitUS - o.IOWaitUS,
+	}
+}
+
+// Derive converts a counter delta into the nine output labels under the
+// CPU's timing model.
+func (c CPU) Derive(d Counters) Metrics {
+	cycles := d.Instructions*c.CPIBase + d.CacheRefs*c.HitCycles + d.CacheMisses*c.MissCycles
+	cpuUS := cycles / (c.FreqGHz * 1e3)
+	return Metrics{
+		ElapsedUS:    cpuUS + d.IOWaitUS,
+		CPUTimeUS:    cpuUS,
+		Cycles:       cycles,
+		Instructions: d.Instructions,
+		CacheRefs:    d.CacheRefs,
+		CacheMisses:  d.CacheMisses,
+		BlockReads:   d.BlockReads,
+		BlockWrites:  d.BlockWrites,
+		MemoryBytes:  d.MemoryBytes,
+	}
+}

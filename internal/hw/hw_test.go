@@ -1,0 +1,293 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMetricsVecRoundTrip(t *testing.T) {
+	m := Metrics{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	got := MetricsFromVec(m.Vec())
+	if got != m {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, m)
+	}
+}
+
+func TestMetricsVecRoundTripProperty(t *testing.T) {
+	f := func(a, b, c, d, e, f2, g, h, i float64) bool {
+		m := Metrics{abs(a), abs(b), abs(c), abs(d), abs(e), abs(f2), abs(g), abs(h), abs(i)}
+		return MetricsFromVec(m.Vec()) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	return math.Abs(x)
+}
+
+func TestMetricsFromVecPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short vector")
+		}
+	}()
+	MetricsFromVec([]float64{1, 2})
+}
+
+func TestMetricsAddScale(t *testing.T) {
+	m := Metrics{ElapsedUS: 10, Cycles: 100}
+	m.Add(Metrics{ElapsedUS: 5, Cycles: 50, MemoryBytes: 64})
+	if m.ElapsedUS != 15 || m.Cycles != 150 || m.MemoryBytes != 64 {
+		t.Fatalf("Add wrong: %+v", m)
+	}
+	s := m.Scale(2)
+	if s.ElapsedUS != 30 || s.MemoryBytes != 128 {
+		t.Fatalf("Scale wrong: %+v", s)
+	}
+}
+
+func TestRatiosClampedAtOne(t *testing.T) {
+	base := Metrics{ElapsedUS: 10, CPUTimeUS: 10, Cycles: 100}
+	actual := Metrics{ElapsedUS: 5, CPUTimeUS: 20, Cycles: 100}
+	r := actual.Ratios(base)
+	if r[LabelElapsedUS] != 1 {
+		t.Errorf("faster-than-isolated must clamp to 1, got %v", r[LabelElapsedUS])
+	}
+	if r[LabelCPUTimeUS] != 2 {
+		t.Errorf("cpu ratio = %v, want 2", r[LabelCPUTimeUS])
+	}
+	if r[LabelMemoryBytes] != 1 {
+		t.Errorf("zero-base label must be 1, got %v", r[LabelMemoryBytes])
+	}
+}
+
+func TestDeriveTiming(t *testing.T) {
+	cpu := DefaultCPU()
+	d := Counters{Instructions: 1000}
+	m := cpu.Derive(d)
+	wantCycles := 1000 * cpu.CPIBase
+	if m.Cycles != wantCycles {
+		t.Fatalf("cycles = %v, want %v", m.Cycles, wantCycles)
+	}
+	wantUS := wantCycles / (cpu.FreqGHz * 1e3)
+	if math.Abs(m.CPUTimeUS-wantUS) > 1e-12 {
+		t.Fatalf("cpu time = %v, want %v", m.CPUTimeUS, wantUS)
+	}
+	if m.ElapsedUS != m.CPUTimeUS {
+		t.Fatal("no IO wait: elapsed must equal CPU time")
+	}
+}
+
+func TestDeriveIOWaitNotOnCPU(t *testing.T) {
+	cpu := DefaultCPU()
+	m := cpu.Derive(Counters{Instructions: 100, IOWaitUS: 50})
+	if m.ElapsedUS <= m.CPUTimeUS {
+		t.Fatal("IO wait must add elapsed time")
+	}
+	if math.Abs((m.ElapsedUS-m.CPUTimeUS)-50) > 1e-9 {
+		t.Fatalf("IO wait delta = %v, want 50", m.ElapsedUS-m.CPUTimeUS)
+	}
+}
+
+func TestFrequencyScalesTime(t *testing.T) {
+	d := Counters{Instructions: 1e6, CacheRefs: 1e5, CacheMisses: 1e3}
+	slow := DefaultCPU().WithFreq(1.1).Derive(d)
+	fast := DefaultCPU().WithFreq(2.2).Derive(d)
+	if slow.Cycles != fast.Cycles {
+		t.Fatal("cycles must be frequency-independent")
+	}
+	if math.Abs(slow.CPUTimeUS/fast.CPUTimeUS-2) > 1e-9 {
+		t.Fatalf("halving frequency must double time: %v vs %v", slow.CPUTimeUS, fast.CPUTimeUS)
+	}
+}
+
+func TestRandMissProbMonotoneInSize(t *testing.T) {
+	cpu := DefaultCPU()
+	prev := -1.0
+	for _, size := range []float64{1 << 10, 1 << 15, 1 << 20, 1 << 25, 1 << 30} {
+		p := cpu.RandMissProb(size, 1)
+		if p < prev {
+			t.Fatalf("miss prob must be non-decreasing in size, got %v after %v", p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("miss prob out of range: %v", p)
+		}
+		prev = p
+	}
+}
+
+func TestRandMissProbLoopsReduceMisses(t *testing.T) {
+	cpu := DefaultCPU()
+	size := 4.0 * float64(cpu.LLCBytes)
+	if cpu.RandMissProb(size, 16) >= cpu.RandMissProb(size, 1) {
+		t.Fatal("looped access must be cheaper than cold access")
+	}
+}
+
+func TestThreadChargesAccumulate(t *testing.T) {
+	th := NewThread(DefaultCPU())
+	start := th.Counters()
+	th.SeqRead(1000, 64)
+	th.RandRead(100, 1<<26, 1)
+	th.Compute(500)
+	th.Alloc(4096)
+	m := th.Since(start)
+	if m.Instructions <= 0 || m.CacheRefs <= 0 || m.CacheMisses <= 0 {
+		t.Fatalf("charges missing: %v", m)
+	}
+	if m.MemoryBytes != 4096 {
+		t.Fatalf("memory = %v, want 4096", m.MemoryBytes)
+	}
+	if m.ElapsedUS <= 0 {
+		t.Fatal("elapsed must be positive")
+	}
+}
+
+func TestThreadDeltaIsolation(t *testing.T) {
+	th := NewThread(DefaultCPU())
+	th.Compute(1e6)
+	mid := th.Counters()
+	th.Compute(2000)
+	m := th.Since(mid)
+	if m.Instructions != 2000 {
+		t.Fatalf("delta instructions = %v, want 2000", m.Instructions)
+	}
+}
+
+func TestThreadFreeReducesMemory(t *testing.T) {
+	th := NewThread(DefaultCPU())
+	start := th.Counters()
+	th.Alloc(1 << 20)
+	th.Free(1 << 20)
+	m := th.Since(start)
+	if m.MemoryBytes != 0 {
+		t.Fatalf("alloc+free must net to zero memory, got %v", m.MemoryBytes)
+	}
+}
+
+func TestLatchContentionCost(t *testing.T) {
+	cheap := NewThread(DefaultCPU())
+	cheap.Latch(1)
+	costly := NewThread(DefaultCPU())
+	costly.Latch(8)
+	if costly.Counters().Instructions <= cheap.Counters().Instructions {
+		t.Fatal("contended latch must cost more instructions")
+	}
+	if costly.Counters().CacheMisses <= cheap.Counters().CacheMisses {
+		t.Fatal("contended latch must bounce cache lines")
+	}
+}
+
+func TestSleepAddsOnlyElapsed(t *testing.T) {
+	th := NewThread(DefaultCPU())
+	start := th.Counters()
+	th.Sleep(100)
+	m := th.Since(start)
+	if m.ElapsedUS != 100 || m.CPUTimeUS != 0 {
+		t.Fatalf("sleep metrics wrong: %v", m)
+	}
+}
+
+func TestContentionSingleThreadNearOne(t *testing.T) {
+	mach := DefaultMachine()
+	iso := Metrics{ElapsedUS: 1000, CPUTimeUS: 1000, Cycles: 2.2e6, CacheRefs: 1e4, CacheMisses: 100}
+	r := mach.ContentionRatios([]Metrics{iso}, 10000)
+	for i, v := range r[0] {
+		if v < 1 || v > 1.05 {
+			t.Fatalf("isolated thread should see ~no contention; label %d ratio %v", i, v)
+		}
+	}
+}
+
+func TestContentionGrowsWithThreads(t *testing.T) {
+	mach := DefaultMachine()
+	iso := Metrics{ElapsedUS: 9000, CPUTimeUS: 9000, Cycles: 2e7, CacheRefs: 9e6, CacheMisses: 4e5}
+	var prev float64 = 1
+	for _, n := range []int{2, 8, 16, 24} {
+		per := make([]Metrics, n)
+		for i := range per {
+			per[i] = iso
+		}
+		r := mach.ContentionRatios(per, 10000)
+		e := r[0][LabelElapsedUS]
+		if e < prev {
+			t.Fatalf("elapsed ratio must grow with thread count: %v after %v (n=%d)", e, prev, n)
+		}
+		prev = e
+	}
+	if prev <= 1.1 {
+		t.Fatalf("24 heavy threads on 10 cores must contend substantially, ratio %v", prev)
+	}
+}
+
+func TestContentionRatiosAtLeastOne(t *testing.T) {
+	mach := DefaultMachine()
+	f := func(e1, m1, e2, m2 uint16) bool {
+		a := Metrics{ElapsedUS: float64(e1) + 1, CPUTimeUS: float64(e1) + 1,
+			Cycles: (float64(e1) + 1) * 2200, CacheRefs: float64(m1) * 4, CacheMisses: float64(m1)}
+		b := Metrics{ElapsedUS: float64(e2) + 1, CPUTimeUS: float64(e2) + 1,
+			Cycles: (float64(e2) + 1) * 2200, CacheRefs: float64(m2) * 4, CacheMisses: float64(m2)}
+		for _, rv := range mach.ContentionRatios([]Metrics{a, b}, 5000) {
+			for _, v := range rv {
+				if v < 1 || math.IsNaN(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentionMemoryBoundSlowsMore(t *testing.T) {
+	mach := DefaultMachine()
+	memBound := Metrics{ElapsedUS: 9000, CPUTimeUS: 9000, Cycles: 2e7, CacheRefs: 8e6, CacheMisses: 1e5}
+	cpuBound := Metrics{ElapsedUS: 9000, CPUTimeUS: 9000, Cycles: 2e7, CacheRefs: 1e5, CacheMisses: 100}
+	heavy := Metrics{ElapsedUS: 9000, CPUTimeUS: 9000, Cycles: 2e7, CacheRefs: 9e6, CacheMisses: 8e5}
+	per := []Metrics{memBound, cpuBound, heavy, heavy, heavy, heavy}
+	r := mach.ContentionRatios(per, 10000)
+	if r[0][LabelElapsedUS] <= r[1][LabelElapsedUS] {
+		t.Fatalf("memory-bound thread must suffer more: %v vs %v",
+			r[0][LabelElapsedUS], r[1][LabelElapsedUS])
+	}
+}
+
+func TestContentionEdgeCases(t *testing.T) {
+	mach := DefaultMachine()
+	if got := mach.ContentionRatios(nil, 1000); len(got) != 0 {
+		t.Fatalf("empty input ratios = %v", got)
+	}
+	per := []Metrics{{ElapsedUS: 10, CPUTimeUS: 10}}
+	if got := mach.ContentionRatios(per, 0); got[0] != nil {
+		t.Fatalf("zero interval must yield nil ratio rows, got %v", got[0])
+	}
+	// A thread with zero elapsed gets identity ratios.
+	got := mach.ContentionRatios([]Metrics{{}, {ElapsedUS: 100, CPUTimeUS: 100}}, 1000)
+	for i, v := range got[0] {
+		if v != 1 {
+			t.Fatalf("idle thread label %d ratio %v", i, v)
+		}
+	}
+}
+
+func TestCPUOversubscriptionDominates(t *testing.T) {
+	mach := DefaultMachine()
+	// 30 threads each fully busy on 10 cores: elapsed must stretch by at
+	// least the oversubscription factor.
+	per := make([]Metrics, 30)
+	for i := range per {
+		per[i] = Metrics{ElapsedUS: 1000, CPUTimeUS: 1000, Cycles: 2.2e6}
+	}
+	r := mach.ContentionRatios(per, 1000)
+	if r[0][LabelElapsedUS] < 3 {
+		t.Fatalf("3x oversubscription must stretch >=3x, got %v", r[0][LabelElapsedUS])
+	}
+}

@@ -1,0 +1,106 @@
+package hw
+
+import "math"
+
+// Machine models the shared resources of the box the DBMS runs on: cores,
+// last-level cache, and memory bandwidth. It converts the isolated demands
+// of concurrently running threads into per-thread slowdown ratios — the
+// ground-truth interference that MB2's interference model (Sec 5) learns to
+// predict from summary statistics.
+type Machine struct {
+	CPU             CPU
+	Cores           int
+	MemBWBytesPerUS float64 // sustainable memory bandwidth (bytes per microsecond)
+}
+
+// DefaultMachine approximates one socket of the paper's testbed: 10 cores
+// and ~20 GB/s of sustainable bandwidth.
+func DefaultMachine() Machine {
+	return Machine{CPU: DefaultCPU(), Cores: 10, MemBWBytesPerUS: 20000}
+}
+
+// ContentionRatios takes the isolated per-thread metric totals for work that
+// ran concurrently within one interval of the given length and returns, for
+// each thread, the element-wise ratio (>= 1) by which contention inflates
+// each label. The model has three effects:
+//
+//   - CPU oversubscription: when total CPU demand exceeds core supply, all
+//     threads stretch proportionally.
+//   - Memory-bandwidth saturation: when aggregate miss traffic exceeds the
+//     machine's bandwidth, threads slow in proportion to how memory-bound
+//     they are.
+//   - Cache pollution: co-runners' reference streams evict each other's
+//     lines, inflating miss counts (and through them, time).
+//
+// Memory, block I/O, instruction, and reference counts are unaffected by
+// contention; only misses, cycles, and the two time labels inflate.
+func (m Machine) ContentionRatios(perThread []Metrics, intervalUS float64) [][]float64 {
+	n := len(perThread)
+	ratios := make([][]float64, n)
+	if n == 0 || intervalUS <= 0 {
+		return ratios
+	}
+
+	var totalCPU, totalBW float64
+	refRate := make([]float64, n) // cache refs per microsecond
+	for i, t := range perThread {
+		totalCPU += t.CPUTimeUS
+		if t.ElapsedUS > 0 {
+			totalBW += t.CacheMisses * CacheLineBytes / t.ElapsedUS
+			refRate[i] = t.CacheRefs / t.ElapsedUS
+		}
+	}
+
+	// CPU pressure ramps smoothly: scheduling delays appear as utilization
+	// approaches saturation (queueing), then grow linearly with
+	// oversubscription beyond it.
+	util := totalCPU / (float64(m.Cores) * intervalUS)
+	cpuFactor := 1.0
+	if util > 0.5 {
+		cpuFactor = 1 + 0.9*(util-0.5)*(util-0.5)
+	}
+	cpuFactor = math.Max(cpuFactor, util)
+	bwFactor := math.Max(1, totalBW/m.MemBWBytesPerUS)
+
+	for i, t := range perThread {
+		r := onesVec()
+		if t.ElapsedUS <= 0 {
+			ratios[i] = r
+			continue
+		}
+		// How memory-bound is this thread?
+		missCycles := t.CacheMisses * m.CPU.MissCycles
+		memFrac := 0.0
+		if t.Cycles > 0 {
+			memFrac = missCycles / t.Cycles
+		}
+
+		// Cache pollution from co-runners: scaled by the others' aggregate
+		// reference rate relative to a nominal rate that fills the LLC.
+		var otherRefRate float64
+		for j := range perThread {
+			if j != i {
+				otherRefRate += refRate[j]
+			}
+		}
+		nominal := m.CPU.LLCBytes / CacheLineBytes / 1000 // refs/us to churn LLC in 1ms
+		missInflation := 1 + 0.6*math.Log1p(otherRefRate/nominal)
+
+		timeStretch := cpuFactor * (1 + (bwFactor-1)*memFrac + (missInflation-1)*memFrac)
+
+		r[LabelElapsedUS] = timeStretch
+		r[LabelCPUTimeUS] = timeStretch
+		r[LabelCycles] = timeStretch
+		r[LabelCacheMisses] = missInflation
+		ratios[i] = r
+	}
+	return ratios
+}
+
+func onesVec() []float64 {
+	r := make([]float64, NumLabels)
+	for i := range r {
+		r[i] = 1
+	}
+	return r
+}

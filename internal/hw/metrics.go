@@ -1,0 +1,151 @@
+// Package hw implements the simulated hardware substrate that the rest of
+// the system charges work to.
+//
+// The paper (MB2, SIGMOD 2021) collects its nine output labels from Linux
+// perf counters and rusage on a real Xeon. This reproduction replaces that
+// with a deterministic hardware model: operators perform real algorithmic
+// work against real data structures, but every low-level action (sequential
+// scan, random access, compute, allocation, block I/O) is charged to a
+// per-thread counter set from which the nine labels are derived using a
+// simple CPU timing model. A machine-level contention model converts the
+// isolated per-thread demands of concurrently running work into slowdown
+// ratios, which is the ground truth MB2's interference model learns.
+//
+// Everything in this package is deterministic so that experiments are
+// bit-for-bit repeatable.
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// NumLabels is the number of output labels every OU-model predicts
+// (Sec 4.3 of the paper).
+const NumLabels = 9
+
+// Label indexes into a Metrics vector.
+const (
+	LabelElapsedUS = iota
+	LabelCPUTimeUS
+	LabelCycles
+	LabelInstructions
+	LabelCacheRefs
+	LabelCacheMisses
+	LabelBlockReads
+	LabelBlockWrites
+	LabelMemoryBytes
+)
+
+// LabelFloors are per-label denominators below which relative error loses
+// meaning: roughly one microsecond of work expressed in each label's unit.
+// Error metrics divide by max(|actual|, floor) so near-zero labels (e.g.
+// block reads of an in-memory query) do not explode the statistics.
+var LabelFloors = [NumLabels]float64{1, 1, 2200, 4000, 64, 4, 1, 1, 1024}
+
+// LabelNames are the human-readable names of the nine output labels, in
+// vector order.
+var LabelNames = [NumLabels]string{
+	"ELAPSED_US",
+	"CPU_TIME_US",
+	"CPU_CYCLE",
+	"INSTRUCTION",
+	"CACHE_REF",
+	"CACHE_MISS",
+	"BLOCK_READ",
+	"BLOCK_WRITE",
+	"MEMORY_B",
+}
+
+// Metrics is the vector of behavior metrics that summarizes what an OU did:
+// the paper's nine output labels (Sec 4.3).
+type Metrics struct {
+	ElapsedUS    float64 // wall-clock time, microseconds (simulated)
+	CPUTimeUS    float64 // on-CPU time, microseconds (simulated)
+	Cycles       float64 // CPU cycles
+	Instructions float64 // retired instructions
+	CacheRefs    float64 // cache references
+	CacheMisses  float64 // last-level cache misses
+	BlockReads   float64 // disk blocks read
+	BlockWrites  float64 // disk blocks written (logging)
+	MemoryBytes  float64 // memory consumption
+}
+
+// Vec returns the metrics as a label-ordered vector, the form consumed by
+// the ML models.
+func (m Metrics) Vec() []float64 {
+	return []float64{
+		m.ElapsedUS, m.CPUTimeUS, m.Cycles, m.Instructions,
+		m.CacheRefs, m.CacheMisses, m.BlockReads, m.BlockWrites, m.MemoryBytes,
+	}
+}
+
+// MetricsFromVec is the inverse of Metrics.Vec. It panics if v does not have
+// exactly NumLabels elements.
+func MetricsFromVec(v []float64) Metrics {
+	if len(v) != NumLabels {
+		panic(fmt.Sprintf("hw: metrics vector has %d elements, want %d", len(v), NumLabels))
+	}
+	return Metrics{
+		ElapsedUS: v[0], CPUTimeUS: v[1], Cycles: v[2], Instructions: v[3],
+		CacheRefs: v[4], CacheMisses: v[5], BlockReads: v[6], BlockWrites: v[7],
+		MemoryBytes: v[8],
+	}
+}
+
+// Add accumulates o into m.
+func (m *Metrics) Add(o Metrics) {
+	m.ElapsedUS += o.ElapsedUS
+	m.CPUTimeUS += o.CPUTimeUS
+	m.Cycles += o.Cycles
+	m.Instructions += o.Instructions
+	m.CacheRefs += o.CacheRefs
+	m.CacheMisses += o.CacheMisses
+	m.BlockReads += o.BlockReads
+	m.BlockWrites += o.BlockWrites
+	m.MemoryBytes += o.MemoryBytes
+}
+
+// Scale returns m with every label multiplied by f.
+func (m Metrics) Scale(f float64) Metrics {
+	return Metrics{
+		ElapsedUS: m.ElapsedUS * f, CPUTimeUS: m.CPUTimeUS * f,
+		Cycles: m.Cycles * f, Instructions: m.Instructions * f,
+		CacheRefs: m.CacheRefs * f, CacheMisses: m.CacheMisses * f,
+		BlockReads: m.BlockReads * f, BlockWrites: m.BlockWrites * f,
+		MemoryBytes: m.MemoryBytes * f,
+	}
+}
+
+// ScaleVec returns m with each label scaled by the matching element of r.
+func (m Metrics) ScaleVec(r []float64) Metrics {
+	v := m.Vec()
+	for i := range v {
+		v[i] *= r[i]
+	}
+	return MetricsFromVec(v)
+}
+
+// Ratios returns the element-wise actual/predicted ratios between m and base,
+// clamped below at 1 (OUs run fastest in isolation, Sec 5.2). Labels where
+// base is ~0 yield ratio 1.
+func (m Metrics) Ratios(base Metrics) []float64 {
+	a, b := m.Vec(), base.Vec()
+	r := make([]float64, NumLabels)
+	for i := range r {
+		if b[i] > 1e-12 {
+			r[i] = math.Max(1, a[i]/b[i])
+		} else {
+			r[i] = 1
+		}
+	}
+	return r
+}
+
+// String renders the metrics compactly for logs and debugging.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"elapsed=%.2fus cpu=%.2fus cycles=%.0f instr=%.0f refs=%.0f misses=%.0f blkR=%.0f blkW=%.0f mem=%.0fB",
+		m.ElapsedUS, m.CPUTimeUS, m.Cycles, m.Instructions,
+		m.CacheRefs, m.CacheMisses, m.BlockReads, m.BlockWrites, m.MemoryBytes)
+}

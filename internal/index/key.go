@@ -1,0 +1,64 @@
+// Package index implements the B+tree secondary index, including the
+// multi-threaded bulk build that backs the paper's index-build contending OU
+// (Table 1) and its Fig 1/11 self-driving action.
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+
+	"mb2/internal/catalog"
+	"mb2/internal/storage"
+)
+
+// Key is a memcmp-comparable encoding of one or more column values, in the
+// style of real storage engines: bytes.Compare order on Keys matches the
+// column-wise Value order.
+type Key []byte
+
+// EncodeKey encodes the given values into a composite key.
+func EncodeKey(vals ...storage.Value) Key {
+	var out []byte
+	for _, v := range vals {
+		out = appendValue(out, v)
+	}
+	return out
+}
+
+func appendValue(out []byte, v storage.Value) []byte {
+	switch v.Kind {
+	case catalog.Int64:
+		var b [8]byte
+		// Flip the sign bit so negative numbers order before positive.
+		binary.BigEndian.PutUint64(b[:], uint64(v.I)^(1<<63))
+		return append(out, b[:]...)
+	case catalog.Float64:
+		bits := math.Float64bits(v.F)
+		if bits&(1<<63) != 0 {
+			bits = ^bits // negative floats: flip everything
+		} else {
+			bits |= 1 << 63 // positive floats: flip sign bit
+		}
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], bits)
+		return append(out, b[:]...)
+	default:
+		// Escape 0x00 as 0x00 0xFF and terminate with 0x00 0x00 so that
+		// prefixes order correctly and segments cannot bleed together.
+		for i := 0; i < len(v.S); i++ {
+			c := v.S[i]
+			out = append(out, c)
+			if c == 0x00 {
+				out = append(out, 0xFF)
+			}
+		}
+		return append(out, 0x00, 0x00)
+	}
+}
+
+// Compare orders two keys.
+func (k Key) Compare(o Key) int { return bytes.Compare(k, o) }
+
+// Equal reports key equality.
+func (k Key) Equal(o Key) bool { return bytes.Equal(k, o) }

@@ -1,0 +1,287 @@
+// Package metrics implements MB2's lightweight data-collection
+// infrastructure (Sec 6.1): the resource tracker that brackets OU
+// invocations, decentralized thread-local collectors, the aggregator that
+// drains them into the training-data repository, and the robust-statistics
+// label derivation (20% trimmed mean, Sec 6.2).
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"mb2/internal/hw"
+	"mb2/internal/ou"
+)
+
+// Record is one observed OU invocation: its input features and measured
+// output labels.
+type Record struct {
+	Kind     ou.Kind
+	Features []float64
+	Labels   hw.Metrics
+}
+
+// Collector is the thread-local metrics buffer one worker writes to. It is
+// not itself synchronized; the aggregator drains collectors safely.
+type Collector struct {
+	mu      sync.Mutex
+	enabled map[ou.Kind]bool // nil means everything enabled
+	all     bool
+	records []Record
+
+	// Measurement noise emulates the jitter of real hardware counters so
+	// the trimmed-mean machinery has something to be robust against. Zero
+	// scale (the default) keeps collection deterministic.
+	noiseScale float64
+	rng        *rand.Rand
+}
+
+// NewCollector returns a collector with tracking enabled for every OU.
+func NewCollector() *Collector {
+	return &Collector{all: true}
+}
+
+// EnableOnly restricts tracking to the given OUs — the paper's mechanism
+// for cutting tracker overhead while exercising one component (Sec 6.1).
+func (c *Collector) EnableOnly(kinds ...ou.Kind) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.all = false
+	c.enabled = make(map[ou.Kind]bool, len(kinds))
+	for _, k := range kinds {
+		c.enabled[k] = true
+	}
+}
+
+// EnableAll re-enables tracking for every OU.
+func (c *Collector) EnableAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.all = true
+	c.enabled = nil
+}
+
+// SetNoise turns on multiplicative Gaussian measurement noise with the
+// given relative scale and deterministic seed.
+func (c *Collector) SetNoise(scale float64, seed int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.noiseScale = scale
+	c.rng = rand.New(rand.NewSource(seed))
+}
+
+// Enabled reports whether the OU is currently tracked.
+func (c *Collector) Enabled(k ou.Kind) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.all || c.enabled[k]
+}
+
+// Emit records one OU invocation. Disabled OUs are dropped.
+func (c *Collector) Emit(k ou.Kind, features []float64, labels hw.Metrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !(c.all || c.enabled[k]) {
+		return
+	}
+	if c.noiseScale > 0 && c.rng != nil {
+		// Real counter noise is heavy-tailed and one-sided: small Gaussian
+		// jitter most of the time, with occasional large positive spikes
+		// from preemptions and kernel tasks (Sec 6.2's motivation for
+		// robust statistics).
+		jitter := 1 + 0.2*c.noiseScale*c.rng.NormFloat64()
+		if jitter < 0 {
+			jitter = 0
+		}
+		spike := 1.0
+		if c.rng.Float64() < 0.15*c.noiseScale {
+			spike = 1 + 10*c.noiseScale*c.rng.Float64()
+		}
+		v := labels.Vec()
+		for i := range v {
+			v[i] *= jitter * spike
+		}
+		labels = hw.MetricsFromVec(v)
+	}
+	c.records = append(c.records, Record{Kind: k, Features: features, Labels: labels})
+}
+
+// Drain removes and returns everything collected so far.
+func (c *Collector) Drain() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.records
+	c.records = nil
+	return out
+}
+
+// Len returns the number of buffered records.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.records)
+}
+
+// Tracker brackets one OU invocation on a thread: Start snapshots the
+// counters, Stop derives the labels and emits the record. Each
+// Start/Stop pair models one resource-tracker invocation (Sec 6.1).
+type Tracker struct {
+	collector *Collector
+	thread    *hw.Thread
+}
+
+// NewTracker binds a collector and a hardware thread.
+func NewTracker(c *Collector, th *hw.Thread) *Tracker {
+	return &Tracker{collector: c, thread: th}
+}
+
+// Thread returns the underlying hardware thread.
+func (t *Tracker) Thread() *hw.Thread { return t.thread }
+
+// Collector returns the underlying collector.
+func (t *Tracker) Collector() *Collector { return t.collector }
+
+// Start begins tracking one OU invocation. The tracker itself costs a
+// little work, as the paper measures (~20us per invocation, Sec 8.1).
+func (t *Tracker) Start() hw.Counters {
+	if t.thread == nil {
+		return hw.Counters{}
+	}
+	t.thread.Compute(300) // reading counters is not free
+	return t.thread.Counters()
+}
+
+// Stop finishes tracking and emits the record.
+func (t *Tracker) Stop(k ou.Kind, features []float64, start hw.Counters) hw.Metrics {
+	var labels hw.Metrics
+	if t.thread != nil {
+		labels = t.thread.Since(start)
+		t.thread.Compute(300)
+	}
+	if t.collector != nil {
+		t.collector.Emit(k, features, labels)
+	}
+	return labels
+}
+
+// Repository is MB2's training-data store: records grouped per OU, fed by
+// the aggregator.
+type Repository struct {
+	mu   sync.Mutex
+	data map[ou.Kind][]Record
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{data: make(map[ou.Kind][]Record)}
+}
+
+// Aggregate drains the collectors into the repository (the dedicated
+// aggregator thread of Sec 6.1).
+func (r *Repository) Aggregate(collectors ...*Collector) int {
+	total := 0
+	for _, c := range collectors {
+		recs := c.Drain()
+		total += len(recs)
+		r.mu.Lock()
+		for _, rec := range recs {
+			r.data[rec.Kind] = append(r.data[rec.Kind], rec)
+		}
+		r.mu.Unlock()
+	}
+	return total
+}
+
+// Add inserts records directly (used by runners that pre-derive labels).
+func (r *Repository) Add(recs ...Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rec := range recs {
+		r.data[rec.Kind] = append(r.data[rec.Kind], rec)
+	}
+}
+
+// Records returns the stored records for one OU.
+func (r *Repository) Records(k ou.Kind) []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Record, len(r.data[k]))
+	copy(out, r.data[k])
+	return out
+}
+
+// NumRecords returns the total record count across OUs.
+func (r *Repository) NumRecords() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, recs := range r.data {
+		n += len(recs)
+	}
+	return n
+}
+
+// Kinds returns the OUs with at least one record.
+func (r *Repository) Kinds() []ou.Kind {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ou.Kind, 0, len(r.data))
+	for k := range r.data {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SizeBytes estimates the repository's storage footprint (Table 2's data
+// size column): features and labels as float64s plus record overhead.
+func (r *Repository) SizeBytes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, recs := range r.data {
+		for _, rec := range recs {
+			n += 8*(len(rec.Features)+hw.NumLabels) + 16
+		}
+	}
+	return n
+}
+
+// TrimmedMean returns the mean of the middle portion of xs after trimming
+// the given fraction from each tail: the robust statistic MB2 derives
+// labels with (20% trim, breakdown point 0.4; Sec 6.2).
+func TrimmedMean(xs []float64, trim float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	k := int(float64(len(sorted)) * trim)
+	kept := sorted[k : len(sorted)-k]
+	if len(kept) == 0 {
+		kept = sorted[len(sorted)/2 : len(sorted)/2+1]
+	}
+	sum := 0.0
+	for _, v := range kept {
+		sum += v
+	}
+	return sum / float64(len(kept))
+}
+
+// TrimmedMeanLabels reduces repeated measurements of one OU invocation to a
+// single label vector via the per-label trimmed mean.
+func TrimmedMeanLabels(ms []hw.Metrics, trim float64) hw.Metrics {
+	if len(ms) == 0 {
+		return hw.Metrics{}
+	}
+	var out [hw.NumLabels]float64
+	col := make([]float64, len(ms))
+	for l := 0; l < hw.NumLabels; l++ {
+		for i, m := range ms {
+			col[i] = m.Vec()[l]
+		}
+		out[l] = TrimmedMean(col, trim)
+	}
+	return hw.MetricsFromVec(out[:])
+}

@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mb2/internal/hw"
+	"mb2/internal/ou"
+)
+
+// recordJSON is the on-disk form of one training record: JSON lines keyed
+// by OU name, so the training-data repository survives across sessions and
+// can be inspected with standard tools.
+type recordJSON struct {
+	OU       string    `json:"ou"`
+	Features []float64 `json:"features"`
+	Labels   []float64 `json:"labels"`
+}
+
+// WriteJSON streams the repository's records as JSON lines.
+func (r *Repository) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, kind := range r.Kinds() {
+		for _, rec := range r.Records(kind) {
+			if err := enc.Encode(recordJSON{
+				OU:       rec.Kind.String(),
+				Features: rec.Features,
+				Labels:   rec.Labels.Vec(),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON loads JSON-line records into the repository, returning how many
+// were added.
+func (r *Repository) ReadJSON(src io.Reader) (int, error) {
+	dec := json.NewDecoder(src)
+	n := 0
+	for {
+		var rec recordJSON
+		if err := dec.Decode(&rec); err == io.EOF {
+			return n, nil
+		} else if err != nil {
+			return n, fmt.Errorf("metrics: decoding record %d: %w", n, err)
+		}
+		kind, ok := ou.ByName(rec.OU)
+		if !ok {
+			return n, fmt.Errorf("metrics: record %d names unknown OU %q", n, rec.OU)
+		}
+		if len(rec.Labels) != hw.NumLabels {
+			return n, fmt.Errorf("metrics: record %d has %d labels, want %d",
+				n, len(rec.Labels), hw.NumLabels)
+		}
+		r.Add(Record{Kind: kind, Features: rec.Features, Labels: hw.MetricsFromVec(rec.Labels)})
+		n++
+	}
+}

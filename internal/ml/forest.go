@@ -1,0 +1,173 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomForest is a bagged ensemble of multi-output CART trees with random
+// feature subsets per split — the paper's best performer for most OUs
+// (Sec 8.2; 50 estimators).
+type RandomForest struct {
+	NumTrees int
+	MaxDepth int
+	MinLeaf  int
+	seed     int64
+
+	trees  []*treeNode
+	yScale *Scaler
+}
+
+// NewRandomForest returns a forest with the paper's 50 estimators.
+func NewRandomForest(seed int64) *RandomForest {
+	return &RandomForest{NumTrees: 50, MaxDepth: 12, MinLeaf: 2, seed: seed}
+}
+
+// Fit implements Model.
+func (m *RandomForest) Fit(X, Y [][]float64) error {
+	if err := checkFit(X, Y); err != nil {
+		return err
+	}
+	m.yScale = FitScaler(Y)
+	Ys := m.yScale.TransformAll(Y)
+	n := len(X)
+	d := len(X[0])
+	maxFeatures := int(math.Ceil(float64(d) * 2 / 3))
+	if maxFeatures < 1 {
+		maxFeatures = 1
+	}
+	cfg := treeConfig{maxDepth: m.MaxDepth, minLeaf: m.MinLeaf, maxFeatures: maxFeatures}
+
+	m.trees = make([]*treeNode, m.NumTrees)
+	for t := 0; t < m.NumTrees; t++ {
+		rng := rand.New(rand.NewSource(m.seed + int64(t)*7919))
+		rows := make([]int, n) // bootstrap sample
+		for i := range rows {
+			rows[i] = rng.Intn(n)
+		}
+		m.trees[t] = buildTree(X, Ys, rows, cfg, 0, rng)
+	}
+	return nil
+}
+
+// Predict implements Model.
+func (m *RandomForest) Predict(x []float64) []float64 {
+	dy := len(m.yScale.Mean)
+	sum := make([]float64, dy)
+	for _, t := range m.trees {
+		for k, v := range t.predict(x) {
+			sum[k] += v
+		}
+	}
+	for k := range sum {
+		sum[k] /= float64(len(m.trees))
+	}
+	return m.yScale.Inverse(sum)
+}
+
+// Name implements Model.
+func (m *RandomForest) Name() string { return "random_forest" }
+
+// SizeBytes implements Model.
+func (m *RandomForest) SizeBytes() int {
+	n := 0
+	for _, t := range m.trees {
+		n += t.count() * 48
+	}
+	return n
+}
+
+// GradientBoosting is a per-output gradient-boosted ensemble of shallow
+// regression trees with squared-error loss.
+type GradientBoosting struct {
+	NumRounds int
+	MaxDepth  int
+	MinLeaf   int
+	LR        float64
+	seed      int64
+
+	base   []float64
+	stages [][]*treeNode // [round][output]
+	yScale *Scaler
+}
+
+// NewGradientBoosting returns a GBM tuned for the OU-model workloads.
+func NewGradientBoosting(seed int64) *GradientBoosting {
+	return &GradientBoosting{NumRounds: 60, MaxDepth: 4, MinLeaf: 4, LR: 0.15, seed: seed}
+}
+
+// Fit implements Model.
+func (m *GradientBoosting) Fit(X, Y [][]float64) error {
+	if err := checkFit(X, Y); err != nil {
+		return err
+	}
+	m.yScale = FitScaler(Y)
+	Ys := m.yScale.TransformAll(Y)
+	n, dy := len(X), len(Ys[0])
+
+	m.base = make([]float64, dy)
+	for _, y := range Ys {
+		for k, v := range y {
+			m.base[k] += v
+		}
+	}
+	for k := range m.base {
+		m.base[k] /= float64(n)
+	}
+
+	pred := make([][]float64, n)
+	for i := range pred {
+		pred[i] = append([]float64(nil), m.base...)
+	}
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	cfg := treeConfig{maxDepth: m.MaxDepth, minLeaf: m.MinLeaf}
+
+	m.stages = make([][]*treeNode, m.NumRounds)
+	resid := make([][]float64, n)
+	for i := range resid {
+		resid[i] = make([]float64, 1)
+	}
+	for round := 0; round < m.NumRounds; round++ {
+		m.stages[round] = make([]*treeNode, dy)
+		for k := 0; k < dy; k++ {
+			for i := range resid {
+				resid[i][0] = Ys[i][k] - pred[i][k]
+			}
+			rng := rand.New(rand.NewSource(m.seed + int64(round*31+k)))
+			tr := buildTree(X, resid, rows, cfg, 0, rng)
+			m.stages[round][k] = tr
+			for i := range pred {
+				pred[i][k] += m.LR * tr.predict(X[i])[0]
+			}
+		}
+	}
+	return nil
+}
+
+// Predict implements Model.
+func (m *GradientBoosting) Predict(x []float64) []float64 {
+	out := append([]float64(nil), m.base...)
+	for _, stage := range m.stages {
+		for k, tr := range stage {
+			out[k] += m.LR * tr.predict(x)[0]
+		}
+	}
+	return m.yScale.Inverse(out)
+}
+
+// Name implements Model.
+func (m *GradientBoosting) Name() string { return "gbm" }
+
+// SizeBytes implements Model.
+func (m *GradientBoosting) SizeBytes() int {
+	n := 8 * len(m.base)
+	for _, stage := range m.stages {
+		for _, t := range stage {
+			n += t.count() * 48
+		}
+	}
+	return n
+}

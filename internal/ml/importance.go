@@ -1,0 +1,41 @@
+package ml
+
+import "math/rand"
+
+// PermutationImportance measures each feature's contribution to a trained
+// model: the increase in average relative error when that feature's column
+// is shuffled across the dataset (breaking its relationship to the targets
+// while preserving its marginal distribution). It is model-agnostic, so it
+// works for every algorithm family, and it is the explainability hook MB2's
+// behavior models expose — the paper argues self-driving models must be
+// explainable and debuggable (Secs 2.2, 9).
+//
+// The returned slice has one non-negative score per feature; larger means
+// the model relies on the feature more. Deterministic for a fixed seed.
+func PermutationImportance(m Model, data Dataset, seed int64, relFloor float64) []float64 {
+	if data.Len() == 0 {
+		return nil
+	}
+	d := len(data.X[0])
+	base := AvgRelError(PredictAll(m, data.X), data.Y, relFloor)
+	out := make([]float64, d)
+
+	perm := make([]int, data.Len())
+	shuffled := make([][]float64, data.Len())
+	for j := 0; j < d; j++ {
+		rng := rand.New(rand.NewSource(seed + int64(j)*7919))
+		copy(perm, rng.Perm(data.Len()))
+		for i, row := range data.X {
+			r := append([]float64(nil), row...)
+			r[j] = data.X[perm[i]][j]
+			shuffled[i] = r
+		}
+		e := AvgRelError(PredictAll(m, shuffled), data.Y, relFloor)
+		imp := e - base
+		if imp < 0 {
+			imp = 0
+		}
+		out[j] = imp
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package ml
+
+import (
+	"math"
+)
+
+// solveLinear solves A w = b by Gaussian elimination with partial pivoting.
+// A is modified in place.
+func solveLinear(A [][]float64, b []float64) []float64 {
+	n := len(A)
+	w := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[p][col]) {
+				p = r
+			}
+		}
+		A[col], A[p] = A[p], A[col]
+		w[col], w[p] = w[p], w[col]
+		pivot := A[col][col]
+		if math.Abs(pivot) < 1e-12 {
+			continue // singular column: leave weight at zero contribution
+		}
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] / pivot
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			w[r] -= f * w[col]
+		}
+	}
+	out := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := w[r]
+		for c := r + 1; c < n; c++ {
+			sum -= A[r][c] * out[c]
+		}
+		if math.Abs(A[r][r]) < 1e-12 {
+			out[r] = 0
+		} else {
+			out[r] = sum / A[r][r]
+		}
+	}
+	return out
+}
+
+// ridgeSolve fits W minimizing ||XW - Y||^2 + lambda||W||^2 with an
+// intercept column appended, optionally with per-row weights.
+func ridgeSolve(X, Y [][]float64, lambda float64, rowW []float64) [][]float64 {
+	n, d := len(X), len(X[0])
+	dy := len(Y[0])
+	da := d + 1 // + intercept
+
+	// Gram matrix A = X'WX + lambda I, rhs B = X'WY.
+	A := make([][]float64, da)
+	for i := range A {
+		A[i] = make([]float64, da)
+	}
+	B := make([][]float64, da)
+	for i := range B {
+		B[i] = make([]float64, dy)
+	}
+	xi := make([]float64, da)
+	for r := 0; r < n; r++ {
+		copy(xi, X[r])
+		xi[d] = 1
+		w := 1.0
+		if rowW != nil {
+			w = rowW[r]
+		}
+		for i := 0; i < da; i++ {
+			wxi := w * xi[i]
+			for j := i; j < da; j++ {
+				A[i][j] += wxi * xi[j]
+			}
+			for k := 0; k < dy; k++ {
+				B[i][k] += wxi * Y[r][k]
+			}
+		}
+	}
+	for i := 0; i < da; i++ {
+		for j := 0; j < i; j++ {
+			A[i][j] = A[j][i]
+		}
+		A[i][i] += lambda
+	}
+
+	// Solve per output column.
+	W := make([][]float64, dy)
+	bcol := make([]float64, da)
+	for k := 0; k < dy; k++ {
+		Ac := make([][]float64, da)
+		for i := range A {
+			Ac[i] = append([]float64(nil), A[i]...)
+		}
+		for i := 0; i < da; i++ {
+			bcol[i] = B[i][k]
+		}
+		W[k] = solveLinear(Ac, bcol)
+	}
+	return W // W[k] has d coefficients + intercept at index d
+}
+
+// LinearRegression is multi-output ridge regression via the normal
+// equations.
+type LinearRegression struct {
+	Lambda float64
+	W      [][]float64 // per output: d coefficients + intercept
+}
+
+// NewLinearRegression returns an L2-regularized least-squares model.
+func NewLinearRegression() *LinearRegression { return &LinearRegression{Lambda: 1e-6} }
+
+// Fit implements Model.
+func (m *LinearRegression) Fit(X, Y [][]float64) error {
+	if err := checkFit(X, Y); err != nil {
+		return err
+	}
+	m.W = ridgeSolve(X, Y, m.Lambda, nil)
+	return nil
+}
+
+// Predict implements Model.
+func (m *LinearRegression) Predict(x []float64) []float64 {
+	out := make([]float64, len(m.W))
+	for k, w := range m.W {
+		s := w[len(w)-1]
+		for j, v := range x {
+			s += w[j] * v
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// Name implements Model.
+func (m *LinearRegression) Name() string { return "linear" }
+
+// SizeBytes implements Model.
+func (m *LinearRegression) SizeBytes() int {
+	n := 0
+	for _, w := range m.W {
+		n += 8 * len(w)
+	}
+	return n
+}
+
+// HuberRegression is robust linear regression fit by iteratively reweighted
+// least squares with Huber weights — the paper's pick for simple OUs. The
+// targets are standardized internally so the Huber threshold is meaningful
+// across output labels of very different magnitudes.
+type HuberRegression struct {
+	Delta  float64
+	Lambda float64
+	Iters  int
+	W      [][]float64 // weights in standardized-Y space
+	yScale *Scaler
+}
+
+// NewHuberRegression returns a Huber-loss linear model.
+func NewHuberRegression() *HuberRegression {
+	return &HuberRegression{Delta: 1.35, Lambda: 1e-6, Iters: 10}
+}
+
+// Fit implements Model.
+func (m *HuberRegression) Fit(X, Y [][]float64) error {
+	if err := checkFit(X, Y); err != nil {
+		return err
+	}
+	n := len(X)
+	dy := len(Y[0])
+	m.yScale = FitScaler(Y)
+	Ys := m.yScale.TransformAll(Y)
+	m.W = ridgeSolve(X, Ys, m.Lambda, nil)
+
+	for iter := 0; iter < m.Iters; iter++ {
+		w := make([]float64, n)
+		for r := 0; r < n; r++ {
+			pred := m.predictStd(X[r])
+			res := 0.0
+			for k := 0; k < dy; k++ {
+				res += math.Abs(Ys[r][k] - pred[k])
+			}
+			res /= float64(dy)
+			if res <= m.Delta {
+				w[r] = 1
+			} else {
+				w[r] = m.Delta / res
+			}
+		}
+		m.W = ridgeSolve(X, Ys, m.Lambda, w)
+	}
+	return nil
+}
+
+func (m *HuberRegression) predictStd(x []float64) []float64 {
+	out := make([]float64, len(m.W))
+	for k, w := range m.W {
+		s := w[len(w)-1]
+		for j, v := range x {
+			s += w[j] * v
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// Predict implements Model.
+func (m *HuberRegression) Predict(x []float64) []float64 {
+	return m.yScale.Inverse(m.predictStd(x))
+}
+
+// Name implements Model.
+func (m *HuberRegression) Name() string { return "huber" }
+
+// SizeBytes implements Model.
+func (m *HuberRegression) SizeBytes() int {
+	n := 0
+	for _, w := range m.W {
+		n += 8 * len(w)
+	}
+	return n
+}

@@ -1,0 +1,218 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NeuralNetwork is a fully connected multilayer perceptron with ReLU hidden
+// layers trained by Adam on squared error, over standardized inputs and
+// targets. The default shape matches the paper's 2x25 configuration.
+type NeuralNetwork struct {
+	Hidden []int
+	Epochs int
+	Batch  int
+	LR     float64
+	seed   int64
+
+	weights [][][]float64 // [layer][out][in]
+	biases  [][]float64   // [layer][out]
+	xScale  *Scaler
+	yScale  *Scaler
+}
+
+// NewNeuralNetwork returns the paper-shaped MLP (two 25-neuron layers).
+func NewNeuralNetwork(seed int64) *NeuralNetwork {
+	return &NeuralNetwork{Hidden: []int{25, 25}, Epochs: 120, Batch: 32, LR: 3e-3, seed: seed}
+}
+
+// Fit implements Model.
+func (m *NeuralNetwork) Fit(X, Y [][]float64) error {
+	if err := checkFit(X, Y); err != nil {
+		return err
+	}
+	m.xScale = FitScaler(X)
+	m.yScale = FitScaler(Y)
+	Xs := m.xScale.TransformAll(X)
+	Ys := m.yScale.TransformAll(Y)
+
+	sizes := append([]int{len(Xs[0])}, m.Hidden...)
+	sizes = append(sizes, len(Ys[0]))
+	rng := rand.New(rand.NewSource(m.seed))
+
+	nLayers := len(sizes) - 1
+	m.weights = make([][][]float64, nLayers)
+	m.biases = make([][]float64, nLayers)
+	// Adam state.
+	mw := make([][][]float64, nLayers)
+	vw := make([][][]float64, nLayers)
+	mb := make([][]float64, nLayers)
+	vb := make([][]float64, nLayers)
+	for l := 0; l < nLayers; l++ {
+		in, out := sizes[l], sizes[l+1]
+		m.weights[l] = make([][]float64, out)
+		mw[l] = make([][]float64, out)
+		vw[l] = make([][]float64, out)
+		scale := math.Sqrt(2.0 / float64(in))
+		for o := 0; o < out; o++ {
+			m.weights[l][o] = make([]float64, in)
+			mw[l][o] = make([]float64, in)
+			vw[l][o] = make([]float64, in)
+			for i := 0; i < in; i++ {
+				m.weights[l][o][i] = rng.NormFloat64() * scale
+			}
+		}
+		m.biases[l] = make([]float64, out)
+		mb[l] = make([]float64, out)
+		vb[l] = make([]float64, out)
+	}
+
+	n := len(Xs)
+	idx := rng.Perm(n)
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	step := 0
+	acts := make([][]float64, nLayers+1)
+	deltas := make([][]float64, nLayers)
+	for l := 0; l < nLayers; l++ {
+		deltas[l] = make([]float64, sizes[l+1])
+	}
+
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for bStart := 0; bStart < n; bStart += m.Batch {
+			bEnd := bStart + m.Batch
+			if bEnd > n {
+				bEnd = n
+			}
+			batch := idx[bStart:bEnd]
+			step++
+			// Accumulate gradients over the batch.
+			gw := zerosLike(m.weights)
+			gb := zerosLike2(m.biases)
+			for _, r := range batch {
+				// Forward.
+				acts[0] = Xs[r]
+				for l := 0; l < nLayers; l++ {
+					out := make([]float64, sizes[l+1])
+					for o := range out {
+						s := m.biases[l][o]
+						w := m.weights[l][o]
+						for i, v := range acts[l] {
+							s += w[i] * v
+						}
+						if l < nLayers-1 && s < 0 {
+							s = 0 // ReLU
+						}
+						out[o] = s
+					}
+					acts[l+1] = out
+				}
+				// Backward.
+				outAct := acts[nLayers]
+				for o := range deltas[nLayers-1] {
+					deltas[nLayers-1][o] = 2 * (outAct[o] - Ys[r][o])
+				}
+				for l := nLayers - 2; l >= 0; l-- {
+					for o := 0; o < sizes[l+1]; o++ {
+						if acts[l+1][o] <= 0 {
+							deltas[l][o] = 0
+							continue
+						}
+						s := 0.0
+						for p := 0; p < sizes[l+2]; p++ {
+							s += m.weights[l+1][p][o] * deltas[l+1][p]
+						}
+						deltas[l][o] = s
+					}
+				}
+				for l := 0; l < nLayers; l++ {
+					for o := range gw[l] {
+						d := deltas[l][o]
+						if d == 0 {
+							continue
+						}
+						for i, v := range acts[l] {
+							gw[l][o][i] += d * v
+						}
+						gb[l][o] += d
+					}
+				}
+			}
+			// Adam update.
+			bs := float64(len(batch))
+			bc1 := 1 - math.Pow(beta1, float64(step))
+			bc2 := 1 - math.Pow(beta2, float64(step))
+			for l := 0; l < nLayers; l++ {
+				for o := range m.weights[l] {
+					for i := range m.weights[l][o] {
+						g := gw[l][o][i] / bs
+						mw[l][o][i] = beta1*mw[l][o][i] + (1-beta1)*g
+						vw[l][o][i] = beta2*vw[l][o][i] + (1-beta2)*g*g
+						m.weights[l][o][i] -= m.LR * (mw[l][o][i] / bc1) / (math.Sqrt(vw[l][o][i]/bc2) + eps)
+					}
+					g := gb[l][o] / bs
+					mb[l][o] = beta1*mb[l][o] + (1-beta1)*g
+					vb[l][o] = beta2*vb[l][o] + (1-beta2)*g*g
+					m.biases[l][o] -= m.LR * (mb[l][o] / bc1) / (math.Sqrt(vb[l][o]/bc2) + eps)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func zerosLike(w [][][]float64) [][][]float64 {
+	out := make([][][]float64, len(w))
+	for l := range w {
+		out[l] = make([][]float64, len(w[l]))
+		for o := range w[l] {
+			out[l][o] = make([]float64, len(w[l][o]))
+		}
+	}
+	return out
+}
+
+func zerosLike2(b [][]float64) [][]float64 {
+	out := make([][]float64, len(b))
+	for l := range b {
+		out[l] = make([]float64, len(b[l]))
+	}
+	return out
+}
+
+// Predict implements Model.
+func (m *NeuralNetwork) Predict(x []float64) []float64 {
+	act := m.xScale.Transform(x)
+	nLayers := len(m.weights)
+	for l := 0; l < nLayers; l++ {
+		out := make([]float64, len(m.weights[l]))
+		for o := range out {
+			s := m.biases[l][o]
+			w := m.weights[l][o]
+			for i, v := range act {
+				s += w[i] * v
+			}
+			if l < nLayers-1 && s < 0 {
+				s = 0
+			}
+			out[o] = s
+		}
+		act = out
+	}
+	return m.yScale.Inverse(act)
+}
+
+// Name implements Model.
+func (m *NeuralNetwork) Name() string { return "neural_net" }
+
+// SizeBytes implements Model.
+func (m *NeuralNetwork) SizeBytes() int {
+	n := 0
+	for l := range m.weights {
+		for o := range m.weights[l] {
+			n += 8 * len(m.weights[l][o])
+		}
+		n += 8 * len(m.biases[l])
+	}
+	return n
+}

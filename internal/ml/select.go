@@ -1,0 +1,156 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AlgorithmNames lists the seven families MB2 supports (Sec 6.4).
+var AlgorithmNames = []string{
+	"linear", "huber", "svr", "kernel", "random_forest", "gbm", "neural_net",
+}
+
+// NewByName constructs one model by family name.
+func NewByName(name string, seed int64) (Model, error) {
+	switch name {
+	case "linear":
+		return NewLinearRegression(), nil
+	case "huber":
+		return NewHuberRegression(), nil
+	case "svr":
+		return NewSVR(seed), nil
+	case "kernel":
+		return NewKernelRegression(seed), nil
+	case "tree":
+		return NewRegressionTree(seed), nil
+	case "random_forest":
+		return NewRandomForest(seed), nil
+	case "gbm":
+		return NewGradientBoosting(seed), nil
+	case "neural_net":
+		return NewNeuralNetwork(seed), nil
+	default:
+		return nil, fmt.Errorf("ml: unknown algorithm %q", name)
+	}
+}
+
+// CandidateResult is one family's validation outcome during selection.
+type CandidateResult struct {
+	Name  string
+	Error float64
+}
+
+// SelectionReport records how the best model was chosen.
+type SelectionReport struct {
+	Best       string
+	Candidates []CandidateResult
+}
+
+// KFold returns k (train, test) index splits after a deterministic shuffle.
+func KFold(n, k int, seed int64) [][2][]int {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	shuffleInts(idx, seed)
+	folds := make([][2][]int, 0, k)
+	for f := 0; f < k; f++ {
+		lo, hi := f*n/k, (f+1)*n/k
+		test := append([]int(nil), idx[lo:hi]...)
+		train := make([]int, 0, n-len(test))
+		train = append(train, idx[:lo]...)
+		train = append(train, idx[hi:]...)
+		folds = append(folds, [2][]int{train, test})
+	}
+	return folds
+}
+
+func shuffleInts(idx []int, seed int64) {
+	// xorshift-style deterministic shuffle without importing math/rand here.
+	s := uint64(seed)*2654435761 + 1
+	for i := len(idx) - 1; i > 0; i-- {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		j := int(s % uint64(i+1))
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+}
+
+// SelectAndTrain implements MB2's model-selection procedure (Sec 6.4): fit
+// every candidate family on the 80% train split, score it on the 20% test
+// split by average relative error, pick the winner, then refit the winner
+// on all available data. relFloor guards relative error for tiny labels.
+func SelectAndTrain(data Dataset, candidates []string, seed int64, relFloor float64) (Model, SelectionReport, error) {
+	if data.Len() == 0 {
+		return nil, SelectionReport{}, ErrNoData
+	}
+	if len(candidates) == 0 {
+		candidates = AlgorithmNames
+	}
+	train, test := data.Split(0.8, seed)
+	if test.Len() == 0 {
+		train = data
+		test = data
+	}
+
+	report := SelectionReport{}
+	for _, name := range candidates {
+		m, err := NewByName(name, seed)
+		if err != nil {
+			return nil, report, err
+		}
+		if err := m.Fit(train.X, train.Y); err != nil {
+			return nil, report, fmt.Errorf("ml: fitting %s: %w", name, err)
+		}
+		e := AvgRelError(PredictAll(m, test.X), test.Y, relFloor)
+		report.Candidates = append(report.Candidates, CandidateResult{Name: name, Error: e})
+	}
+	sort.SliceStable(report.Candidates, func(i, j int) bool {
+		return report.Candidates[i].Error < report.Candidates[j].Error
+	})
+	report.Best = report.Candidates[0].Name
+
+	final, err := NewByName(report.Best, seed)
+	if err != nil {
+		return nil, report, err
+	}
+	if err := final.Fit(data.X, data.Y); err != nil {
+		return nil, report, err
+	}
+	return final, report, nil
+}
+
+// CrossValidate scores one family by k-fold average relative error.
+func CrossValidate(data Dataset, name string, k int, seed int64, relFloor float64) (float64, error) {
+	folds := KFold(data.Len(), k, seed)
+	total := 0.0
+	for fi, fold := range folds {
+		trainIdx, testIdx := fold[0], fold[1]
+		sub := Dataset{}
+		for _, i := range trainIdx {
+			sub.X = append(sub.X, data.X[i])
+			sub.Y = append(sub.Y, data.Y[i])
+		}
+		m, err := NewByName(name, seed+int64(fi))
+		if err != nil {
+			return 0, err
+		}
+		if err := m.Fit(sub.X, sub.Y); err != nil {
+			return 0, err
+		}
+		var px, py [][]float64
+		for _, i := range testIdx {
+			px = append(px, data.X[i])
+			py = append(py, data.Y[i])
+		}
+		total += AvgRelError(PredictAll(m, px), py, relFloor)
+	}
+	return total / float64(len(folds)), nil
+}

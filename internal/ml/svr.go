@@ -1,0 +1,220 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SVR is linear epsilon-insensitive support-vector regression trained by
+// stochastic subgradient descent, one regressor per output, over
+// standardized inputs and targets.
+type SVR struct {
+	Epsilon float64
+	C       float64
+	Epochs  int
+	LR      float64
+	seed    int64
+
+	w      [][]float64 // per output: d weights + bias
+	xScale *Scaler
+	yScale *Scaler
+}
+
+// NewSVR returns a linear support-vector regressor.
+func NewSVR(seed int64) *SVR {
+	return &SVR{Epsilon: 0.05, C: 1.0, Epochs: 60, LR: 0.01, seed: seed}
+}
+
+// Fit implements Model.
+func (m *SVR) Fit(X, Y [][]float64) error {
+	if err := checkFit(X, Y); err != nil {
+		return err
+	}
+	m.xScale = FitScaler(X)
+	m.yScale = FitScaler(Y)
+	Xs := m.xScale.TransformAll(X)
+	Ys := m.yScale.TransformAll(Y)
+	n, d, dy := len(Xs), len(Xs[0]), len(Ys[0])
+
+	m.w = make([][]float64, dy)
+	for k := range m.w {
+		m.w[k] = make([]float64, d+1)
+	}
+	rng := rand.New(rand.NewSource(m.seed))
+	idx := rng.Perm(n)
+	lambda := 1.0 / (m.C * float64(n))
+	step := 0
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, r := range idx {
+			step++
+			lr := m.LR / (1 + 1e-4*float64(step))
+			x := Xs[r]
+			for k := 0; k < dy; k++ {
+				w := m.w[k]
+				pred := w[d]
+				for j, v := range x {
+					pred += w[j] * v
+				}
+				res := pred - Ys[r][k]
+				var g float64
+				switch {
+				case res > m.Epsilon:
+					g = 1
+				case res < -m.Epsilon:
+					g = -1
+				}
+				for j, v := range x {
+					w[j] -= lr * (g*v + lambda*w[j])
+				}
+				w[d] -= lr * g
+			}
+		}
+	}
+	return nil
+}
+
+// Predict implements Model.
+func (m *SVR) Predict(x []float64) []float64 {
+	xs := m.xScale.Transform(x)
+	d := len(xs)
+	out := make([]float64, len(m.w))
+	for k, w := range m.w {
+		s := w[d]
+		for j, v := range xs {
+			s += w[j] * v
+		}
+		out[k] = s
+	}
+	return m.yScale.Inverse(out)
+}
+
+// Name implements Model.
+func (m *SVR) Name() string { return "svr" }
+
+// SizeBytes implements Model.
+func (m *SVR) SizeBytes() int {
+	n := 0
+	for _, w := range m.w {
+		n += 8 * len(w)
+	}
+	return n + 8*2*len(m.xScale.Mean) + 8*2*len(m.yScale.Mean)
+}
+
+// KernelRegression is Nadaraya-Watson regression with an RBF kernel over
+// standardized inputs, using a subsample of anchor points and the median
+// pairwise distance as the bandwidth.
+type KernelRegression struct {
+	MaxAnchors int
+	seed       int64
+
+	xScale  *Scaler
+	anchors [][]float64
+	targets [][]float64
+	gamma   float64
+}
+
+// NewKernelRegression returns an RBF kernel regressor.
+func NewKernelRegression(seed int64) *KernelRegression {
+	return &KernelRegression{MaxAnchors: 512, seed: seed}
+}
+
+// Fit implements Model.
+func (m *KernelRegression) Fit(X, Y [][]float64) error {
+	if err := checkFit(X, Y); err != nil {
+		return err
+	}
+	m.xScale = FitScaler(X)
+	Xs := m.xScale.TransformAll(X)
+
+	idx := rand.New(rand.NewSource(m.seed)).Perm(len(Xs))
+	if len(idx) > m.MaxAnchors {
+		idx = idx[:m.MaxAnchors]
+	}
+	m.anchors = make([][]float64, len(idx))
+	m.targets = make([][]float64, len(idx))
+	for i, id := range idx {
+		m.anchors[i] = Xs[id]
+		m.targets[i] = Y[id]
+	}
+
+	// Median-distance bandwidth heuristic over a bounded sample of pairs.
+	var dists []float64
+	for i := 0; i < len(m.anchors) && len(dists) < 2048; i++ {
+		for j := i + 1; j < len(m.anchors) && len(dists) < 2048; j += 7 {
+			dists = append(dists, sqDist(m.anchors[i], m.anchors[j]))
+		}
+	}
+	med := median(dists)
+	if med < 1e-9 {
+		med = 1
+	}
+	// Narrower than the classic median heuristic: each prediction should
+	// average a local neighborhood, not half the anchor set.
+	m.gamma = 8 / med
+	return nil
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	// Insertion-free selection: simple sort is fine at this size.
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+// Predict implements Model.
+func (m *KernelRegression) Predict(x []float64) []float64 {
+	xs := m.xScale.Transform(x)
+	dy := len(m.targets[0])
+	num := make([]float64, dy)
+	den := 0.0
+	for i, a := range m.anchors {
+		w := math.Exp(-m.gamma * sqDist(xs, a))
+		den += w
+		for k := 0; k < dy; k++ {
+			num[k] += w * m.targets[i][k]
+		}
+	}
+	if den < 1e-300 {
+		// Far from every anchor: fall back to the nearest one.
+		best, bestD := 0, math.Inf(1)
+		for i, a := range m.anchors {
+			if d := sqDist(xs, a); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		return append([]float64(nil), m.targets[best]...)
+	}
+	for k := range num {
+		num[k] /= den
+	}
+	return num
+}
+
+// Name implements Model.
+func (m *KernelRegression) Name() string { return "kernel" }
+
+// SizeBytes implements Model.
+func (m *KernelRegression) SizeBytes() int {
+	n := 0
+	for i := range m.anchors {
+		n += 8 * (len(m.anchors[i]) + len(m.targets[i]))
+	}
+	return n
+}

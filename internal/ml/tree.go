@@ -1,0 +1,192 @@
+package ml
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// treeNode is one node of a multi-output CART regression tree.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	value     []float64 // leaf mean (nil for internal nodes)
+}
+
+func (n *treeNode) isLeaf() bool { return n.value != nil }
+
+func (n *treeNode) predict(x []float64) []float64 {
+	for !n.isLeaf() {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+func (n *treeNode) count() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.left.count() + n.right.count()
+}
+
+// treeConfig bounds tree growth.
+type treeConfig struct {
+	maxDepth    int
+	minLeaf     int
+	maxFeatures int // 0 = all; otherwise random subset per split
+}
+
+// buildTree grows a variance-reduction CART over the row indices. Targets
+// must be pre-standardized by the caller so the summed SSE across outputs
+// weighs each output equally.
+func buildTree(X, Y [][]float64, rows []int, cfg treeConfig, depth int, rng *rand.Rand) *treeNode {
+	dy := len(Y[0])
+	mean := make([]float64, dy)
+	for _, r := range rows {
+		for k, v := range Y[r] {
+			mean[k] += v
+		}
+	}
+	for k := range mean {
+		mean[k] /= float64(len(rows))
+	}
+	if depth >= cfg.maxDepth || len(rows) < 2*cfg.minLeaf {
+		return &treeNode{value: mean}
+	}
+
+	d := len(X[0])
+	features := make([]int, d)
+	for i := range features {
+		features[i] = i
+	}
+	if cfg.maxFeatures > 0 && cfg.maxFeatures < d {
+		rng.Shuffle(d, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:cfg.maxFeatures]
+	}
+
+	bestFeat, bestThresh, bestScore := -1, 0.0, sseOf(Y, rows, mean)
+	parentSSE := bestScore
+	order := append([]int(nil), rows...)
+	for _, f := range features {
+		sort.Slice(order, func(i, j int) bool { return X[order[i]][f] < X[order[j]][f] })
+		// Prefix sums for O(1) SSE at every split point:
+		// SSE = sumSq - sum^2/n, summed across outputs.
+		sum := make([]float64, dy)
+		sumSq := make([]float64, dy)
+		totSum := make([]float64, dy)
+		totSq := make([]float64, dy)
+		for _, r := range order {
+			for k, v := range Y[r] {
+				totSum[k] += v
+				totSq[k] += v * v
+			}
+		}
+		n := len(order)
+		for i := 0; i < n-1; i++ {
+			r := order[i]
+			for k, v := range Y[r] {
+				sum[k] += v
+				sumSq[k] += v * v
+			}
+			if i+1 < cfg.minLeaf || n-i-1 < cfg.minLeaf {
+				continue
+			}
+			if X[order[i]][f] == X[order[i+1]][f] {
+				continue
+			}
+			nl, nr := float64(i+1), float64(n-i-1)
+			score := 0.0
+			for k := 0; k < dy; k++ {
+				ls := sumSq[k] - sum[k]*sum[k]/nl
+				rsum := totSum[k] - sum[k]
+				rs := (totSq[k] - sumSq[k]) - rsum*rsum/nr
+				score += ls + rs
+			}
+			if score < bestScore-1e-12 {
+				bestScore = score
+				bestFeat = f
+				bestThresh = (X[order[i]][f] + X[order[i+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 || parentSSE-bestScore < 1e-12 {
+		return &treeNode{value: mean}
+	}
+
+	var leftRows, rightRows []int
+	for _, r := range rows {
+		if X[r][bestFeat] <= bestThresh {
+			leftRows = append(leftRows, r)
+		} else {
+			rightRows = append(rightRows, r)
+		}
+	}
+	if len(leftRows) == 0 || len(rightRows) == 0 {
+		return &treeNode{value: mean}
+	}
+	return &treeNode{
+		feature:   bestFeat,
+		threshold: bestThresh,
+		left:      buildTree(X, Y, leftRows, cfg, depth+1, rng),
+		right:     buildTree(X, Y, rightRows, cfg, depth+1, rng),
+	}
+}
+
+func sseOf(Y [][]float64, rows []int, mean []float64) float64 {
+	s := 0.0
+	for _, r := range rows {
+		for k, v := range Y[r] {
+			d := v - mean[k]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// RegressionTree is a single multi-output CART tree (also the unit the
+// forest and GBM are built from).
+type RegressionTree struct {
+	MaxDepth int
+	MinLeaf  int
+	seed     int64
+
+	root   *treeNode
+	yScale *Scaler
+}
+
+// NewRegressionTree returns a CART regression tree.
+func NewRegressionTree(seed int64) *RegressionTree {
+	return &RegressionTree{MaxDepth: 12, MinLeaf: 2, seed: seed}
+}
+
+// Fit implements Model.
+func (m *RegressionTree) Fit(X, Y [][]float64) error {
+	if err := checkFit(X, Y); err != nil {
+		return err
+	}
+	m.yScale = FitScaler(Y)
+	Ys := m.yScale.TransformAll(Y)
+	rows := make([]int, len(X))
+	for i := range rows {
+		rows[i] = i
+	}
+	rng := rand.New(rand.NewSource(m.seed))
+	m.root = buildTree(X, Ys, rows, treeConfig{maxDepth: m.MaxDepth, minLeaf: m.MinLeaf}, 0, rng)
+	return nil
+}
+
+// Predict implements Model.
+func (m *RegressionTree) Predict(x []float64) []float64 {
+	return m.yScale.Inverse(m.root.predict(x))
+}
+
+// Name implements Model.
+func (m *RegressionTree) Name() string { return "tree" }
+
+// SizeBytes implements Model.
+func (m *RegressionTree) SizeBytes() int { return m.root.count() * 48 }

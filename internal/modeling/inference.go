@@ -1,0 +1,151 @@
+package modeling
+
+import (
+	"mb2/internal/hw"
+	"mb2/internal/plan"
+)
+
+// ForecastQuery is one query template with its forecasted volume in the
+// interval (the workload-forecasting system's output, Sec 3).
+type ForecastQuery struct {
+	Plan  plan.Node
+	Count float64 // executions in the interval
+}
+
+// IntervalForecast describes one forecast interval's workload.
+type IntervalForecast struct {
+	Queries    []ForecastQuery
+	IntervalUS float64
+	Threads    int // DBMS worker threads executing the queries
+}
+
+// ActionForecast describes a self-driving action planned for the interval.
+type ActionForecast struct {
+	IndexBuild *IndexBuildAction
+	// Translator, when set, translates the action (the action's target
+	// database may differ from the workload's, e.g. building a TPC-C index
+	// while the analytical phase runs).
+	Translator *Translator
+}
+
+// QueryPrediction is MB2's estimate for one query template.
+type QueryPrediction struct {
+	Isolated hw.Metrics   // summed OU-model predictions
+	Adjusted hw.Metrics   // after interference adjustment
+	PerOU    []hw.Metrics // per-OU breakdown (explainability)
+	Ratios   []float64    // interference ratios applied
+}
+
+// IntervalPrediction is MB2's estimate for a whole forecast interval,
+// optionally with a concurrent self-driving action: the information the
+// planning system needs to weigh an action's cost, impact, and benefit.
+type IntervalPrediction struct {
+	Queries []QueryPrediction
+
+	// ActionPerThread are the adjusted per-build-thread predictions;
+	// ActionElapsedUS is their max (footnote 1) and ActionTotal the summed
+	// resource consumption.
+	ActionPerThread []hw.Metrics
+	ActionElapsedUS float64
+	ActionTotal     hw.Metrics
+
+	// ThreadTotals is the predicted per-thread label totals used as the
+	// interference model's concurrency summary.
+	ThreadTotals []hw.Metrics
+
+	// AvgQueryLatencyUS is the count-weighted mean adjusted query latency.
+	AvgQueryLatencyUS float64
+	// QueryCPUUS and ActionCPUUS split the interval's predicted CPU time
+	// between the regular workload and the action (Fig 11b's explanation).
+	QueryCPUUS  float64
+	ActionCPUUS float64
+}
+
+// PredictInterval runs MB2's full inference pipeline (Fig 3): translate the
+// forecasted queries and the planned action into OUs, predict each with the
+// OU-models, summarize the concurrent load per thread, and adjust every
+// prediction with the interference model.
+func (ms *ModelSet) PredictInterval(tr *Translator, f IntervalForecast, action *ActionForecast) (IntervalPrediction, error) {
+	out := IntervalPrediction{}
+
+	// OU-model pass: isolated predictions.
+	for _, q := range f.Queries {
+		invs := tr.TranslatePlan(q.Plan)
+		total, perOU, err := ms.PredictQuery(invs)
+		if err != nil {
+			return out, err
+		}
+		out.Queries = append(out.Queries, QueryPrediction{Isolated: total, PerOU: perOU})
+	}
+
+	// Per-thread totals: the forecasted query volume spread across the
+	// worker threads (arrival interleaving is unknown, so the summary uses
+	// uniform assignment — exactly why the model consumes summary
+	// statistics rather than an interleaving, Sec 5).
+	threads := f.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	var workloadTotal hw.Metrics
+	for i, q := range f.Queries {
+		workloadTotal.Add(out.Queries[i].Isolated.Scale(q.Count))
+	}
+	perWorker := workloadTotal.Scale(1 / float64(threads))
+	for t := 0; t < threads; t++ {
+		out.ThreadTotals = append(out.ThreadTotals, perWorker)
+	}
+
+	// Action pass: the build threads join the interval's load.
+	var actionIso []hw.Metrics
+	if action != nil && action.IndexBuild != nil {
+		atr := tr
+		if action.Translator != nil {
+			atr = action.Translator
+		}
+		for _, inv := range atr.TranslateIndexBuild(*action.IndexBuild) {
+			p, err := ms.PredictOU(inv)
+			if err != nil {
+				return out, err
+			}
+			actionIso = append(actionIso, p)
+			out.ThreadTotals = append(out.ThreadTotals, p)
+		}
+	}
+
+	// Interference pass.
+	if ms.Interference != nil {
+		for i := range out.Queries {
+			q := &out.Queries[i]
+			q.Ratios = ms.Interference.PredictRatios(q.Isolated, out.ThreadTotals, f.IntervalUS)
+			q.Adjusted = q.Isolated.ScaleVec(q.Ratios)
+		}
+		for _, iso := range actionIso {
+			adj := iso.ScaleVec(ms.Interference.PredictRatios(iso, out.ThreadTotals, f.IntervalUS))
+			out.ActionPerThread = append(out.ActionPerThread, adj)
+		}
+	} else {
+		for i := range out.Queries {
+			out.Queries[i].Adjusted = out.Queries[i].Isolated
+		}
+		out.ActionPerThread = actionIso
+	}
+
+	// Summaries for the planner.
+	var wSum, latSum float64
+	for i, q := range f.Queries {
+		latSum += out.Queries[i].Adjusted.ElapsedUS * q.Count
+		wSum += q.Count
+		out.QueryCPUUS += out.Queries[i].Adjusted.CPUTimeUS * q.Count
+	}
+	if wSum > 0 {
+		out.AvgQueryLatencyUS = latSum / wSum
+	}
+	for _, a := range out.ActionPerThread {
+		if a.ElapsedUS > out.ActionElapsedUS {
+			out.ActionElapsedUS = a.ElapsedUS
+		}
+		out.ActionTotal.Add(a)
+		out.ActionCPUUS += a.CPUTimeUS
+	}
+	return out, nil
+}

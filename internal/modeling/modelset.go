@@ -1,0 +1,91 @@
+package modeling
+
+import (
+	"fmt"
+	"sort"
+
+	"mb2/internal/hw"
+	"mb2/internal/metrics"
+	"mb2/internal/ou"
+)
+
+// ModelSet is the complete trained state of MB2: one OU-model per operating
+// unit plus the single interference model.
+type ModelSet struct {
+	OUModels     map[ou.Kind]*OUModel
+	Interference *InterferenceModel
+}
+
+// TrainModelSet trains an OU-model for every OU with records in the
+// repository (Sec 6.4). The interference model is trained separately from
+// concurrent-runner data via TrainInterference.
+func TrainModelSet(repo *metrics.Repository, opts TrainOptions) (*ModelSet, error) {
+	ms := &ModelSet{OUModels: make(map[ou.Kind]*OUModel)}
+	for _, kind := range repo.Kinds() {
+		m, err := TrainOUModel(kind, repo.Records(kind), opts)
+		if err != nil {
+			return nil, err
+		}
+		ms.OUModels[kind] = m
+	}
+	if len(ms.OUModels) == 0 {
+		return nil, fmt.Errorf("modeling: repository has no training data")
+	}
+	return ms, nil
+}
+
+// Retrain replaces a single OU's model using fresh runner data: MB2's
+// response to a software update that changed one OU's behavior (Sec 7).
+// Other OU-models and the interference model are untouched.
+func (ms *ModelSet) Retrain(kind ou.Kind, recs []metrics.Record, opts TrainOptions) error {
+	m, err := TrainOUModel(kind, recs, opts)
+	if err != nil {
+		return err
+	}
+	ms.OUModels[kind] = m
+	return nil
+}
+
+// PredictOU predicts one OU invocation's labels.
+func (ms *ModelSet) PredictOU(inv OUInvocation) (hw.Metrics, error) {
+	m, ok := ms.OUModels[inv.Kind]
+	if !ok {
+		return hw.Metrics{}, fmt.Errorf("modeling: no model for OU %v", inv.Kind)
+	}
+	return m.Predict(inv.Features), nil
+}
+
+// PredictQuery sums the per-OU predictions for a translated query: MB2's
+// query-level estimate (Sec 8.3).
+func (ms *ModelSet) PredictQuery(invs []OUInvocation) (hw.Metrics, []hw.Metrics, error) {
+	var total hw.Metrics
+	perOU := make([]hw.Metrics, len(invs))
+	for i, inv := range invs {
+		p, err := ms.PredictOU(inv)
+		if err != nil {
+			return hw.Metrics{}, nil, err
+		}
+		perOU[i] = p
+		total.Add(p)
+	}
+	return total, perOU, nil
+}
+
+// SizeBytes approximates the storage footprint of all OU-models (Table 2).
+func (ms *ModelSet) SizeBytes() int {
+	n := 0
+	for _, m := range ms.OUModels {
+		n += m.Model.SizeBytes()
+	}
+	return n
+}
+
+// Kinds lists the OUs with trained models, ordered.
+func (ms *ModelSet) Kinds() []ou.Kind {
+	out := make([]ou.Kind, 0, len(ms.OUModels))
+	for k := range ms.OUModels {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

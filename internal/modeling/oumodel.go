@@ -1,0 +1,215 @@
+package modeling
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mb2/internal/hw"
+	"mb2/internal/metrics"
+	"mb2/internal/ml"
+	"mb2/internal/ou"
+)
+
+// TrainOptions configure OU-model training.
+type TrainOptions struct {
+	// Candidates are the ML algorithm families to try; nil means the
+	// default four the paper's figures focus on plus the simple linear
+	// families.
+	Candidates []string
+	// Normalize enables output-label normalization by OU complexity
+	// (Sec 4.3). The ablation in Figs 6/7 turns it off.
+	Normalize bool
+	// Seed drives every random choice.
+	Seed int64
+	// RelFloor guards relative error for near-zero labels during model
+	// selection.
+	RelFloor float64
+}
+
+// DefaultTrainOptions returns the standard configuration.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{
+		Candidates: []string{"huber", "random_forest", "gbm", "neural_net"},
+		Normalize:  true,
+		Seed:       1,
+		RelFloor:   1,
+	}
+}
+
+// OUModel predicts one OU's nine output labels from its input features.
+type OUModel struct {
+	Kind      ou.Kind
+	Spec      ou.Spec
+	Model     ml.Model
+	Report    ml.SelectionReport
+	Normalize bool
+}
+
+// TrainOUModel fits an OU-model from the collected records, normalizing
+// labels by the OU's complexity when enabled, trying each candidate
+// algorithm and keeping the best (Sec 6.4).
+func TrainOUModel(kind ou.Kind, recs []metrics.Record, opts TrainOptions) (*OUModel, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("modeling: no training data for %v", kind)
+	}
+	spec := ou.Get(kind)
+	data := ml.Dataset{}
+	for _, r := range recs {
+		y := r.Labels.Vec()
+		if opts.Normalize {
+			div, memDiv := spec.NormDivisor(r.Features)
+			for i := range y {
+				if i == hw.LabelMemoryBytes {
+					y[i] /= memDiv
+				} else {
+					y[i] /= div
+				}
+			}
+		}
+		data.X = append(data.X, r.Features)
+		data.Y = append(data.Y, y)
+	}
+	candidates := opts.Candidates
+	if candidates == nil {
+		candidates = DefaultTrainOptions().Candidates
+	}
+	// Selection compares candidates in (possibly normalized) label space;
+	// per-tuple normalized labels are small, so the guard floor must be
+	// small too.
+	selFloor := opts.RelFloor
+	if opts.Normalize {
+		selFloor = 1e-3
+	}
+	model, report, err := ml.SelectAndTrain(data, candidates, opts.Seed, selFloor)
+	if err != nil {
+		return nil, fmt.Errorf("modeling: training %v: %w", kind, err)
+	}
+	return &OUModel{Kind: kind, Spec: spec, Model: model, Report: report, Normalize: opts.Normalize}, nil
+}
+
+// SplitRecords deterministically shuffles and splits records into
+// train/test portions (the paper's 80/20 protocol).
+func SplitRecords(recs []metrics.Record, trainFrac float64, seed int64) (train, test []metrics.Record) {
+	idx := rand.New(rand.NewSource(seed)).Perm(len(recs))
+	cut := int(float64(len(recs)) * trainFrac)
+	if cut < 1 && len(recs) > 0 {
+		cut = 1
+	}
+	for i, id := range idx {
+		if i < cut {
+			train = append(train, recs[id])
+		} else {
+			test = append(test, recs[id])
+		}
+	}
+	return train, test
+}
+
+// EvaluateAlgorithm trains one algorithm family on an 80% split of the
+// records and reports its held-out average relative error (overall and per
+// label) — the Fig 5/6 measurement.
+func EvaluateAlgorithm(kind ou.Kind, recs []metrics.Record, algo string, opts TrainOptions) (float64, []float64, error) {
+	train, test := SplitRecords(recs, 0.8, opts.Seed)
+	if len(test) == 0 {
+		test = train
+	}
+	opts.Candidates = []string{algo}
+	m, err := TrainOUModel(kind, train, opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	mean, perLabel := m.TestError(test, opts.RelFloor)
+	return mean, perLabel, nil
+}
+
+// Predict returns the predicted output labels for one OU invocation,
+// denormalizing and clamping negatives to zero.
+func (m *OUModel) Predict(features []float64) hw.Metrics {
+	y := m.Model.Predict(features)
+	if m.Normalize {
+		div, memDiv := m.Spec.NormDivisor(features)
+		for i := range y {
+			if i == hw.LabelMemoryBytes {
+				y[i] *= memDiv
+			} else {
+				y[i] *= div
+			}
+		}
+	}
+	for i := range y {
+		// Memory may legitimately be negative (GC frees versions); every
+		// other label is clamped at zero.
+		if y[i] < 0 && i != hw.LabelMemoryBytes {
+			y[i] = 0
+		}
+	}
+	return hw.MetricsFromVec(y)
+}
+
+// TestError evaluates the model's average relative error over held-out
+// records, per output label (the Fig 5/6 metric). It returns the mean
+// across labels and the per-label breakdown.
+func (m *OUModel) TestError(recs []metrics.Record, relFloor float64) (float64, []float64) {
+	perLabel := make([]float64, hw.NumLabels)
+	counts := make([]float64, hw.NumLabels)
+	for _, r := range recs {
+		pred := m.Predict(r.Features).Vec()
+		actual := r.Labels.Vec()
+		for i := range pred {
+			denom := actual[i]
+			if denom < 0 {
+				denom = -denom
+			}
+			if floor := relFloor * hw.LabelFloors[i]; denom < floor {
+				denom = floor
+			}
+			diff := pred[i] - actual[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			perLabel[i] += diff / denom
+			counts[i]++
+		}
+	}
+	total := 0.0
+	for i := range perLabel {
+		if counts[i] > 0 {
+			perLabel[i] /= counts[i]
+		}
+		total += perLabel[i]
+	}
+	return total / float64(hw.NumLabels), perLabel
+}
+
+// FeatureImportance explains which input features the OU-model relies on:
+// permutation importance over the given records, keyed by the OU's feature
+// names. Extra unnamed features (e.g. an appended hardware-context column)
+// are labeled by position.
+func (m *OUModel) FeatureImportance(recs []metrics.Record, seed int64) map[string]float64 {
+	data := ml.Dataset{}
+	for _, r := range recs {
+		y := r.Labels.Vec()
+		if m.Normalize {
+			div, memDiv := m.Spec.NormDivisor(r.Features)
+			for i := range y {
+				if i == hw.LabelMemoryBytes {
+					y[i] /= memDiv
+				} else {
+					y[i] /= div
+				}
+			}
+		}
+		data.X = append(data.X, r.Features)
+		data.Y = append(data.Y, y)
+	}
+	scores := ml.PermutationImportance(m.Model, data, seed, 1e-3)
+	out := make(map[string]float64, len(scores))
+	for i, s := range scores {
+		name := fmt.Sprintf("feature_%d", i)
+		if i < len(m.Spec.FeatureNames) {
+			name = m.Spec.FeatureNames[i]
+		}
+		out[name] = s
+	}
+	return out
+}

@@ -1,0 +1,316 @@
+// Package modeling is MB2 itself: the OU translator that converts query
+// plans and self-driving actions into OU feature vectors, the OU-models
+// (one per operating unit, trained with automatic algorithm selection and
+// output-label normalization), the interference model for concurrent OUs,
+// and the inference pipeline that combines them into behavior predictions
+// for the planning system (Secs 3-6).
+package modeling
+
+import (
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/ou"
+	"mb2/internal/plan"
+)
+
+// OUInvocation is one translated OU with its model features.
+type OUInvocation struct {
+	Kind     ou.Kind
+	Features []float64
+}
+
+// Translator extracts OUs from plans and actions and generates their input
+// features from optimizer estimates — the same infrastructure used for both
+// training-data collection and runtime inference (Sec 6.1).
+type Translator struct {
+	DB   *engine.DB
+	Mode catalog.ExecutionMode
+
+	// CardNoise, when set, perturbs cardinality-derived features (row
+	// counts, distinct keys): the noisy-estimate robustness experiment
+	// (Sec 8.5 / Fig 9b).
+	CardNoise func(v float64) float64
+}
+
+// NewTranslator builds a translator reading schema information from db.
+func NewTranslator(db *engine.DB, mode catalog.ExecutionMode) *Translator {
+	return &Translator{DB: db, Mode: mode}
+}
+
+func (tr *Translator) compiled() bool { return tr.Mode == catalog.Compile }
+
+func (tr *Translator) noisy(v float64) float64 {
+	if tr.CardNoise != nil {
+		v = tr.CardNoise(v)
+		if v < 0 {
+			v = 0
+		}
+	}
+	return v
+}
+
+// subtreeInfo describes a plan subtree's estimated output shape.
+type subtreeInfo struct {
+	rows  float64
+	cols  float64
+	width float64
+}
+
+// TranslatePlan extracts the OU sequence for one query plan, in execution
+// order (children first), with features derived from the plan's cardinality
+// estimates and the catalog's schema information.
+func (tr *Translator) TranslatePlan(n plan.Node) []OUInvocation {
+	var out []OUInvocation
+	tr.visit(n, &out)
+	return out
+}
+
+// indexSize returns the index's entry count (the structure-size context of
+// the IDX_SCAN cardinality feature).
+func (tr *Translator) indexSize(name string) float64 {
+	if idx := tr.DB.Index(name); idx != nil {
+		return float64(idx.NumRows())
+	}
+	return 0
+}
+
+func (tr *Translator) tableInfo(name string) (cols, width float64) {
+	if t := tr.DB.Table(name); t != nil {
+		return float64(t.Meta.Schema.NumColumns()), float64(t.Meta.Schema.TupleBytes())
+	}
+	return 1, 8
+}
+
+func (tr *Translator) projectedInfo(name string, project []int, rows float64) subtreeInfo {
+	cols, width := tr.tableInfo(name)
+	if project == nil {
+		return subtreeInfo{rows: rows, cols: cols, width: width}
+	}
+	t := tr.DB.Table(name)
+	w := 0.0
+	for _, c := range project {
+		w += float64(t.Meta.Schema.Columns[c].ByteWidth())
+	}
+	return subtreeInfo{rows: rows, cols: float64(len(project)), width: w}
+}
+
+func (tr *Translator) visit(n plan.Node, out *[]OUInvocation) subtreeInfo {
+	switch v := n.(type) {
+	case *plan.SeqScanNode:
+		tableRows := v.TableRows
+		if tableRows <= 0 {
+			tableRows = tr.DB.RowCount(v.Table)
+		}
+		tableRows = tr.noisy(tableRows)
+		cols, width := tr.tableInfo(v.Table)
+		*out = append(*out, OUInvocation{ou.SeqScan,
+			ou.ExecFeatures(tableRows, cols, width, 0, 0, 1, tr.compiled())})
+		outRows := tr.noisy(v.Rows.Rows)
+		if v.Filter != nil {
+			ops := tableRows * v.Filter.Ops()
+			*out = append(*out, OUInvocation{ou.Arithmetic,
+				ou.ArithmeticFeatures(ops, tr.compiled())})
+		} else {
+			outRows = tableRows
+		}
+		return tr.projectedInfo(v.Table, v.Project, outRows)
+
+	case *plan.IdxScanNode:
+		rows := tr.noisy(v.Rows.Rows)
+		cols, width := tr.tableInfo(v.Table)
+		loops := v.Loops
+		if loops < 1 {
+			loops = 1
+		}
+		*out = append(*out, OUInvocation{ou.IdxScan,
+			ou.ExecFeatures(rows, cols, width, tr.indexSize(v.Index), 0, loops, tr.compiled())})
+		if v.Filter != nil {
+			ops := rows * v.Filter.Ops()
+			*out = append(*out, OUInvocation{ou.Arithmetic,
+				ou.ArithmeticFeatures(ops, tr.compiled())})
+		}
+		return tr.projectedInfo(v.Table, v.Project, rows)
+
+	case *plan.HashJoinNode:
+		left := tr.visit(v.Left, out)
+		right := tr.visit(v.Right, out)
+		card := tr.noisy(v.Rows.Distinct)
+		if card <= 0 {
+			card = left.rows
+		}
+		keyBytes := 8.0 * float64(len(v.LeftKeys))
+		entryBytes := keyBytes + 8 + 16
+		*out = append(*out, OUInvocation{ou.HashJoinBuild,
+			ou.ExecFeatures(left.rows, left.cols, left.width, card, entryBytes, 1, tr.compiled())})
+		outRows := tr.noisy(v.Rows.Rows)
+		*out = append(*out, OUInvocation{ou.HashJoinProbe,
+			ou.ExecFeatures(right.rows+outRows, right.cols, right.width, card, left.width+right.width, 1, tr.compiled())})
+		return subtreeInfo{
+			rows:  outRows,
+			cols:  left.cols + right.cols,
+			width: left.width + right.width,
+		}
+
+	case *plan.IndexJoinNode:
+		outer := tr.visit(v.Outer, out)
+		cols, width := tr.tableInfo(v.Table)
+		rows := tr.noisy(v.Rows.Rows)
+		loops := outer.rows
+		if loops < 1 {
+			loops = 1
+		}
+		*out = append(*out, OUInvocation{ou.IdxScan,
+			ou.ExecFeatures(rows, outer.cols, width, tr.indexSize(v.Index), 0, loops, tr.compiled())})
+		return subtreeInfo{rows: rows, cols: outer.cols + cols, width: outer.width + width}
+
+	case *plan.AggNode:
+		child := tr.visit(v.Child, out)
+		card := tr.noisy(v.Rows.Rows)
+		if card <= 0 {
+			card = 1
+		}
+		entryBytes := 8.0*float64(len(v.GroupBy)) + 24*float64(len(v.Aggs)) + 16
+		*out = append(*out, OUInvocation{ou.AggBuild,
+			ou.ExecFeatures(child.rows, child.cols, child.width, card, entryBytes, 1, tr.compiled())})
+		outCols := float64(len(v.GroupBy) + len(v.Aggs))
+		*out = append(*out, OUInvocation{ou.AggProbe,
+			ou.ExecFeatures(card, outCols, entryBytes, card, entryBytes, 1, tr.compiled())})
+		// Downstream operators see the materialized group tuples, not the
+		// hash-table entries.
+		return subtreeInfo{rows: card, cols: outCols, width: 8 * outCols}
+
+	case *plan.SortNode:
+		child := tr.visit(v.Child, out)
+		*out = append(*out, OUInvocation{ou.SortBuild,
+			ou.ExecFeatures(child.rows, child.cols, child.width, float64(len(v.Keys)), 0, 1, tr.compiled())})
+		outRows := child.rows
+		if v.Limit > 0 && float64(v.Limit) < outRows {
+			outRows = float64(v.Limit)
+		}
+		*out = append(*out, OUInvocation{ou.SortIter,
+			ou.ExecFeatures(outRows, child.cols, child.width, float64(len(v.Keys)), 0, 1, tr.compiled())})
+		return subtreeInfo{rows: outRows, cols: child.cols, width: child.width}
+
+	case *plan.ProjectNode:
+		child := tr.visit(v.Child, out)
+		opsPerRow := 0.0
+		for _, e := range v.Exprs {
+			opsPerRow += e.Ops()
+		}
+		*out = append(*out, OUInvocation{ou.Arithmetic,
+			ou.ArithmeticFeatures(child.rows*opsPerRow, tr.compiled())})
+		return subtreeInfo{rows: child.rows, cols: float64(len(v.Exprs)), width: 8 * float64(len(v.Exprs))}
+
+	case *plan.FilterNode:
+		child := tr.visit(v.Child, out)
+		*out = append(*out, OUInvocation{ou.Arithmetic,
+			ou.ArithmeticFeatures(child.rows*v.Pred.Ops(), tr.compiled())})
+		return subtreeInfo{rows: tr.noisy(v.Rows.Rows), cols: child.cols, width: child.width}
+
+	case *plan.InsertNode:
+		cols, width := tr.tableInfo(v.Table)
+		rows := float64(len(v.Tuples))
+		*out = append(*out, OUInvocation{ou.Insert,
+			ou.ExecFeatures(rows, cols, width, 0, 0, 1, tr.compiled())})
+		return subtreeInfo{rows: rows, cols: cols, width: width}
+
+	case *plan.UpdateNode:
+		child := tr.visit(v.Child, out)
+		cols, width := tr.tableInfo(v.Table)
+		*out = append(*out, OUInvocation{ou.Update,
+			ou.ExecFeatures(child.rows, cols, width, 0, 0, 1, tr.compiled())})
+		return subtreeInfo{rows: child.rows, cols: cols, width: width}
+
+	case *plan.DeleteNode:
+		child := tr.visit(v.Child, out)
+		cols, width := tr.tableInfo(v.Table)
+		*out = append(*out, OUInvocation{ou.Delete,
+			ou.ExecFeatures(child.rows, cols, width, 0, 0, 1, tr.compiled())})
+		return subtreeInfo{rows: child.rows, cols: cols, width: width}
+
+	case *plan.OutputNode:
+		child := tr.visit(v.Child, out)
+		*out = append(*out, OUInvocation{ou.Output,
+			ou.ExecFeatures(child.rows, child.cols, child.width, 0, 0, 1, tr.compiled())})
+		return child
+
+	default:
+		return subtreeInfo{rows: 1, cols: 1, width: 8}
+	}
+}
+
+// IndexBuildAction describes a planned index-creation action.
+type IndexBuildAction struct {
+	Table   string
+	KeyCols []string
+	Threads int
+}
+
+// TranslateIndexBuild produces the per-thread INDEX_BUILD OU invocations
+// for a planned index creation. Elapsed time at inference is the max across
+// the per-thread predictions; resource labels sum (footnote 1).
+func (tr *Translator) TranslateIndexBuild(a IndexBuildAction) []OUInvocation {
+	t := tr.DB.Table(a.Table)
+	if t == nil {
+		return nil
+	}
+	rows := tr.noisy(float64(t.NumRows()))
+	colIdx := make([]int, 0, len(a.KeyCols))
+	keyBytes := 0.0
+	for _, name := range a.KeyCols {
+		i := t.Meta.Schema.ColumnIndex(name)
+		if i >= 0 {
+			colIdx = append(colIdx, i)
+			keyBytes += float64(t.Meta.Schema.Columns[i].ByteWidth())
+		}
+	}
+	card := tr.noisy(tr.DB.DistinctCount(a.Table, colIdx))
+	// Duplicate keys stay within one shard, so the effective parallelism is
+	// capped by the key cardinality (matching the engine's build).
+	effective := a.Threads
+	if card >= 1 && float64(effective) > card {
+		effective = int(card)
+	}
+	if effective < 1 {
+		effective = 1
+	}
+	feats := ou.IndexBuildFeatures(rows, float64(len(a.KeyCols)), keyBytes, card, float64(effective))
+	out := make([]OUInvocation, effective)
+	for i := range out {
+		out[i] = OUInvocation{ou.IndexBuild, feats}
+	}
+	return out
+}
+
+// MaintenanceStats summarizes the forecast interval's write traffic for
+// translating the batch OUs (GC and WAL), whose features describe the
+// interval's total work (Sec 4.2).
+type MaintenanceStats struct {
+	Txns        float64 // transactions in the interval
+	Writes      float64 // tuple writes in the interval
+	RedoBytes   float64 // bytes of redo payload generated
+	IntervalUS  float64
+	LogBufBytes float64 // configured log-buffer size
+}
+
+// TranslateMaintenance produces the background-task OU invocations for one
+// forecast interval: GC, log serialization, and log flush.
+func (tr *Translator) TranslateMaintenance(s MaintenanceStats) []OUInvocation {
+	if s.LogBufBytes <= 0 {
+		s.LogBufBytes = float64(tr.DB.Knobs().LogBufferBytes)
+	}
+	records := s.Writes + s.Txns // one redo record per write + commit records
+	buffers := s.RedoBytes / s.LogBufBytes
+	return []OUInvocation{
+		{ou.GC, ou.GCFeatures(s.Txns, s.Writes, s.IntervalUS)},
+		{ou.LogSerialize, ou.LogSerializeFeatures(records, s.RedoBytes, buffers, s.IntervalUS)},
+		{ou.LogFlush, ou.LogFlushFeatures(s.RedoBytes, buffers, s.IntervalUS)},
+	}
+}
+
+// TranslateTxn produces the transaction begin/commit OU pair for queries
+// executed transactionally at the given arrival rate.
+func (tr *Translator) TranslateTxn(txnRate, activeTxns float64) []OUInvocation {
+	f := ou.TxnFeatures(txnRate, activeTxns)
+	return []OUInvocation{{ou.TxnBegin, f}, {ou.TxnCommit, f}}
+}

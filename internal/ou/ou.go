@@ -1,0 +1,223 @@
+// Package ou defines the operating units (OUs) that MB2 decomposes the DBMS
+// into: the 19 OUs of the paper's Table 1, their types, input-feature
+// schemas, and output-label normalization rules (Sec 4).
+//
+// Both the execution engine (which records actual OU invocations during
+// training) and the modeling framework (which translates plans into OU
+// feature vectors at inference time) build features through this package,
+// mirroring the paper's single OU-translator infrastructure used for both
+// paths (Sec 6.1).
+package ou
+
+import "math"
+
+// Kind identifies one operating unit.
+type Kind int
+
+// The 19 operating units of NoisePage (Table 1).
+const (
+	SeqScan Kind = iota
+	IdxScan
+	HashJoinBuild
+	HashJoinProbe
+	AggBuild
+	AggProbe
+	SortBuild
+	SortIter
+	Insert
+	Update
+	Delete
+	Arithmetic
+	Output
+	GC
+	IndexBuild
+	LogSerialize
+	LogFlush
+	TxnBegin
+	TxnCommit
+
+	NumKinds = int(TxnCommit) + 1
+)
+
+// Type categorizes an OU's behavior pattern (Sec 4.2), which determines what
+// its input features represent.
+type Type int
+
+// OU behavior types.
+const (
+	// Singular OUs describe the work of one invocation.
+	Singular Type = iota
+	// Batch OUs describe a batch of work across invocations in a forecast
+	// interval (GC, WAL).
+	Batch
+	// Contending OUs include internal-contention information (parallel
+	// index builds, transaction begin/commit).
+	Contending
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Batch:
+		return "Batch"
+	case Contending:
+		return "Contending"
+	default:
+		return "Singular"
+	}
+}
+
+// Spec describes one OU: its feature schema and normalization rule.
+type Spec struct {
+	Kind         Kind
+	Name         string
+	Type         Type
+	FeatureNames []string
+	KnobCount    int
+
+	// NormFeature is the index of the tuple-count feature n that output
+	// labels are normalized by (Sec 4.3); -1 disables normalization.
+	NormFeature int
+	// NormLogN selects O(n log n) normalization (sorting) over O(n).
+	NormLogN bool
+	// MemNormFeature overrides the feature used to normalize the memory
+	// label (aggregation hash tables normalize by cardinality); -1 means
+	// use NormFeature.
+	MemNormFeature int
+}
+
+// execFeatures is the common feature schema of the execution-engine
+// singular OUs: the paper's seven features (Sec 4.2).
+var execFeatures = []string{
+	"num_rows", "num_cols", "tuple_bytes", "cardinality",
+	"payload_bytes", "num_loops", "exec_mode",
+}
+
+var specs = [NumKinds]Spec{
+	SeqScan:       {SeqScan, "SEQ_SCAN", Singular, execFeatures, 1, 0, false, -1},
+	IdxScan:       {IdxScan, "IDX_SCAN", Singular, execFeatures, 1, 0, false, -1},
+	HashJoinBuild: {HashJoinBuild, "HASHJOIN_BUILD", Singular, execFeatures, 1, 0, false, -1},
+	HashJoinProbe: {HashJoinProbe, "HASHJOIN_PROBE", Singular, execFeatures, 1, 0, false, -1},
+	AggBuild:      {AggBuild, "AGG_BUILD", Singular, execFeatures, 1, 0, false, 3},
+	AggProbe:      {AggProbe, "AGG_PROBE", Singular, execFeatures, 1, 0, false, -1},
+	SortBuild:     {SortBuild, "SORT_BUILD", Singular, execFeatures, 1, 0, true, -1},
+	SortIter:      {SortIter, "SORT_ITER", Singular, execFeatures, 1, 0, false, -1},
+	Insert:        {Insert, "INSERT", Singular, execFeatures, 1, 0, false, -1},
+	Update:        {Update, "UPDATE", Singular, execFeatures, 1, 0, false, -1},
+	Delete:        {Delete, "DELETE", Singular, execFeatures, 1, 0, false, -1},
+	Arithmetic: {Arithmetic, "ARITHMETICS", Singular,
+		[]string{"num_ops", "exec_mode"}, 1, 0, false, -1},
+	Output: {Output, "OUTPUT", Singular, execFeatures, 1, 0, false, -1},
+	GC: {GC, "GC", Batch,
+		[]string{"num_txns", "num_versions", "interval_us"}, 1, 1, false, -1},
+	IndexBuild: {IndexBuild, "INDEX_BUILD", Contending,
+		[]string{"num_rows", "num_key_cols", "key_bytes", "cardinality", "num_threads"}, 1, 0, true, -1},
+	LogSerialize: {LogSerialize, "LOG_SERIALIZE", Batch,
+		[]string{"num_records", "num_bytes", "num_buffers", "interval_us"}, 1, 1, false, -1},
+	LogFlush: {LogFlush, "LOG_FLUSH", Batch,
+		[]string{"num_bytes", "num_buffers", "interval_us"}, 1, 0, false, -1},
+	TxnBegin: {TxnBegin, "TXN_BEGIN", Contending,
+		[]string{"txn_rate", "active_txns"}, 0, -1, false, -1},
+	TxnCommit: {TxnCommit, "TXN_COMMIT", Contending,
+		[]string{"txn_rate", "active_txns"}, 0, -1, false, -1},
+}
+
+// Get returns the spec for a kind.
+func Get(k Kind) Spec { return specs[k] }
+
+// All returns every OU spec in declaration order.
+func All() []Spec {
+	out := make([]Spec, NumKinds)
+	copy(out, specs[:])
+	return out
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string { return specs[k].Name }
+
+// ByName resolves an OU name (as printed in Fig 5) back to its kind.
+func ByName(name string) (Kind, bool) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s.Kind, true
+		}
+	}
+	return 0, false
+}
+
+// NumFeatures returns the length of the OU's feature vector.
+func (s Spec) NumFeatures() int { return len(s.FeatureNames) }
+
+// NormDivisor returns the value output labels are divided by for the given
+// feature vector under the OU's normalization rule, and the (possibly
+// different) divisor for the memory label. Both are >= 1.
+func (s Spec) NormDivisor(features []float64) (labels, memory float64) {
+	if s.NormFeature < 0 || s.NormFeature >= len(features) {
+		return 1, 1
+	}
+	n := features[s.NormFeature]
+	if n < 1 {
+		n = 1
+	}
+	labels = n
+	if s.NormLogN {
+		labels = n * math.Log2(n+1)
+	}
+	memory = labels
+	if s.MemNormFeature >= 0 && s.MemNormFeature < len(features) {
+		memory = features[s.MemNormFeature]
+		if memory < 1 {
+			memory = 1
+		}
+	} else if s.NormLogN {
+		// Memory is linear even when time is O(n log n).
+		memory = n
+	}
+	return labels, memory
+}
+
+// ExecFeatures builds the common seven-feature vector of the execution OUs.
+func ExecFeatures(rows, cols, tupleBytes, cardinality, payloadBytes, loops float64, compiled bool) []float64 {
+	mode := 0.0
+	if compiled {
+		mode = 1
+	}
+	if loops < 1 {
+		loops = 1
+	}
+	return []float64{rows, cols, tupleBytes, cardinality, payloadBytes, loops, mode}
+}
+
+// ArithmeticFeatures builds the filter/arithmetic OU's two features.
+func ArithmeticFeatures(ops float64, compiled bool) []float64 {
+	mode := 0.0
+	if compiled {
+		mode = 1
+	}
+	return []float64{ops, mode}
+}
+
+// GCFeatures builds the garbage-collection batch OU features.
+func GCFeatures(txns, versions, intervalUS float64) []float64 {
+	return []float64{txns, versions, intervalUS}
+}
+
+// IndexBuildFeatures builds the index-build contending OU features.
+func IndexBuildFeatures(rows, keyCols, keyBytes, cardinality, threads float64) []float64 {
+	return []float64{rows, keyCols, keyBytes, cardinality, threads}
+}
+
+// LogSerializeFeatures builds the WAL serialization batch OU features.
+func LogSerializeFeatures(records, bytes, buffers, intervalUS float64) []float64 {
+	return []float64{records, bytes, buffers, intervalUS}
+}
+
+// LogFlushFeatures builds the WAL flush batch OU features.
+func LogFlushFeatures(bytes, buffers, intervalUS float64) []float64 {
+	return []float64{bytes, buffers, intervalUS}
+}
+
+// TxnFeatures builds the transaction begin/commit contending OU features.
+func TxnFeatures(txnRate, activeTxns float64) []float64 {
+	return []float64{txnRate, activeTxns}
+}

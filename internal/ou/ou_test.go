@@ -1,0 +1,145 @@
+package ou
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableOneFidelity(t *testing.T) {
+	if NumKinds != 19 {
+		t.Fatalf("paper defines 19 OUs, have %d", NumKinds)
+	}
+	// Feature counts from Table 1.
+	wantFeatures := map[Kind]int{
+		SeqScan: 7, IdxScan: 7, HashJoinBuild: 7, HashJoinProbe: 7,
+		AggBuild: 7, AggProbe: 7, SortBuild: 7, SortIter: 7,
+		Insert: 7, Update: 7, Delete: 7, Output: 7,
+		Arithmetic: 2, GC: 3, IndexBuild: 5,
+		LogSerialize: 4, LogFlush: 3, TxnBegin: 2, TxnCommit: 2,
+	}
+	for k, want := range wantFeatures {
+		if got := Get(k).NumFeatures(); got != want {
+			t.Errorf("%v: %d features, want %d", k, got, want)
+		}
+	}
+	// Types from Table 1.
+	wantType := map[Kind]Type{
+		SeqScan: Singular, Output: Singular, Arithmetic: Singular,
+		GC: Batch, LogSerialize: Batch, LogFlush: Batch,
+		IndexBuild: Contending, TxnBegin: Contending, TxnCommit: Contending,
+	}
+	for k, want := range wantType {
+		if got := Get(k).Type; got != want {
+			t.Errorf("%v: type %v, want %v", k, got, want)
+		}
+	}
+	// Knob counts: txn OUs have none, everything else has one.
+	for _, s := range All() {
+		want := 1
+		if s.Kind == TxnBegin || s.Kind == TxnCommit {
+			want = 0
+		}
+		if s.KnobCount != want {
+			t.Errorf("%v: %d knobs, want %d", s.Kind, s.KnobCount, want)
+		}
+	}
+}
+
+func TestSpecNamesRoundTrip(t *testing.T) {
+	for _, s := range All() {
+		k, ok := ByName(s.Name)
+		if !ok || k != s.Kind {
+			t.Errorf("ByName(%q) = %v, %v", s.Name, k, ok)
+		}
+	}
+	if _, ok := ByName("NOPE"); ok {
+		t.Fatal("unknown name must fail")
+	}
+}
+
+func TestNormDivisorLinear(t *testing.T) {
+	s := Get(SeqScan)
+	feats := ExecFeatures(1000, 4, 32, 100, 0, 1, false)
+	labels, memory := s.NormDivisor(feats)
+	if labels != 1000 || memory != 1000 {
+		t.Fatalf("linear norm = %v/%v, want 1000/1000", labels, memory)
+	}
+}
+
+func TestNormDivisorNLogN(t *testing.T) {
+	s := Get(SortBuild)
+	feats := ExecFeatures(1024, 4, 32, 100, 0, 1, false)
+	labels, memory := s.NormDivisor(feats)
+	want := 1024 * math.Log2(1025)
+	if math.Abs(labels-want) > 1e-9 {
+		t.Fatalf("nlogn norm = %v, want %v", labels, want)
+	}
+	if memory != 1024 {
+		t.Fatalf("sort memory must normalize linearly, got %v", memory)
+	}
+}
+
+func TestNormDivisorAggMemoryByCardinality(t *testing.T) {
+	s := Get(AggBuild)
+	feats := ExecFeatures(100000, 4, 32, 500, 0, 1, false)
+	labels, memory := s.NormDivisor(feats)
+	if labels != 100000 {
+		t.Fatalf("agg labels norm = %v", labels)
+	}
+	if memory != 500 {
+		t.Fatalf("agg memory must normalize by cardinality, got %v", memory)
+	}
+}
+
+func TestNormDivisorDisabled(t *testing.T) {
+	s := Get(TxnBegin)
+	labels, memory := s.NormDivisor(TxnFeatures(100, 5))
+	if labels != 1 || memory != 1 {
+		t.Fatalf("txn OUs must not normalize: %v/%v", labels, memory)
+	}
+}
+
+func TestNormDivisorFloorsAtOne(t *testing.T) {
+	s := Get(SeqScan)
+	labels, memory := s.NormDivisor(ExecFeatures(0, 1, 8, 0, 0, 1, false))
+	if labels < 1 || memory < 1 {
+		t.Fatalf("divisors must floor at 1: %v/%v", labels, memory)
+	}
+}
+
+func TestFeatureBuilders(t *testing.T) {
+	f := ExecFeatures(10, 2, 16, 5, 8, 0, true)
+	if len(f) != 7 || f[6] != 1 || f[5] != 1 {
+		t.Fatalf("ExecFeatures = %v", f)
+	}
+	if f2 := ArithmeticFeatures(100, false); len(f2) != 2 || f2[1] != 0 {
+		t.Fatalf("ArithmeticFeatures = %v", f2)
+	}
+	if f3 := GCFeatures(1, 2, 3); len(f3) != 3 {
+		t.Fatalf("GCFeatures = %v", f3)
+	}
+	if f4 := IndexBuildFeatures(1, 2, 3, 4, 5); len(f4) != 5 {
+		t.Fatalf("IndexBuildFeatures = %v", f4)
+	}
+	if f5 := LogSerializeFeatures(1, 2, 3, 4); len(f5) != 4 {
+		t.Fatalf("LogSerializeFeatures = %v", f5)
+	}
+	if f6 := LogFlushFeatures(1, 2, 3); len(f6) != 3 {
+		t.Fatalf("LogFlushFeatures = %v", f6)
+	}
+	if f7 := TxnFeatures(1, 2); len(f7) != 2 {
+		t.Fatalf("TxnFeatures = %v", f7)
+	}
+}
+
+func TestFeatureLimitLowDimensional(t *testing.T) {
+	// The paper's low-dimensionality principle: at most ten features per OU.
+	for _, s := range All() {
+		if s.NumFeatures() > 10 {
+			t.Errorf("%v has %d features, violating the <=10 principle", s.Kind, s.NumFeatures())
+		}
+		if s.NumFeatures() == 0 {
+			t.Errorf("%v has no features", s.Kind)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package planner implements the self-driving DBMS's decision side: it
+// consumes MB2's behavior-model predictions to evaluate candidate actions —
+// changing the execution-mode knob and building an index with a chosen
+// degree of parallelism — estimating each action's cost, impact on the
+// running workload, and benefit (Secs 2.1, 8.7). It also provides the
+// interval-timeline simulator used by the end-to-end experiments.
+package planner
+
+import (
+	"fmt"
+
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/modeling"
+)
+
+// Planner evaluates candidate self-driving actions with MB2's models.
+type Planner struct {
+	DB     *engine.DB
+	Models *modeling.ModelSet
+}
+
+// New returns a planner over the trained models.
+func New(db *engine.DB, ms *modeling.ModelSet) *Planner {
+	return &Planner{DB: db, Models: ms}
+}
+
+// ModeDecision compares execution modes for a forecasted workload.
+type ModeDecision struct {
+	InterpretLatencyUS float64
+	CompileLatencyUS   float64
+	Best               catalog.ExecutionMode
+	// PredictedReduction is the relative latency reduction of switching to
+	// the best mode from the other one.
+	PredictedReduction float64
+}
+
+// EvaluateModeChange predicts the forecasted workload's average latency
+// under both execution modes. The forecast's plans are mode-independent;
+// the translator applies the mode knob feature.
+func (p *Planner) EvaluateModeChange(f modeling.IntervalForecast) (ModeDecision, error) {
+	var d ModeDecision
+	interp, err := p.Models.PredictInterval(modeling.NewTranslator(p.DB, catalog.Interpret), f, nil)
+	if err != nil {
+		return d, err
+	}
+	comp, err := p.Models.PredictInterval(modeling.NewTranslator(p.DB, catalog.Compile), f, nil)
+	if err != nil {
+		return d, err
+	}
+	d.InterpretLatencyUS = interp.AvgQueryLatencyUS
+	d.CompileLatencyUS = comp.AvgQueryLatencyUS
+	if d.CompileLatencyUS <= d.InterpretLatencyUS {
+		d.Best = catalog.Compile
+		if d.InterpretLatencyUS > 0 {
+			d.PredictedReduction = 1 - d.CompileLatencyUS/d.InterpretLatencyUS
+		}
+	} else {
+		d.Best = catalog.Interpret
+		if d.CompileLatencyUS > 0 {
+			d.PredictedReduction = 1 - d.InterpretLatencyUS/d.CompileLatencyUS
+		}
+	}
+	return d, nil
+}
+
+// IndexDecision is the planner's full cost/impact/benefit estimate for an
+// index build with a specific thread count: the Sec 2.1 example's three
+// questions.
+type IndexDecision struct {
+	Threads int
+	// BuildTimeUS is how long the action takes (interference-adjusted max
+	// across build threads).
+	BuildTimeUS float64
+	// BuildCPUUS is the action's total CPU consumption.
+	BuildCPUUS float64
+	// BuildMemoryBytes is the memory the new index occupies.
+	BuildMemoryBytes float64
+	// ImpactRatio is workload latency during the build relative to before
+	// (>= 1: building hurts).
+	ImpactRatio float64
+	// BenefitRatio is workload latency after the build relative to before
+	// (< 1 when the index helps).
+	BenefitRatio float64
+	// BaselineLatencyUS, DuringLatencyUS, and AfterLatencyUS are the
+	// underlying absolute predictions.
+	BaselineLatencyUS float64
+	DuringLatencyUS   float64
+	AfterLatencyUS    float64
+}
+
+// EvaluateIndexBuild predicts an index build's cost, its impact on the
+// current-plan workload while it runs, and the benefit once post-index
+// plans take over. before and after hold the same forecasted workload with
+// pre-index and post-index plans respectively.
+func (p *Planner) EvaluateIndexBuild(mode catalog.ExecutionMode,
+	action modeling.IndexBuildAction,
+	before, after modeling.IntervalForecast) (IndexDecision, error) {
+
+	d := IndexDecision{Threads: action.Threads}
+	tr := modeling.NewTranslator(p.DB, mode)
+
+	base, err := p.Models.PredictInterval(tr, before, nil)
+	if err != nil {
+		return d, err
+	}
+	during, err := p.Models.PredictInterval(tr, before, &modeling.ActionForecast{IndexBuild: &action})
+	if err != nil {
+		return d, err
+	}
+	post, err := p.Models.PredictInterval(tr, after, nil)
+	if err != nil {
+		return d, err
+	}
+
+	d.BaselineLatencyUS = base.AvgQueryLatencyUS
+	d.DuringLatencyUS = during.AvgQueryLatencyUS
+	d.AfterLatencyUS = post.AvgQueryLatencyUS
+	d.BuildTimeUS = during.ActionElapsedUS
+	d.BuildCPUUS = during.ActionTotal.CPUTimeUS
+	d.BuildMemoryBytes = during.ActionTotal.MemoryBytes
+	if d.BaselineLatencyUS > 0 {
+		d.ImpactRatio = d.DuringLatencyUS / d.BaselineLatencyUS
+		d.BenefitRatio = d.AfterLatencyUS / d.BaselineLatencyUS
+	}
+	return d, nil
+}
+
+// ChooseIndexThreads evaluates the candidate thread counts and returns all
+// decisions plus the one meeting the impact budget with the shortest build
+// (the Fig 1 trade-off: more threads finish sooner but hurt more).
+func (p *Planner) ChooseIndexThreads(mode catalog.ExecutionMode,
+	action modeling.IndexBuildAction, candidates []int,
+	before, after modeling.IntervalForecast, maxImpactRatio float64) ([]IndexDecision, *IndexDecision, error) {
+
+	var all []IndexDecision
+	var best *IndexDecision
+	for _, threads := range candidates {
+		a := action
+		a.Threads = threads
+		d, err := p.EvaluateIndexBuild(mode, a, before, after)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, d)
+	}
+	for i := range all {
+		d := &all[i]
+		if maxImpactRatio > 0 && d.ImpactRatio > maxImpactRatio {
+			continue
+		}
+		if best == nil || d.BuildTimeUS < best.BuildTimeUS {
+			best = d
+		}
+	}
+	if best == nil && len(all) > 0 {
+		// Nothing meets the budget: take the gentlest option.
+		best = &all[0]
+		for i := range all {
+			if all[i].ImpactRatio < best.ImpactRatio {
+				best = &all[i]
+			}
+		}
+	}
+	return all, best, nil
+}
+
+// String renders the decision for logs.
+func (d IndexDecision) String() string {
+	return fmt.Sprintf("threads=%d build=%.1fms impact=%.2fx benefit=%.2fx",
+		d.Threads, d.BuildTimeUS/1e3, d.ImpactRatio, d.BenefitRatio)
+}

@@ -1,0 +1,249 @@
+package planner
+
+import (
+	"sync"
+	"testing"
+
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/metrics"
+	"mb2/internal/modeling"
+	"mb2/internal/plan"
+	"mb2/internal/runner"
+	"mb2/internal/storage"
+	"mb2/internal/workload"
+)
+
+var (
+	modelsOnce sync.Once
+	testModels *modeling.ModelSet
+)
+
+// sharedModels trains a small OU-model set once for the package.
+func sharedModels(t *testing.T) *modeling.ModelSet {
+	t.Helper()
+	modelsOnce.Do(func() {
+		cfg := runner.DefaultConfig()
+		cfg.MaxRows = 1024
+		cfg.Repetitions = 2
+		cfg.Warmups = 1
+		repo := metrics.NewRepository()
+		runner.RunAll(repo, cfg)
+		opts := modeling.DefaultTrainOptions()
+		opts.Candidates = []string{"huber", "gbm"}
+		ms, err := modeling.TrainModelSet(repo, opts)
+		if err != nil {
+			panic(err)
+		}
+		testModels = ms
+	})
+	if testModels == nil {
+		t.Fatal("model training failed")
+	}
+	return testModels
+}
+
+func scanDB(t *testing.T, rows int) (*engine.DB, []runner.QueryTemplate) {
+	t.Helper()
+	db := engine.Open(catalog.DefaultKnobs())
+	schema := catalog.NewSchema(
+		catalog.Column{Name: "id", Type: catalog.Int64},
+		catalog.Column{Name: "grp", Type: catalog.Int64},
+	)
+	if _, err := db.CreateTable("t", schema); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]storage.Tuple, rows)
+	for i := range data {
+		data[i] = storage.Tuple{storage.NewInt(int64(i)), storage.NewInt(int64(i % 50))}
+	}
+	if err := db.BulkLoad("t", data); err != nil {
+		t.Fatal(err)
+	}
+	templates := []runner.QueryTemplate{
+		{Name: "scan", Plan: &plan.SeqScanNode{Table: "t",
+			Filter: plan.Cmp{Op: plan.LT, L: plan.Col(0), R: plan.IntConst(int64(rows / 2))},
+			Rows:   plan.Estimates{Rows: float64(rows) / 2}}},
+	}
+	return db, templates
+}
+
+func TestEvaluateModeChangePrefersCompiled(t *testing.T) {
+	ms := sharedModels(t)
+	db, templates := scanDB(t, 4000)
+	p := New(db, ms)
+	f := modeling.IntervalForecast{
+		Queries:    []modeling.ForecastQuery{{Plan: templates[0].Plan, Count: 10}},
+		IntervalUS: 100000,
+		Threads:    2,
+	}
+	d, err := p.EvaluateModeChange(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Best != catalog.Compile {
+		t.Fatalf("compiled mode must win for scans: %+v", d)
+	}
+	if d.PredictedReduction <= 0.1 {
+		t.Fatalf("mode gap too small: %v", d.PredictedReduction)
+	}
+}
+
+func TestEvaluateIndexBuildCostImpactBenefit(t *testing.T) {
+	ms := sharedModels(t)
+	b := workload.TPCC{CustomersPerDistrict: 500}
+	db := engine.Open(catalog.DefaultKnobs())
+	if err := b.Load(db, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	p := New(db, ms)
+
+	forecast := func(force bool) modeling.IntervalForecast {
+		bb := b
+		bb.ForceCustomerIndex = &force
+		f := modeling.IntervalForecast{IntervalUS: 100000, Threads: 2}
+		for _, q := range bb.Templates(db, 1) {
+			f.Queries = append(f.Queries, modeling.ForecastQuery{Plan: q.Plan, Count: 5})
+		}
+		return f
+	}
+	action := modeling.IndexBuildAction{
+		Table: "customer", KeyCols: workload.CustomerSecondaryKeyCols(), Threads: 4,
+	}
+	d, err := p.EvaluateIndexBuild(catalog.Interpret, action, forecast(false), forecast(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.BuildTimeUS <= 0 || d.BuildCPUUS <= 0 || d.BuildMemoryBytes <= 0 {
+		t.Fatalf("cost estimates missing: %+v", d)
+	}
+	if d.ImpactRatio < 1 {
+		t.Fatalf("build must not speed the workload up: %v", d.ImpactRatio)
+	}
+	if d.BenefitRatio >= 1 {
+		t.Fatalf("index must predict a benefit: %v", d.BenefitRatio)
+	}
+	if d.String() == "" {
+		t.Fatal("decision must render")
+	}
+}
+
+func TestChooseIndexThreadsTradeoff(t *testing.T) {
+	ms := sharedModels(t)
+	b := workload.TPCC{CustomersPerDistrict: 500}
+	db := engine.Open(catalog.DefaultKnobs())
+	if err := b.Load(db, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	p := New(db, ms)
+	force := false
+	bb := b
+	bb.ForceCustomerIndex = &force
+	f := modeling.IntervalForecast{IntervalUS: 100000, Threads: 2}
+	for _, q := range bb.Templates(db, 1) {
+		f.Queries = append(f.Queries, modeling.ForecastQuery{Plan: q.Plan, Count: 5})
+	}
+	action := modeling.IndexBuildAction{
+		Table: "customer", KeyCols: workload.CustomerSecondaryKeyCols(),
+	}
+	all, best, err := p.ChooseIndexThreads(catalog.Interpret, action, []int{1, 4, 8}, f, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 || best == nil {
+		t.Fatalf("decisions missing: %v %v", all, best)
+	}
+	// More threads must predict shorter builds.
+	if !(all[2].BuildTimeUS < all[1].BuildTimeUS && all[1].BuildTimeUS < all[0].BuildTimeUS) {
+		t.Fatalf("build time must fall with threads: %v / %v / %v",
+			all[0].BuildTimeUS, all[1].BuildTimeUS, all[2].BuildTimeUS)
+	}
+	// With no impact budget, the fastest build wins.
+	if best.Threads != 8 {
+		t.Fatalf("best = %+v", best)
+	}
+}
+
+func TestSimulateBuildLifecycle(t *testing.T) {
+	_ = sharedModels(t)
+	db, templates := scanDB(t, 3000)
+	ccfg := runner.DefaultConcurrentConfig()
+	ccfg.IntervalUS = 300
+	res, err := Simulate(SimConfig{
+		DB:         db,
+		Concurrent: ccfg,
+		Threads:    2,
+		Intervals:  20,
+		WorkloadAt: func(i int, built bool) (*engine.DB, []runner.QueryTemplate, int) {
+			return db, templates, 2
+		},
+		BuildStart:   3,
+		BuildThreads: 2,
+		IndexName:    "t_grp",
+		IndexTable:   "t",
+		IndexCols:    []string{"grp"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) != 20 {
+		t.Fatalf("intervals = %d", len(res.Intervals))
+	}
+	if res.BuildStartUS != 3*300 {
+		t.Fatalf("build start = %v", res.BuildStartUS)
+	}
+	if res.BuildEndUS <= res.BuildStartUS {
+		t.Fatal("build never completed")
+	}
+	if db.Index("t_grp") == nil {
+		t.Fatal("index not published under its real name")
+	}
+	if db.Index("t_grp"+buildingSuffix) != nil {
+		t.Fatal("private build name must be gone")
+	}
+	// Build CPU shows up only while building.
+	sawBuild := false
+	for _, iv := range res.Intervals {
+		if iv.Building && iv.BuildCPUUtil > 0 {
+			sawBuild = true
+		}
+		if !iv.Building && !iv.IndexBuilt && iv.BuildCPUUtil > 0 {
+			t.Fatal("build CPU before the build started")
+		}
+	}
+	if !sawBuild {
+		t.Fatal("build CPU never recorded")
+	}
+	// Template CPU attribution covers the workload.
+	if res.Intervals[0].CPUByTemplate["scan"] <= 0 {
+		t.Fatal("per-template CPU missing")
+	}
+}
+
+func TestSimulateNoAction(t *testing.T) {
+	_ = sharedModels(t)
+	db, templates := scanDB(t, 1000)
+	ccfg := runner.DefaultConcurrentConfig()
+	ccfg.IntervalUS = 500
+	res, err := Simulate(SimConfig{
+		DB:         db,
+		Concurrent: ccfg,
+		Threads:    2,
+		Intervals:  4,
+		WorkloadAt: func(i int, built bool) (*engine.DB, []runner.QueryTemplate, int) {
+			return db, templates, 1
+		},
+		BuildStart: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range res.Intervals {
+		if iv.Building || iv.IndexBuilt || iv.BuildCPUUtil != 0 {
+			t.Fatalf("phantom build: %+v", iv)
+		}
+		if iv.AvgLatencyUS <= 0 {
+			t.Fatal("latency missing")
+		}
+	}
+}

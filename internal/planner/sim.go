@@ -1,0 +1,199 @@
+package planner
+
+import (
+	"fmt"
+
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/hw"
+	"mb2/internal/metrics"
+	"mb2/internal/ou"
+	"mb2/internal/runner"
+)
+
+// buildingSuffix hides an in-progress index from the workload's plan
+// chooser until the simulated build completes.
+const buildingSuffix = "__building"
+
+// SimConfig drives the end-to-end interval simulator behind Figs 1 and 11:
+// a fixed pool of worker threads executes a (possibly changing) workload
+// while an index build may run on extra threads, with shared-machine
+// contention coupling them.
+type SimConfig struct {
+	DB         *engine.DB
+	Concurrent runner.ConcurrentConfig
+	Threads    int // worker threads executing queries
+	Intervals  int
+
+	// WorkloadAt returns the database, templates, and per-thread execution
+	// count for interval i; indexBuilt reports whether the action has
+	// completed, so the workload can switch to index-backed plans. The
+	// returned database may differ per interval (alternating benchmarks
+	// share the machine).
+	WorkloadAt func(i int, indexBuilt bool) (*engine.DB, []runner.QueryTemplate, int)
+	// ModeAt returns the execution-mode knob setting for interval i
+	// (knob changes are instantaneous actions).
+	ModeAt func(i int) catalog.ExecutionMode
+
+	// BuildStart is the interval at which the index build begins; negative
+	// disables the action.
+	BuildStart   int
+	BuildThreads int
+	IndexName    string
+	IndexTable   string
+	IndexCols    []string
+}
+
+// SimInterval is the observed state of one simulated interval.
+type SimInterval struct {
+	StartUS      float64
+	AvgLatencyUS float64
+	Queries      int
+	// QueryCPUUtil and BuildCPUUtil are each component's share of the
+	// machine's CPU capacity during the interval (the Fig 11b signals).
+	QueryCPUUtil float64
+	BuildCPUUtil float64
+	// CPUByTemplate attributes the query CPU share to individual templates
+	// (how MB2 explains which queries benefit from an action, Fig 11b).
+	CPUByTemplate map[string]float64
+	Building      bool
+	IndexBuilt    bool
+	Event         string
+}
+
+// SimResult is the full timeline plus action accounting.
+type SimResult struct {
+	Intervals []SimInterval
+	// BuildStartUS/BuildEndUS bracket the action's actual execution.
+	BuildStartUS float64
+	BuildEndUS   float64
+	// BuildWork is the per-thread isolated build work (what MB2's
+	// INDEX_BUILD OU predicts).
+	BuildWork []hw.Metrics
+}
+
+// Simulate runs the timeline. The index build physically happens under a
+// private name at BuildStart (yielding its isolated per-thread work), then
+// its threads contend with the workload interval by interval until the
+// accumulated progress covers the work, at which point the index is
+// published and the workload switches plans.
+func Simulate(cfg SimConfig) (SimResult, error) {
+	res := SimResult{}
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	machine := cfg.Concurrent.Machine
+	intervalUS := cfg.Concurrent.IntervalUS
+
+	var buildRemaining []float64
+	var buildPerThread []hw.Metrics
+	building := false
+	built := false
+
+	for i := 0; i < cfg.Intervals; i++ {
+		iv := SimInterval{StartUS: float64(i) * intervalUS}
+
+		if cfg.BuildStart >= 0 && i == cfg.BuildStart && !building && !built {
+			col := metrics.NewCollector()
+			col.EnableOnly(ou.IndexBuild)
+			_, build, err := cfg.DB.CreateIndex(col, cfg.Concurrent.CPU,
+				cfg.IndexName+buildingSuffix, cfg.IndexTable, cfg.IndexCols, false, cfg.BuildThreads)
+			if err != nil {
+				return res, fmt.Errorf("planner: starting build: %w", err)
+			}
+			buildPerThread = build.PerThread
+			buildRemaining = make([]float64, len(buildPerThread))
+			for j, m := range buildPerThread {
+				buildRemaining[j] = m.ElapsedUS
+			}
+			res.BuildWork = buildPerThread
+			res.BuildStartUS = iv.StartUS
+			building = true
+			iv.Event = fmt.Sprintf("index build started (%d threads)", cfg.BuildThreads)
+		}
+
+		db, templates, perThread := cfg.WorkloadAt(i, built)
+		ccfg := cfg.Concurrent
+		if cfg.ModeAt != nil {
+			ccfg.Mode = cfg.ModeAt(i)
+		}
+		subset := make([]int, len(templates))
+		for s := range subset {
+			subset[s] = s
+		}
+		assignment := runner.RoundRobinAssignment(subset, cfg.Threads, perThread)
+
+		// The build threads demand up to one interval of their isolated
+		// work rate each.
+		var extra []hw.Metrics
+		var extraIdx []int
+		if building {
+			for j, m := range buildPerThread {
+				if buildRemaining[j] <= 0 || m.ElapsedUS <= 0 {
+					continue
+				}
+				frac := intervalUS / m.ElapsedUS
+				if frac > buildRemaining[j]/m.ElapsedUS {
+					frac = buildRemaining[j] / m.ElapsedUS
+				}
+				extra = append(extra, m.Scale(frac))
+				extraIdx = append(extraIdx, j)
+			}
+		}
+
+		run, err := runner.ExecuteInterval(db, ccfg, templates, assignment, extra)
+		if err != nil {
+			return res, err
+		}
+
+		var latSum float64
+		for _, q := range run.Queries {
+			latSum += q.Concurrent.ElapsedUS
+		}
+		iv.Queries = len(run.Queries)
+		if iv.Queries > 0 {
+			iv.AvgLatencyUS = latSum / float64(iv.Queries)
+		}
+		capacity := float64(machine.Cores) * intervalUS
+		for t := 0; t < cfg.Threads && t < len(run.PerThreadIsolated); t++ {
+			iv.QueryCPUUtil += run.PerThreadIsolated[t].CPUTimeUS / capacity
+		}
+		iv.CPUByTemplate = make(map[string]float64)
+		for _, q := range run.Queries {
+			iv.CPUByTemplate[templates[q.Template].Name] += q.Isolated.CPUTimeUS / capacity
+		}
+		for e := range extra {
+			iv.BuildCPUUtil += extra[e].CPUTimeUS / capacity
+		}
+
+		// Advance the build by each thread's achieved progress.
+		if building {
+			done := true
+			for e, j := range extraIdx {
+				ratio := run.Ratios[cfg.Threads+e][hw.LabelElapsedUS]
+				progress := intervalUS / ratio
+				buildRemaining[j] -= progress
+			}
+			for _, rem := range buildRemaining {
+				if rem > 0 {
+					done = false
+				}
+			}
+			iv.Building = true
+			if done {
+				building = false
+				built = true
+				res.BuildEndUS = iv.StartUS + intervalUS
+				if err := cfg.DB.RenameIndex(cfg.IndexName+buildingSuffix, cfg.IndexName); err != nil {
+					return res, err
+				}
+				if iv.Event == "" {
+					iv.Event = "index built"
+				}
+			}
+		}
+		iv.IndexBuilt = built
+		res.Intervals = append(res.Intervals, iv)
+	}
+	return res, nil
+}

@@ -1,0 +1,177 @@
+package runner
+
+import (
+	"fmt"
+
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/exec"
+	"mb2/internal/hw"
+	"mb2/internal/metrics"
+	"mb2/internal/modeling"
+	"mb2/internal/plan"
+)
+
+// QueryTemplate is one named query plan in an end-to-end workload.
+type QueryTemplate struct {
+	Name string
+	Plan plan.Node
+}
+
+// ConcurrentConfig controls the concurrent runners (Sec 6.3).
+type ConcurrentConfig struct {
+	CPU        hw.CPU
+	Machine    hw.Machine
+	IntervalUS float64
+	Mode       catalog.ExecutionMode
+}
+
+// DefaultConcurrentConfig returns the standard setup: 1-second intervals on
+// the default machine.
+func DefaultConcurrentConfig() ConcurrentConfig {
+	return ConcurrentConfig{
+		CPU:        hw.DefaultCPU(),
+		Machine:    hw.DefaultMachine(),
+		IntervalUS: 1_000_000,
+		Mode:       catalog.Interpret,
+	}
+}
+
+// QueryRun is one executed query instance within an interval.
+type QueryRun struct {
+	Template   int // index into the template list
+	Thread     int
+	Isolated   hw.Metrics // measured in isolation
+	Concurrent hw.Metrics // after the machine's contention model
+}
+
+// IntervalRun is the observed behavior of one concurrently executed
+// interval: the ground truth the interference model learns and is evaluated
+// against.
+type IntervalRun struct {
+	Queries           []QueryRun
+	PerThreadIsolated []hw.Metrics
+	Ratios            [][]float64 // per thread, per label
+}
+
+// ExecuteInterval runs the per-thread query assignment (assignment[t] lists
+// template indices thread t executes, in order) and applies the machine's
+// contention model across the threads. extra adds pre-measured isolated
+// loads on additional threads (e.g. an in-progress parallel index build)
+// that contend for the same interval.
+func ExecuteInterval(db *engine.DB, cfg ConcurrentConfig, templates []QueryTemplate, assignment [][]int, extra []hw.Metrics) (IntervalRun, error) {
+	run := IntervalRun{}
+	for tid, list := range assignment {
+		th := hw.NewThread(cfg.CPU)
+		ctx := &exec.Ctx{
+			DB:         db,
+			Tracker:    metrics.NewTracker(nil, th),
+			Mode:       cfg.Mode,
+			Contenders: float64(len(assignment)),
+		}
+		var total hw.Metrics
+		for _, ti := range list {
+			before := th.Counters()
+			if _, err := exec.Execute(ctx, templates[ti].Plan); err != nil {
+				return run, fmt.Errorf("runner: executing %s: %w", templates[ti].Name, err)
+			}
+			iso := th.Since(before)
+			total.Add(iso)
+			run.Queries = append(run.Queries, QueryRun{Template: ti, Thread: tid, Isolated: iso})
+		}
+		run.PerThreadIsolated = append(run.PerThreadIsolated, total)
+	}
+	run.PerThreadIsolated = append(run.PerThreadIsolated, extra...)
+
+	run.Ratios = cfg.Machine.ContentionRatios(run.PerThreadIsolated, cfg.IntervalUS)
+	for i := range run.Queries {
+		q := &run.Queries[i]
+		q.Concurrent = q.Isolated.ScaleVec(run.Ratios[q.Thread])
+	}
+	return run, nil
+}
+
+// RoundRobinAssignment spreads count executions of the template subset
+// across the given number of threads.
+func RoundRobinAssignment(subset []int, threads, countPerThread int) [][]int {
+	out := make([][]int, threads)
+	for t := 0; t < threads; t++ {
+		for i := 0; i < countPerThread; i++ {
+			out[t] = append(out[t], subset[(t*countPerThread+i)%len(subset)])
+		}
+	}
+	return out
+}
+
+// GenerateInterference runs the concurrent runner across query subsets,
+// thread counts, and submission rates, converting each interval's observed
+// behavior into interference-model training samples: inputs are OU-model
+// predictions and their per-thread summaries, targets are the element-wise
+// actual/predicted ratios (Sec 5).
+func GenerateInterference(db *engine.DB, ms *modeling.ModelSet, tr *modeling.Translator,
+	templates []QueryTemplate, cfg ConcurrentConfig, threadCounts []int, rates []int) ([]modeling.InterferenceSample, error) {
+
+	// Predict each template once.
+	preds := make([]hw.Metrics, len(templates))
+	for i, t := range templates {
+		p, _, err := ms.PredictQuery(tr.TranslatePlan(t.Plan))
+		if err != nil {
+			return nil, fmt.Errorf("runner: predicting %s: %w", t.Name, err)
+		}
+		preds[i] = p
+	}
+
+	var samples []modeling.InterferenceSample
+	subsets := templateSubsets(len(templates))
+	for _, subset := range subsets {
+		for _, threads := range threadCounts {
+			for _, rate := range rates {
+				assignment := RoundRobinAssignment(subset, threads, rate)
+				run, err := ExecuteInterval(db, cfg, templates, assignment, nil)
+				if err != nil {
+					return nil, err
+				}
+				// Predicted per-thread totals mirror the assignment.
+				predTotals := make([]hw.Metrics, threads)
+				for t, list := range assignment {
+					for _, ti := range list {
+						predTotals[t].Add(preds[ti])
+					}
+				}
+				// One sample per template per interval configuration.
+				seen := map[int]bool{}
+				for _, q := range run.Queries {
+					if seen[q.Template] {
+						continue
+					}
+					seen[q.Template] = true
+					samples = append(samples, modeling.InterferenceSample{
+						TargetPred:   preds[q.Template],
+						ThreadTotals: predTotals,
+						IntervalUS:   cfg.IntervalUS,
+						ActualRatios: q.Concurrent.Ratios(preds[q.Template]),
+					})
+				}
+			}
+		}
+	}
+	return samples, nil
+}
+
+// templateSubsets enumerates sliding-window subsets of the template list:
+// the "subsets of queries in the benchmark" parameter of the concurrent
+// runners (Sec 6.3).
+func templateSubsets(n int) [][]int {
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	subsets := [][]int{all}
+	if n >= 2 {
+		subsets = append(subsets, all[:n/2], all[n/2:])
+	}
+	if n >= 4 {
+		subsets = append(subsets, all[n/4:3*n/4])
+	}
+	return subsets
+}

@@ -1,0 +1,222 @@
+// Package runner implements MB2's data-generation infrastructure (Sec 6):
+// one OU-runner per operating unit that sweeps the OU's input-feature space
+// with fixed-length and exponential step sizes, and concurrent runners that
+// execute end-to-end workloads under varying parallelism to produce
+// interference-model training data.
+package runner
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/hw"
+	"mb2/internal/metrics"
+	"mb2/internal/ou"
+	"mb2/internal/storage"
+)
+
+// Config controls the runners.
+type Config struct {
+	CPU hw.CPU
+	// Repetitions is how many times each query is measured; labels are the
+	// 20% trimmed mean across repetitions (Sec 6.2).
+	Repetitions int
+	// Warmups are unmeasured executions before measurement (Sec 6.2).
+	Warmups int
+	// MaxRows caps the sweep's exponential row ladder. Output-label
+	// normalization makes larger data unnecessary (Sec 4.3).
+	MaxRows int
+	// Seed drives data generation.
+	Seed int64
+	// NoiseScale, when positive, adds multiplicative measurement noise to
+	// collected labels (exercised by the trimmed-mean ablation).
+	NoiseScale float64
+	// JHTSleepEvery propagates the simulated join-hash-table software
+	// update (Sec 8.5) into the runners' execution contexts.
+	JHTSleepEvery int
+	// TrimFrac is the trimmed-mean fraction used to reduce repeated
+	// measurements (default 0.2 per Sec 6.2; negative selects a plain
+	// mean, used by the robust-statistics ablation).
+	TrimFrac float64
+}
+
+// DefaultConfig returns the standard training configuration.
+func DefaultConfig() Config {
+	return Config{
+		CPU:         hw.DefaultCPU(),
+		Repetitions: 10,
+		Warmups:     5,
+		MaxRows:     100_000,
+		Seed:        1,
+		TrimFrac:    0.2,
+	}
+}
+
+// rowLadder returns the exponential row-count sweep, capped at max.
+func rowLadder(max int) []int {
+	ladder := []int{8, 32, 128, 512, 2048, 8192, 32768, 100_000}
+	out := ladder[:0:0]
+	for _, n := range ladder {
+		if n <= max {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{max}
+	}
+	return out
+}
+
+// modes is the execution-mode knob sweep.
+var modes = []catalog.ExecutionMode{catalog.Interpret, catalog.Compile}
+
+// scratchDB builds a fresh database holding one table with the requested
+// shape (see addScratchTable).
+func scratchDB(cfg Config, name string, rows, extraCols, card int) *engine.DB {
+	db := engine.Open(catalog.DefaultKnobs())
+	addScratchTable(db, cfg, name, rows, extraCols, card)
+	return db
+}
+
+// addScratchTable creates and loads one table: column 0 is a unique id,
+// column 1 cycles through `card` distinct values, and the remaining
+// extraCols alternate int and float payloads.
+func addScratchTable(db *engine.DB, cfg Config, name string, rows, extraCols, card int) {
+	cols := []catalog.Column{
+		{Name: "id", Type: catalog.Int64},
+		{Name: "grp", Type: catalog.Int64},
+	}
+	for i := 0; i < extraCols; i++ {
+		if i%2 == 0 {
+			cols = append(cols, catalog.Column{Name: "ic" + string(rune('a'+i)), Type: catalog.Int64})
+		} else {
+			cols = append(cols, catalog.Column{Name: "fc" + string(rune('a'+i)), Type: catalog.Float64})
+		}
+	}
+	if _, err := db.CreateTable(name, catalog.NewSchema(cols...)); err != nil {
+		panic(err)
+	}
+	if card < 1 {
+		card = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	data := make([]storage.Tuple, rows)
+	for i := 0; i < rows; i++ {
+		t := storage.Tuple{
+			storage.NewInt(int64(i)),
+			storage.NewInt(int64(rng.Intn(card))),
+		}
+		for c := 0; c < extraCols; c++ {
+			if c%2 == 0 {
+				t = append(t, storage.NewInt(rng.Int63n(1000)))
+			} else {
+				t = append(t, storage.NewFloat(rng.Float64()*1000))
+			}
+		}
+		data[i] = t
+	}
+	if err := db.BulkLoad(name, data); err != nil {
+		panic(err)
+	}
+}
+
+// measureSalt distinguishes the noise seeds of successive measurement
+// series; runners execute single-threaded, so the sequence is
+// deterministic.
+var measureSalt atomic.Int64
+
+// measure executes fn Warmups+Repetitions times, each against a fresh
+// collector, discards the warmups, and reduces the repeated measurements to
+// trimmed-mean labels per recorded OU invocation (aligned by position;
+// execution is deterministic). The reduced records are added to repo.
+func measure(repo *metrics.Repository, cfg Config, fn func(col *metrics.Collector)) {
+	reps := cfg.Repetitions
+	if reps < 1 {
+		reps = 1
+	}
+	salt := measureSalt.Add(1)
+	var runs [][]metrics.Record
+	for i := 0; i < cfg.Warmups+reps; i++ {
+		col := metrics.NewCollector()
+		if cfg.NoiseScale > 0 {
+			col.SetNoise(cfg.NoiseScale, cfg.Seed+salt*1000003+int64(i))
+		}
+		fn(col)
+		if i >= cfg.Warmups {
+			runs = append(runs, col.Drain())
+		}
+	}
+	if len(runs) == 0 {
+		return
+	}
+	n := len(runs[0])
+	for _, r := range runs {
+		if len(r) < n {
+			n = len(r)
+		}
+	}
+	for pos := 0; pos < n; pos++ {
+		labels := make([]hw.Metrics, len(runs))
+		for ri, r := range runs {
+			labels[ri] = r[pos].Labels
+		}
+		trim := cfg.TrimFrac
+		if trim < 0 {
+			trim = 0 // plain mean (ablation)
+		} else if trim == 0 {
+			trim = 0.2 // the paper's default
+		}
+		repo.Add(metrics.Record{
+			Kind:     runs[0][pos].Kind,
+			Features: runs[0][pos].Features,
+			Labels:   metrics.TrimmedMeanLabels(labels, trim),
+		})
+	}
+}
+
+// RunReport summarizes a data-generation run (the Table 2 accounting).
+type RunReport struct {
+	Records     int
+	SimulatedUS float64 // total simulated DBMS time spent exercising OUs
+}
+
+// OURunner is one OU-specific microbenchmark.
+type OURunner struct {
+	Name string
+	OUs  []ou.Kind
+	Run  func(repo *metrics.Repository, cfg Config)
+}
+
+// AllRunners returns every OU-runner, covering all 19 OUs.
+func AllRunners() []OURunner {
+	return []OURunner{
+		{Name: "seq_scan", OUs: []ou.Kind{ou.SeqScan, ou.Arithmetic}, Run: runSeqScan},
+		{Name: "idx_scan", OUs: []ou.Kind{ou.IdxScan}, Run: runIdxScan},
+		{Name: "hash_join", OUs: []ou.Kind{ou.HashJoinBuild, ou.HashJoinProbe}, Run: runHashJoin},
+		{Name: "agg", OUs: []ou.Kind{ou.AggBuild, ou.AggProbe}, Run: runAgg},
+		{Name: "sort", OUs: []ou.Kind{ou.SortBuild, ou.SortIter}, Run: runSort},
+		{Name: "output", OUs: []ou.Kind{ou.Output}, Run: runOutput},
+		{Name: "dml", OUs: []ou.Kind{ou.Insert, ou.Update, ou.Delete}, Run: runDML},
+		{Name: "index_build", OUs: []ou.Kind{ou.IndexBuild}, Run: runIndexBuild},
+		{Name: "gc", OUs: []ou.Kind{ou.GC}, Run: runGC},
+		{Name: "wal", OUs: []ou.Kind{ou.LogSerialize, ou.LogFlush}, Run: runWAL},
+		{Name: "txn", OUs: []ou.Kind{ou.TxnBegin, ou.TxnCommit}, Run: runTxn},
+	}
+}
+
+// RunAll executes every OU-runner into the repository and reports volume.
+func RunAll(repo *metrics.Repository, cfg Config) RunReport {
+	before := repo.NumRecords()
+	for _, r := range AllRunners() {
+		r.Run(repo, cfg)
+	}
+	rep := RunReport{Records: repo.NumRecords() - before}
+	for _, k := range repo.Kinds() {
+		for _, rec := range repo.Records(k) {
+			rep.SimulatedUS += rec.Labels.ElapsedUS
+		}
+	}
+	return rep
+}

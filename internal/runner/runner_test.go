@@ -1,0 +1,248 @@
+package runner
+
+import (
+	"testing"
+
+	"mb2/internal/catalog"
+	"mb2/internal/hw"
+	"mb2/internal/metrics"
+	"mb2/internal/modeling"
+	"mb2/internal/ou"
+	"mb2/internal/plan"
+)
+
+// tinyConfig keeps test sweeps fast.
+func tinyConfig() Config {
+	return Config{
+		CPU:         hw.DefaultCPU(),
+		Repetitions: 2,
+		Warmups:     1,
+		MaxRows:     600,
+		Seed:        1,
+	}
+}
+
+func TestRowLadder(t *testing.T) {
+	l := rowLadder(10000)
+	if l[0] != 8 || l[len(l)-1] != 8192 {
+		t.Fatalf("ladder = %v", l)
+	}
+	if got := rowLadder(4); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("tiny ladder = %v", got)
+	}
+}
+
+func TestMeasureTrimmedMean(t *testing.T) {
+	repo := metrics.NewRepository()
+	cfg := tinyConfig()
+	cfg.Repetitions = 5
+	calls := 0
+	measure(repo, cfg, func(col *metrics.Collector) {
+		calls++
+		v := 10.0
+		if calls == 3 { // one outlier run (within warmup+reps sequence)
+			v = 1e6
+		}
+		col.Emit(ou.SeqScan, []float64{1}, hw.Metrics{ElapsedUS: v})
+	})
+	if calls != cfg.Warmups+cfg.Repetitions {
+		t.Fatalf("measure ran fn %d times", calls)
+	}
+	recs := repo.Records(ou.SeqScan)
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Labels.ElapsedUS != 10 {
+		t.Fatalf("trimmed mean = %v, want 10", recs[0].Labels.ElapsedUS)
+	}
+}
+
+func TestRunAllCoversEveryOU(t *testing.T) {
+	repo := metrics.NewRepository()
+	cfg := tinyConfig()
+	rep := RunAll(repo, cfg)
+	if rep.Records == 0 || rep.SimulatedUS <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	have := map[ou.Kind]bool{}
+	for _, k := range repo.Kinds() {
+		have[k] = true
+	}
+	for k := 0; k < ou.NumKinds; k++ {
+		if !have[ou.Kind(k)] {
+			t.Errorf("no training data for OU %v", ou.Kind(k))
+		}
+	}
+	// Every record's feature width matches its OU spec.
+	for _, k := range repo.Kinds() {
+		spec := ou.Get(k)
+		for _, r := range repo.Records(k) {
+			if len(r.Features) != spec.NumFeatures() {
+				t.Fatalf("%v record has %d features, want %d", k, len(r.Features), spec.NumFeatures())
+			}
+		}
+	}
+}
+
+func TestRunnersCoverDeclaredOUs(t *testing.T) {
+	cfg := tinyConfig()
+	for _, r := range AllRunners() {
+		repo := metrics.NewRepository()
+		r.Run(repo, cfg)
+		have := map[ou.Kind]bool{}
+		for _, k := range repo.Kinds() {
+			have[k] = true
+		}
+		for _, k := range r.OUs {
+			if !have[k] {
+				t.Errorf("runner %s declared %v but produced no data", r.Name, k)
+			}
+		}
+	}
+}
+
+func trainTinyModels(t *testing.T, repo *metrics.Repository) *modeling.ModelSet {
+	t.Helper()
+	opts := modeling.DefaultTrainOptions()
+	opts.Candidates = []string{"huber"}
+	ms, err := modeling.TrainModelSet(repo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func TestExecuteIntervalAndInterferenceData(t *testing.T) {
+	cfg := tinyConfig()
+	db := scratchDB(cfg, "t", 2000, 2, 50)
+	templates := []QueryTemplate{
+		{Name: "scan", Plan: &plan.SeqScanNode{Table: "t", Rows: plan.Estimates{Rows: 2000}}},
+		{Name: "agg", Plan: &plan.AggNode{
+			Child:   &plan.SeqScanNode{Table: "t", Rows: plan.Estimates{Rows: 2000}},
+			GroupBy: []int{1},
+			Aggs:    []plan.AggSpec{{Fn: plan.Count, Arg: plan.Col(0)}},
+			Rows:    plan.Estimates{Rows: 50, Distinct: 50},
+		}},
+	}
+	ccfg := DefaultConcurrentConfig()
+	ccfg.IntervalUS = 100000
+
+	run, err := ExecuteInterval(db, ccfg, templates, RoundRobinAssignment([]int{0, 1}, 3, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Queries) != 12 || len(run.PerThreadIsolated) != 3 {
+		t.Fatalf("run shape: %d queries, %d threads", len(run.Queries), len(run.PerThreadIsolated))
+	}
+	for _, q := range run.Queries {
+		if q.Concurrent.ElapsedUS < q.Isolated.ElapsedUS {
+			t.Fatal("concurrent execution cannot be faster than isolated")
+		}
+	}
+
+	// Train tiny OU models from a quick sweep, then generate samples.
+	repo := metrics.NewRepository()
+	runSeqScan(repo, cfg)
+	runAgg(repo, cfg)
+	ms := trainTinyModels(t, repo)
+	tr := modeling.NewTranslator(db, ccfg.Mode)
+	samples, err := GenerateInterference(db, ms, tr, templates, ccfg, []int{1, 3}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no interference samples")
+	}
+	for _, s := range samples {
+		if len(s.ActualRatios) != hw.NumLabels {
+			t.Fatalf("ratio width %d", len(s.ActualRatios))
+		}
+		for _, r := range s.ActualRatios {
+			if r < 1 {
+				t.Fatalf("ratio %v < 1", r)
+			}
+		}
+	}
+}
+
+func TestExecuteIntervalExtraThreads(t *testing.T) {
+	cfg := tinyConfig()
+	db := scratchDB(cfg, "t", 1000, 0, 10)
+	templates := []QueryTemplate{
+		{Name: "scan", Plan: &plan.SeqScanNode{Table: "t", Rows: plan.Estimates{Rows: 1000}}},
+	}
+	ccfg := DefaultConcurrentConfig()
+	ccfg.IntervalUS = 2000
+	assign := RoundRobinAssignment([]int{0}, 2, 3)
+
+	quiet, err := ExecuteInterval(db, ccfg, templates, assign, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavyLoad := hw.Metrics{ElapsedUS: 2000, CPUTimeUS: 2000, Cycles: 4e6, CacheRefs: 2e6, CacheMisses: 4e5}
+	extra := []hw.Metrics{heavyLoad, heavyLoad, heavyLoad, heavyLoad,
+		heavyLoad, heavyLoad, heavyLoad, heavyLoad, heavyLoad, heavyLoad}
+	busy, err := ExecuteInterval(db, ccfg, templates, assign, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy.Queries[0].Concurrent.ElapsedUS <= quiet.Queries[0].Concurrent.ElapsedUS {
+		t.Fatalf("extra load must slow queries: %v vs %v",
+			busy.Queries[0].Concurrent.ElapsedUS, quiet.Queries[0].Concurrent.ElapsedUS)
+	}
+	if len(busy.Ratios) != 12 {
+		t.Fatalf("ratios must cover extra threads: %d", len(busy.Ratios))
+	}
+}
+
+func TestRoundRobinAssignment(t *testing.T) {
+	a := RoundRobinAssignment([]int{5, 7}, 2, 3)
+	if len(a) != 2 || len(a[0]) != 3 || len(a[1]) != 3 {
+		t.Fatalf("assignment = %v", a)
+	}
+	count := map[int]int{}
+	for _, list := range a {
+		for _, v := range list {
+			count[v]++
+		}
+	}
+	if count[5] != 3 || count[7] != 3 {
+		t.Fatalf("balance = %v", count)
+	}
+}
+
+func TestTemplateSubsets(t *testing.T) {
+	s := templateSubsets(8)
+	if len(s) != 4 || len(s[0]) != 8 {
+		t.Fatalf("subsets = %v", s)
+	}
+	if len(templateSubsets(1)) != 1 {
+		t.Fatal("single template must yield one subset")
+	}
+}
+
+func TestMeasureWithNoiseStaysRobust(t *testing.T) {
+	repo := metrics.NewRepository()
+	cfg := tinyConfig()
+	cfg.Repetitions = 10
+	cfg.NoiseScale = 0.2
+	db := scratchDB(cfg, "t", 200, 0, 10)
+	measure(repo, cfg, func(col *metrics.Collector) {
+		mustExec(ctxFor(db, cfg, col, catalog.Interpret), &plan.SeqScanNode{Table: "t"})
+	})
+	recs := repo.Records(ou.SeqScan)
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	// Compare to a noiseless reference: trimmed mean should land close.
+	ref := metrics.NewRepository()
+	cfg.NoiseScale = 0
+	measure(ref, cfg, func(col *metrics.Collector) {
+		mustExec(ctxFor(db, cfg, col, catalog.Interpret), &plan.SeqScanNode{Table: "t"})
+	})
+	want := ref.Records(ou.SeqScan)[0].Labels.ElapsedUS
+	got := recs[0].Labels.ElapsedUS
+	if got < want*0.8 || got > want*1.2 {
+		t.Fatalf("noisy trimmed mean %v too far from %v", got, want)
+	}
+}

@@ -1,0 +1,87 @@
+// Package sql implements a small SQL front end over the engine: a lexer,
+// a recursive-descent parser, and a binder/planner that resolves names
+// against the catalog, derives cardinality estimates from table statistics,
+// and emits physical plans for the executor. The paper's OU-runners drive
+// NoisePage through high-level SQL statements precisely because the SQL
+// surface is stable across internal API changes (Sec 6.2); this package
+// plays that role here.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkNumber
+	tkString
+	tkSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords and identifiers are lowercased
+	pos  int
+}
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(input) && input[j] != '\'' {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("sql: unterminated string at %d", i)
+			}
+			out = append(out, token{tkString, input[i+1 : j], i})
+			i = j + 1
+		case unicode.IsDigit(c) || (c == '.' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1]))):
+			j := i
+			for j < len(input) && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
+				j++
+			}
+			out = append(out, token{tkNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			out = append(out, token{tkIdent, strings.ToLower(input[i:j]), i})
+			i = j
+		default:
+			// Two-character operators first.
+			if i+1 < len(input) {
+				two := input[i : i+2]
+				if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+					out = append(out, token{tkSymbol, two, i})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', '*', '=', '<', '>', '+', '-', '/', '.', ';':
+				out = append(out, token{tkSymbol, string(c), i})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	out = append(out, token{tkEOF, "", len(input)})
+	return out, nil
+}

@@ -1,0 +1,202 @@
+// Package txn implements the MVCC transaction manager: timestamp
+// allocation, snapshot tracking, commit/abort, and the logical-contention
+// accounting that feeds the transaction begin/commit OUs (Table 1).
+package txn
+
+import (
+	"errors"
+	"sync"
+
+	"mb2/internal/hw"
+	"mb2/internal/storage"
+)
+
+// ErrTxnFinished is returned for operations on a committed/aborted txn.
+var ErrTxnFinished = errors.New("txn: transaction already finished")
+
+// State is a transaction's lifecycle state.
+type State int
+
+// Transaction states.
+const (
+	Active State = iota
+	Committed
+	Aborted
+)
+
+type writeRecord struct {
+	table *storage.Table
+	row   storage.RowID
+	redo  storage.Tuple // nil for delete
+}
+
+// Txn is one transaction. It is owned by a single worker thread.
+type Txn struct {
+	ID     uint64
+	ReadTS uint64
+
+	mgr    *Manager
+	state  State
+	writes []writeRecord
+}
+
+// Manager hands out timestamps and tracks active transactions.
+type Manager struct {
+	mu        sync.Mutex
+	commitTS  uint64 // last committed timestamp
+	nextTxnID uint64
+	active    map[uint64]uint64 // txnID -> readTS
+
+	begun     uint64
+	committed uint64
+	aborted   uint64
+}
+
+// NewManager returns a fresh transaction manager. Timestamp 0 is reserved
+// for pre-loaded data, so a snapshot at 0 already sees bulk-loaded rows.
+func NewManager() *Manager {
+	return &Manager{nextTxnID: 1, active: make(map[uint64]uint64)}
+}
+
+// Begin starts a transaction, charging the begin OU's bookkeeping to th.
+// The contention charge grows with the number of already-active
+// transactions, mirroring the timestamp-allocation and active-set latches
+// the paper's contending txn OUs capture.
+func (m *Manager) Begin(th *hw.Thread) *Txn {
+	m.mu.Lock()
+	id := m.nextTxnID
+	m.nextTxnID++
+	readTS := m.commitTS
+	m.active[id] = readTS
+	concurrent := len(m.active)
+	m.begun++
+	m.mu.Unlock()
+	if th != nil {
+		th.Latch(float64(concurrent))
+		th.Compute(120)
+		th.Alloc(96)
+	}
+	return &Txn{ID: id, ReadTS: readTS, mgr: m}
+}
+
+// RecordWrite registers a write for commit/abort processing and WAL
+// serialization. The storage layer has already installed the version.
+func (t *Txn) RecordWrite(table *storage.Table, row storage.RowID, redo storage.Tuple) {
+	t.writes = append(t.writes, writeRecord{table: table, row: row, redo: redo})
+}
+
+// NumWrites returns how many writes the transaction has recorded.
+func (t *Txn) NumWrites() int { return len(t.writes) }
+
+// RedoBytes returns the modeled size of the transaction's redo log payload.
+func (t *Txn) RedoBytes() int {
+	total := 0
+	for _, w := range t.writes {
+		total += 24 // header: table, row, type
+		if w.redo != nil {
+			total += w.redo.Bytes()
+		}
+	}
+	return total
+}
+
+// Commit assigns a commit timestamp, stamps every written version, and
+// retires the transaction. It returns the commit timestamp.
+func (t *Txn) Commit(th *hw.Thread) (uint64, error) {
+	if t.state != Active {
+		return 0, ErrTxnFinished
+	}
+	m := t.mgr
+	m.mu.Lock()
+	m.commitTS++
+	ts := m.commitTS
+	delete(m.active, t.ID)
+	concurrent := len(m.active) + 1
+	m.committed++
+	m.mu.Unlock()
+
+	for _, w := range t.writes {
+		w.table.CommitWrite(w.row, t.ID, ts)
+	}
+	t.state = Committed
+	if th != nil {
+		th.Latch(float64(concurrent))
+		th.Compute(150 + 40*float64(len(t.writes)))
+		th.Free(96)
+	}
+	return ts, nil
+}
+
+// Abort rolls back every installed version and retires the transaction.
+func (t *Txn) Abort(th *hw.Thread) error {
+	if t.state != Active {
+		return ErrTxnFinished
+	}
+	m := t.mgr
+	m.mu.Lock()
+	delete(m.active, t.ID)
+	concurrent := len(m.active) + 1
+	m.aborted++
+	m.mu.Unlock()
+
+	for i := len(t.writes) - 1; i >= 0; i-- {
+		w := t.writes[i]
+		w.table.AbortWrite(w.row, t.ID)
+	}
+	t.state = Aborted
+	if th != nil {
+		th.Latch(float64(concurrent))
+		th.Compute(150 + 60*float64(len(t.writes)))
+		th.Free(96)
+	}
+	return nil
+}
+
+// State returns the transaction's lifecycle state.
+func (t *Txn) State() State { return t.state }
+
+// OldestActiveTS returns the snapshot below which all versions are stable:
+// the read timestamp of the oldest active transaction, or the latest commit
+// timestamp when the system is idle. GC prunes up to this point.
+func (m *Manager) OldestActiveTS() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldest := m.commitTS
+	for _, ts := range m.active {
+		if ts < oldest {
+			oldest = ts
+		}
+	}
+	return oldest
+}
+
+// AdvanceTo raises the commit timestamp to at least ts (used by recovery so
+// replayed versions become visible to new snapshots).
+func (m *Manager) AdvanceTo(ts uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ts > m.commitTS {
+		m.commitTS = ts
+	}
+}
+
+// LastCommitTS returns the most recent commit timestamp.
+func (m *Manager) LastCommitTS() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commitTS
+}
+
+// ActiveCount returns the number of in-flight transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// Stats reports lifetime counters (begun, committed, aborted).
+func (m *Manager) Stats() (begun, committed, aborted uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.begun, m.committed, m.aborted
+}

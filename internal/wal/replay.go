@@ -1,0 +1,118 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mb2/internal/catalog"
+	"mb2/internal/storage"
+)
+
+// Deserialize parses the serialized records in buf (the inverse of
+// Record.Serialize). It fails on truncated or corrupt input.
+func Deserialize(buf []byte) ([]Record, error) {
+	var out []Record
+	off := 0
+	for off < len(buf) {
+		if off+4 > len(buf) {
+			return nil, fmt.Errorf("wal: truncated length prefix at %d", off)
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+		off += 4
+		if off+n > len(buf) {
+			return nil, fmt.Errorf("wal: truncated record body at %d", off)
+		}
+		rec, err := decodeRecord(buf[off : off+n])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+		off += n
+	}
+	return out, nil
+}
+
+func decodeRecord(b []byte) (Record, error) {
+	var r Record
+	if len(b) < 1+8+4+8+2 {
+		return r, fmt.Errorf("wal: record too short (%d bytes)", len(b))
+	}
+	r.Type = RecordType(b[0])
+	r.TxnID = binary.LittleEndian.Uint64(b[1:9])
+	r.TableID = int32(binary.LittleEndian.Uint32(b[9:13]))
+	r.Row = int64(binary.LittleEndian.Uint64(b[13:21]))
+	nvals := int(binary.LittleEndian.Uint16(b[21:23]))
+	off := 23
+	for i := 0; i < nvals; i++ {
+		if off >= len(b) {
+			return r, fmt.Errorf("wal: truncated value %d", i)
+		}
+		kind := catalog.Type(b[off])
+		off++
+		switch kind {
+		case catalog.Varchar:
+			if off+2 > len(b) {
+				return r, fmt.Errorf("wal: truncated string length")
+			}
+			sl := int(binary.LittleEndian.Uint16(b[off : off+2]))
+			off += 2
+			if off+sl > len(b) {
+				return r, fmt.Errorf("wal: truncated string body")
+			}
+			r.Payload = append(r.Payload, storage.NewString(string(b[off:off+sl])))
+			off += sl
+		case catalog.Float64:
+			if off+8 > len(b) {
+				return r, fmt.Errorf("wal: truncated float")
+			}
+			r.Payload = append(r.Payload, storage.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b[off:off+8]))))
+			off += 8
+		case catalog.Int64:
+			if off+8 > len(b) {
+				return r, fmt.Errorf("wal: truncated int")
+			}
+			r.Payload = append(r.Payload, storage.NewInt(int64(binary.LittleEndian.Uint64(b[off:off+8]))))
+			off += 8
+		default:
+			return r, fmt.Errorf("wal: unknown value kind %d", kind)
+		}
+	}
+	return r, nil
+}
+
+// Replay applies the redo records of committed transactions to the given
+// tables (keyed by table ID): the recovery path. Records of transactions
+// without a commit record are discarded, exactly as a crash would lose
+// uncommitted work. It returns how many write records were applied.
+func Replay(records []Record, tables map[int32]*storage.Table) (int, error) {
+	committed := make(map[uint64]bool)
+	for _, r := range records {
+		if r.Type == RecordCommit {
+			committed[r.TxnID] = true
+		}
+	}
+	applied := 0
+	ts := uint64(1)
+	for _, r := range records {
+		if r.Type == RecordCommit || !committed[r.TxnID] {
+			continue
+		}
+		t, ok := tables[r.TableID]
+		if !ok {
+			return applied, fmt.Errorf("wal: replay references unknown table %d", r.TableID)
+		}
+		switch r.Type {
+		case RecordInsert:
+			t.ReplayWrite(storage.RowID(r.Row), r.Payload, ts)
+		case RecordUpdate:
+			t.ReplayWrite(storage.RowID(r.Row), r.Payload, ts)
+		case RecordDelete:
+			t.ReplayWrite(storage.RowID(r.Row), nil, ts)
+		default:
+			return applied, fmt.Errorf("wal: unknown record type %d", r.Type)
+		}
+		applied++
+	}
+	return applied, nil
+}

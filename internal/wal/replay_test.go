@@ -1,0 +1,160 @@
+package wal
+
+import (
+	"testing"
+
+	"mb2/internal/catalog"
+	"mb2/internal/storage"
+)
+
+func testMeta() *catalog.TableMeta {
+	return &catalog.TableMeta{ID: 3, Name: "t", Schema: catalog.NewSchema(
+		catalog.Column{Name: "k", Type: catalog.Int64},
+		catalog.Column{Name: "f", Type: catalog.Float64},
+		catalog.Column{Name: "s", Type: catalog.Varchar},
+	)}
+}
+
+func TestSerializeDeserializeRoundTrip(t *testing.T) {
+	records := []Record{
+		{Type: RecordInsert, TxnID: 1, TableID: 3, Row: 0,
+			Payload: storage.Tuple{storage.NewInt(-42), storage.NewFloat(3.25), storage.NewString("héllo")}},
+		{Type: RecordUpdate, TxnID: 1, TableID: 3, Row: 0,
+			Payload: storage.Tuple{storage.NewInt(7), storage.NewFloat(-0.5), storage.NewString("")}},
+		{Type: RecordDelete, TxnID: 2, TableID: 3, Row: 5},
+		{Type: RecordCommit, TxnID: 1},
+	}
+	var buf []byte
+	for _, r := range records {
+		buf = r.Serialize(buf)
+	}
+	got, err := Deserialize(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(records))
+	}
+	for i, r := range records {
+		g := got[i]
+		if g.Type != r.Type || g.TxnID != r.TxnID || g.TableID != r.TableID || g.Row != r.Row {
+			t.Fatalf("record %d header mismatch: %+v vs %+v", i, g, r)
+		}
+		if len(g.Payload) != len(r.Payload) {
+			t.Fatalf("record %d payload length %d vs %d", i, len(g.Payload), len(r.Payload))
+		}
+		for j := range r.Payload {
+			if !g.Payload[j].Equal(r.Payload[j]) {
+				t.Fatalf("record %d value %d: %v vs %v", i, j, g.Payload[j], r.Payload[j])
+			}
+		}
+	}
+}
+
+func TestDeserializeCorruptInput(t *testing.T) {
+	good := Record{Type: RecordInsert, TxnID: 1, TableID: 3, Row: 0,
+		Payload: storage.Tuple{storage.NewInt(1)}}.Serialize(nil)
+	for _, cut := range []int{1, 3, 10, len(good) - 1} {
+		if _, err := Deserialize(good[:cut]); err == nil {
+			t.Errorf("truncation at %d must error", cut)
+		}
+	}
+	bad := append([]byte(nil), good...)
+	bad[27] = 99 // value kind byte (4-byte length prefix + 23-byte header)
+	if _, err := Deserialize(bad); err == nil {
+		t.Error("unknown value kind must error")
+	}
+}
+
+func TestReplayAppliesOnlyCommitted(t *testing.T) {
+	// Simulated pre-crash history: txn 1 commits an insert+update, txn 2's
+	// insert never commits, txn 3 commits a delete of txn 1's row.
+	tuple := func(k int64, s string) storage.Tuple {
+		return storage.Tuple{storage.NewInt(k), storage.NewFloat(0), storage.NewString(s)}
+	}
+	records := []Record{
+		{Type: RecordInsert, TxnID: 1, TableID: 3, Row: 0, Payload: tuple(1, "a")},
+		{Type: RecordInsert, TxnID: 2, TableID: 3, Row: 1, Payload: tuple(2, "ghost")},
+		{Type: RecordUpdate, TxnID: 1, TableID: 3, Row: 0, Payload: tuple(1, "b")},
+		{Type: RecordCommit, TxnID: 1},
+		{Type: RecordInsert, TxnID: 3, TableID: 3, Row: 2, Payload: tuple(3, "c")},
+		{Type: RecordCommit, TxnID: 3},
+	}
+
+	tbl := storage.NewTable(testMeta())
+	applied, err := Replay(records, map[int32]*storage.Table{3: tbl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 3 {
+		t.Fatalf("applied %d records, want 3", applied)
+	}
+	// Row 0 carries txn 1's final update.
+	got, err := tbl.Read(nil, 0, 99, storage.MaxTS)
+	if err != nil || got[2].S != "b" {
+		t.Fatalf("row 0 = %v, %v", got, err)
+	}
+	// Row 1 (uncommitted txn 2) must not exist.
+	if _, err := tbl.Read(nil, 1, 99, storage.MaxTS); err == nil {
+		t.Fatal("uncommitted insert resurrected")
+	}
+	// Row 2 exists.
+	if got, err := tbl.Read(nil, 2, 99, storage.MaxTS); err != nil || got[0].I != 3 {
+		t.Fatalf("row 2 = %v, %v", got, err)
+	}
+}
+
+func TestReplayDelete(t *testing.T) {
+	records := []Record{
+		{Type: RecordInsert, TxnID: 1, TableID: 3, Row: 0,
+			Payload: storage.Tuple{storage.NewInt(1), storage.NewFloat(0), storage.NewString("x")}},
+		{Type: RecordCommit, TxnID: 1},
+		{Type: RecordDelete, TxnID: 2, TableID: 3, Row: 0},
+		{Type: RecordCommit, TxnID: 2},
+	}
+	tbl := storage.NewTable(testMeta())
+	if _, err := Replay(records, map[int32]*storage.Table{3: tbl}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Read(nil, 0, 99, storage.MaxTS); err == nil {
+		t.Fatal("deleted row visible after replay")
+	}
+}
+
+func TestReplayUnknownTable(t *testing.T) {
+	records := []Record{
+		{Type: RecordInsert, TxnID: 1, TableID: 9, Row: 0,
+			Payload: storage.Tuple{storage.NewInt(1)}},
+		{Type: RecordCommit, TxnID: 1},
+	}
+	if _, err := Replay(records, map[int32]*storage.Table{}); err == nil {
+		t.Fatal("unknown table must error")
+	}
+}
+
+func TestDurableImageRoundTrip(t *testing.T) {
+	m := NewManager(128)
+	for i := 0; i < 10; i++ {
+		m.Enqueue(nil, Record{Type: RecordInsert, TxnID: uint64(i), TableID: 3, Row: int64(i),
+			Payload: storage.Tuple{storage.NewInt(int64(i))}})
+	}
+	m.Enqueue(nil, Record{Type: RecordCommit, TxnID: 4})
+	m.Serialize(nil)
+	m.Flush(nil)
+
+	recs, err := Deserialize(m.Durable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 11 {
+		t.Fatalf("durable image has %d records, want 11", len(recs))
+	}
+	tbl := storage.NewTable(testMeta())
+	applied, err := Replay(recs, map[int32]*storage.Table{3: tbl})
+	if err != nil || applied != 1 {
+		t.Fatalf("applied=%d err=%v (only txn 4 committed)", applied, err)
+	}
+	if _, err := tbl.Read(nil, 4, 99, storage.MaxTS); err != nil {
+		t.Fatal("committed row missing after end-to-end replay")
+	}
+}

@@ -1,0 +1,228 @@
+// Package wal implements write-ahead logging: per-transaction redo-record
+// serialization into log buffers and periodic group flushes to a simulated
+// block device. Serialization and flushing are the paper's two WAL batch
+// OUs (Table 1).
+package wal
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"mb2/internal/catalog"
+
+	"mb2/internal/hw"
+	"mb2/internal/storage"
+)
+
+// RecordType distinguishes redo record kinds.
+type RecordType byte
+
+// Redo record kinds.
+const (
+	RecordInsert RecordType = iota + 1
+	RecordUpdate
+	RecordDelete
+	RecordCommit
+)
+
+// Record is one redo log record.
+type Record struct {
+	Type    RecordType
+	TxnID   uint64
+	TableID int32
+	Row     int64
+	Payload storage.Tuple // nil for deletes/commits
+}
+
+// Serialize appends the binary encoding of the record to dst and returns the
+// extended slice. The format is length-prefixed so buffers can be replayed.
+func (r Record) Serialize(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length placeholder
+	dst = append(dst, byte(r.Type))
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], r.TxnID)
+	dst = append(dst, scratch[:]...)
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(r.TableID))
+	dst = append(dst, scratch[:4]...)
+	binary.LittleEndian.PutUint64(scratch[:], uint64(r.Row))
+	dst = append(dst, scratch[:]...)
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(len(r.Payload)))
+	dst = append(dst, scratch[:2]...)
+	for _, v := range r.Payload {
+		dst = append(dst, byte(v.Kind))
+		switch v.Kind {
+		case catalog.Varchar:
+			binary.LittleEndian.PutUint16(scratch[:2], uint16(len(v.S)))
+			dst = append(dst, scratch[:2]...)
+			dst = append(dst, v.S...)
+		case catalog.Float64:
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v.F))
+			dst = append(dst, scratch[:8]...)
+		default:
+			binary.LittleEndian.PutUint64(scratch[:], uint64(v.I))
+			dst = append(dst, scratch[:8]...)
+		}
+	}
+	binary.LittleEndian.PutUint32(dst[start:start+4], uint32(len(dst)-start-4))
+	return dst
+}
+
+// Manager queues redo records, serializes them into log buffers, and
+// flushes sealed buffers in groups. Queueing happens on query threads and
+// is cheap; serialization and flushing run on the dedicated log-manager
+// thread and are the two WAL batch OUs.
+type Manager struct {
+	mu          sync.Mutex
+	bufferBytes int
+	queue       []Record
+	current     []byte
+	sealed      [][]byte
+
+	serializedRecords uint64
+	serializedBytes   uint64
+	flushedBytes      uint64
+	flushedBuffers    uint64
+	flushes           uint64
+
+	device []byte // durable image: everything flushed so far
+}
+
+// NewManager returns a WAL with the given log-buffer size.
+func NewManager(bufferBytes int) *Manager {
+	if bufferBytes <= 0 {
+		bufferBytes = 64 * 1024
+	}
+	return &Manager{bufferBytes: bufferBytes}
+}
+
+// Enqueue hands a redo record to the log manager. The queue hand-off is the
+// only cost the issuing query thread pays.
+func (m *Manager) Enqueue(th *hw.Thread, r Record) {
+	m.mu.Lock()
+	m.queue = append(m.queue, r)
+	m.mu.Unlock()
+	if th != nil {
+		th.Compute(40)
+	}
+}
+
+// SerializeStats summarizes one serialization pass: the log-record-serialize
+// OU's batch of work.
+type SerializeStats struct {
+	Records int
+	Bytes   int
+	Buffers int // buffers sealed during this pass
+}
+
+// Serialize drains the record queue into log buffers, charging the encoding
+// work to th (the log-manager thread).
+func (m *Manager) Serialize(th *hw.Thread) SerializeStats {
+	m.mu.Lock()
+	queue := m.queue
+	m.queue = nil
+	m.mu.Unlock()
+
+	var st SerializeStats
+	var local []byte
+	for _, r := range queue {
+		before := len(local)
+		local = r.Serialize(local)
+		st.Bytes += len(local) - before
+		st.Records++
+	}
+	if th != nil && st.Records > 0 {
+		th.SeqRead(float64(st.Records), 48)
+		th.SeqWrite(float64(st.Bytes)/8, 8)
+		th.Compute(float64(st.Records) * 80)
+	}
+
+	m.mu.Lock()
+	m.serializedRecords += uint64(st.Records)
+	m.serializedBytes += uint64(st.Bytes)
+	m.current = append(m.current, local...)
+	for len(m.current) >= m.bufferBytes {
+		buf := m.current[:m.bufferBytes]
+		m.current = m.current[m.bufferBytes:]
+		m.sealed = append(m.sealed, buf)
+		st.Buffers++
+	}
+	m.mu.Unlock()
+	return st
+}
+
+// PendingRecords returns how many enqueued records await serialization.
+func (m *Manager) PendingRecords() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// FlushStats summarizes one flush invocation: the log-flush OU's work.
+type FlushStats struct {
+	Bytes   int
+	Buffers int
+	Blocks  int
+}
+
+// Flush seals the current buffer and writes everything outstanding to the
+// simulated device, charging block writes to th.
+func (m *Manager) Flush(th *hw.Thread) FlushStats {
+	m.mu.Lock()
+	if len(m.current) > 0 {
+		m.sealed = append(m.sealed, m.current)
+		m.current = nil
+	}
+	buffers := m.sealed
+	m.sealed = nil
+	m.mu.Unlock()
+
+	var st FlushStats
+	for _, b := range buffers {
+		st.Bytes += len(b)
+		st.Buffers++
+	}
+	if st.Bytes > 0 {
+		st.Blocks = (st.Bytes + hw.BlockBytes - 1) / hw.BlockBytes
+		if th != nil {
+			th.SeqRead(float64(st.Bytes)/64, 64) // gather buffers
+			th.WriteBlocks(float64(st.Blocks))
+		}
+	}
+	m.mu.Lock()
+	m.flushedBytes += uint64(st.Bytes)
+	m.flushedBuffers += uint64(st.Buffers)
+	m.flushes++
+	for _, b := range buffers {
+		m.device = append(m.device, b...)
+	}
+	m.mu.Unlock()
+	return st
+}
+
+// Durable returns a copy of the flushed (crash-safe) log image, the input
+// to Replay.
+func (m *Manager) Durable() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.device...)
+}
+
+// PendingBytes returns how much serialized log data awaits flushing.
+func (m *Manager) PendingBytes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.current)
+	for _, b := range m.sealed {
+		n += len(b)
+	}
+	return n
+}
+
+// Stats reports lifetime counters.
+func (m *Manager) Stats() (records, bytes, flushedBytes, flushedBuffers, flushes uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.serializedRecords, m.serializedBytes, m.flushedBytes, m.flushedBuffers, m.flushes
+}

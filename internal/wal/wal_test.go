@@ -1,0 +1,113 @@
+package wal
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"mb2/internal/hw"
+	"mb2/internal/storage"
+)
+
+func th() *hw.Thread { return hw.NewThread(hw.DefaultCPU()) }
+
+func rec(txnID uint64, payload storage.Tuple) Record {
+	return Record{Type: RecordUpdate, TxnID: txnID, TableID: 3, Row: 42, Payload: payload}
+}
+
+func TestSerializeRoundTripHeader(t *testing.T) {
+	r := rec(7, storage.Tuple{storage.NewInt(5), storage.NewString("abc")})
+	buf := r.Serialize(nil)
+	if len(buf) < 4 {
+		t.Fatal("too short")
+	}
+	n := binary.LittleEndian.Uint32(buf[:4])
+	if int(n) != len(buf)-4 {
+		t.Fatalf("length prefix %d != body %d", n, len(buf)-4)
+	}
+	if RecordType(buf[4]) != RecordUpdate {
+		t.Fatal("type byte wrong")
+	}
+	if binary.LittleEndian.Uint64(buf[5:13]) != 7 {
+		t.Fatal("txn id wrong")
+	}
+}
+
+func TestSerializeAppendsMultiple(t *testing.T) {
+	var buf []byte
+	buf = rec(1, nil).Serialize(buf)
+	l1 := len(buf)
+	buf = rec(2, storage.Tuple{storage.NewInt(9)}).Serialize(buf)
+	if len(buf) <= l1 {
+		t.Fatal("second record not appended")
+	}
+	// Both records parse out by walking length prefixes.
+	count := 0
+	for off := 0; off < len(buf); {
+		n := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+		off += 4 + n
+		count++
+	}
+	if count != 2 {
+		t.Fatalf("walked %d records, want 2", count)
+	}
+}
+
+func TestBufferRotation(t *testing.T) {
+	m := NewManager(256)
+	payload := storage.Tuple{storage.NewString("0123456789abcdef0123456789abcdef")}
+	for i := 0; i < 20; i++ {
+		m.Enqueue(th(), rec(uint64(i), payload))
+	}
+	if m.PendingRecords() != 20 {
+		t.Fatalf("pending records = %d", m.PendingRecords())
+	}
+	ser := m.Serialize(th())
+	if ser.Records != 20 || ser.Bytes == 0 {
+		t.Fatalf("serialize stats: %+v", ser)
+	}
+	if ser.Buffers < 2 {
+		t.Fatalf("small buffer must rotate: %d buffers sealed", ser.Buffers)
+	}
+	records, bytes, _, _, _ := m.Stats()
+	if records != 20 || int(bytes) != ser.Bytes {
+		t.Fatalf("stats: %d records %d bytes", records, bytes)
+	}
+	if m.PendingBytes() == 0 {
+		t.Fatal("pending bytes must accumulate")
+	}
+	st := m.Flush(th())
+	if st.Blocks <= 0 || st.Bytes != ser.Bytes {
+		t.Fatalf("flush stats wrong: %+v vs %d serialized", st, ser.Bytes)
+	}
+	if m.PendingBytes() != 0 {
+		t.Fatal("flush must drain")
+	}
+	if m.Serialize(nil).Records != 0 {
+		t.Fatal("empty serialize must be a no-op")
+	}
+}
+
+func TestFlushEmpty(t *testing.T) {
+	m := NewManager(0) // default size kicks in
+	st := m.Flush(th())
+	if st.Bytes != 0 || st.Buffers != 0 || st.Blocks != 0 {
+		t.Fatalf("empty flush: %+v", st)
+	}
+}
+
+func TestFlushChargesBlockWrites(t *testing.T) {
+	m := NewManager(64 * 1024)
+	for i := 0; i < 100; i++ {
+		m.Enqueue(nil, rec(uint64(i), storage.Tuple{storage.NewInt(int64(i))}))
+	}
+	m.Serialize(nil)
+	w := th()
+	st := m.Flush(w)
+	metrics := w.Since(hw.Counters{})
+	if metrics.BlockWrites != float64(st.Blocks) {
+		t.Fatalf("block writes %v != %d", metrics.BlockWrites, st.Blocks)
+	}
+	if metrics.ElapsedUS <= metrics.CPUTimeUS {
+		t.Fatal("flush must include IO wait")
+	}
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math/rand"
+
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/plan"
+	"mb2/internal/runner"
+	"mb2/internal/storage"
+)
+
+// SmallBank is the banking OLTP benchmark: three tables and five
+// transaction types modeling customers interacting with a bank branch.
+// Scale 1.0 loads 10,000 accounts.
+type SmallBank struct{}
+
+// Name implements Benchmark.
+func (SmallBank) Name() string { return "smallbank" }
+
+const smallbankAccounts = 10000
+
+// Load implements Benchmark.
+func (SmallBank) Load(db *engine.DB, scale float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	accounts := int(float64(smallbankAccounts) * scale)
+	if accounts < 1 {
+		accounts = 1
+	}
+
+	tables := []struct {
+		name string
+		cols []catalog.Column
+	}{
+		{"accounts", []catalog.Column{ic("custid"), catalog.Column{Name: "name", Type: catalog.Varchar, Width: 20}}},
+		{"savings", []catalog.Column{ic("sv_custid"), fc("sv_bal")}},
+		{"checking", []catalog.Column{ic("ck_custid"), fc("ck_bal")}},
+	}
+	for _, t := range tables {
+		if _, err := db.CreateTable(t.name, catalog.NewSchema(t.cols...)); err != nil {
+			return err
+		}
+	}
+
+	var acc, sav, chk []storage.Tuple
+	for i := 0; i < accounts; i++ {
+		acc = append(acc, storage.Tuple{storage.NewInt(int64(i)), storage.NewString("customer")})
+		sav = append(sav, storage.Tuple{storage.NewInt(int64(i)), storage.NewFloat(rng.Float64() * 10000)})
+		chk = append(chk, storage.Tuple{storage.NewInt(int64(i)), storage.NewFloat(rng.Float64() * 10000)})
+	}
+	if err := db.BulkLoad("accounts", acc); err != nil {
+		return err
+	}
+	if err := db.BulkLoad("savings", sav); err != nil {
+		return err
+	}
+	if err := db.BulkLoad("checking", chk); err != nil {
+		return err
+	}
+
+	for _, pk := range []struct {
+		idx, table, col string
+	}{
+		{"accounts_pk", "accounts", "custid"},
+		{"savings_pk", "savings", "sv_custid"},
+		{"checking_pk", "checking", "ck_custid"},
+	} {
+		if _, _, err := db.CreateIndex(nil, db.Machine.CPU, pk.idx, pk.table, []string{pk.col}, true, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Procedures returns SmallBank's five transaction types.
+func (SmallBank) Procedures() []Procedure {
+	point := func(table, index string, id int64) *plan.IdxScanNode {
+		return &plan.IdxScanNode{Table: table, Index: index,
+			Eq: []storage.Value{storage.NewInt(id)}, Rows: est(1, 1)}
+	}
+	addTo := func(table, index string, id int64, col int, delta float64) *plan.UpdateNode {
+		return &plan.UpdateNode{
+			Child: point(table, index, id), Table: table,
+			SetCols:  []int{col},
+			SetExprs: []plan.Expr{plan.Arith{Op: plan.Add, L: plan.Col(col), R: plan.FloatConst(delta)}},
+			Rows:     est(1, 1),
+		}
+	}
+	accounts := func(db *engine.DB) int { return int(db.RowCount("accounts")) }
+
+	return []Procedure{
+		{Name: "Balance", Weight: 25, Make: func(db *engine.DB, rng *rand.Rand) []plan.Node {
+			id := pick(rng, accounts(db))
+			return []plan.Node{
+				point("accounts", "accounts_pk", id),
+				point("savings", "savings_pk", id),
+				point("checking", "checking_pk", id),
+			}
+		}},
+		{Name: "DepositChecking", Weight: 25, Make: func(db *engine.DB, rng *rand.Rand) []plan.Node {
+			id := pick(rng, accounts(db))
+			return []plan.Node{
+				point("accounts", "accounts_pk", id),
+				addTo("checking", "checking_pk", id, 1, 1.3),
+			}
+		}},
+		{Name: "TransactSavings", Weight: 15, Make: func(db *engine.DB, rng *rand.Rand) []plan.Node {
+			id := pick(rng, accounts(db))
+			return []plan.Node{
+				point("accounts", "accounts_pk", id),
+				addTo("savings", "savings_pk", id, 1, 20.2),
+			}
+		}},
+		{Name: "Amalgamate", Weight: 15, Make: func(db *engine.DB, rng *rand.Rand) []plan.Node {
+			a := pick(rng, accounts(db))
+			b := pick(rng, accounts(db))
+			return []plan.Node{
+				point("accounts", "accounts_pk", a),
+				point("accounts", "accounts_pk", b),
+				point("savings", "savings_pk", a),
+				addTo("savings", "savings_pk", a, 1, -100),
+				addTo("checking", "checking_pk", b, 1, 100),
+			}
+		}},
+		{Name: "WriteCheck", Weight: 20, Make: func(db *engine.DB, rng *rand.Rand) []plan.Node {
+			id := pick(rng, accounts(db))
+			return []plan.Node{
+				point("accounts", "accounts_pk", id),
+				point("savings", "savings_pk", id),
+				addTo("checking", "checking_pk", id, 1, -5.0),
+			}
+		}},
+	}
+}
+
+// Templates implements Benchmark.
+func (b SmallBank) Templates(db *engine.DB, seed int64) []runner.QueryTemplate {
+	rng := rand.New(rand.NewSource(seed))
+	var out []runner.QueryTemplate
+	for _, p := range b.Procedures() {
+		for i, pl := range p.Make(db, rng) {
+			switch pl.(type) {
+			case *plan.UpdateNode, *plan.DeleteNode, *plan.InsertNode:
+				continue
+			}
+			out = append(out, runner.QueryTemplate{Name: p.Name + "#" + string(rune('0'+i)), Plan: pl})
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"math/rand"
+
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/plan"
+	"mb2/internal/runner"
+	"mb2/internal/storage"
+)
+
+// TATP is the telecom OLTP benchmark: four tables and seven transaction
+// types over a cellphone registration service. Scale 1.0 loads 10,000
+// subscribers.
+type TATP struct{}
+
+// Name implements Benchmark.
+func (TATP) Name() string { return "tatp" }
+
+const tatpSubscribers = 10000
+
+// Load implements Benchmark.
+func (TATP) Load(db *engine.DB, scale float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	subs := int(float64(tatpSubscribers) * scale)
+	if subs < 1 {
+		subs = 1
+	}
+
+	tables := []struct {
+		name string
+		cols []catalog.Column
+	}{
+		{"subscriber", []catalog.Column{ic("s_id"), ic("bit_1"), ic("hex_1"), ic("byte2_1"), ic("vlr_location")}},
+		{"access_info", []catalog.Column{ic("ai_s_id"), ic("ai_type"), ic("data1"), ic("data2")}},
+		{"special_facility", []catalog.Column{ic("sf_s_id"), ic("sf_type"), ic("is_active"), ic("data_a")}},
+		{"call_forwarding", []catalog.Column{ic("cf_s_id"), ic("cf_sf_type"), ic("start_time"), ic("end_time"), ic("numberx")}},
+	}
+	for _, t := range tables {
+		if _, err := db.CreateTable(t.name, catalog.NewSchema(t.cols...)); err != nil {
+			return err
+		}
+	}
+
+	var rows []storage.Tuple
+	for i := 0; i < subs; i++ {
+		rows = append(rows, storage.Tuple{storage.NewInt(int64(i)),
+			storage.NewInt(pick(rng, 2)), storage.NewInt(pick(rng, 16)),
+			storage.NewInt(pick(rng, 256)), storage.NewInt(rng.Int63n(1 << 30))})
+	}
+	if err := db.BulkLoad("subscriber", rows); err != nil {
+		return err
+	}
+
+	rows = nil
+	for i := 0; i < subs; i++ {
+		for t := 0; t < int(pick(rng, 4))+1; t++ {
+			rows = append(rows, storage.Tuple{storage.NewInt(int64(i)), storage.NewInt(int64(t)),
+				storage.NewInt(pick(rng, 256)), storage.NewInt(pick(rng, 256))})
+		}
+	}
+	if err := db.BulkLoad("access_info", rows); err != nil {
+		return err
+	}
+
+	rows = nil
+	var cf []storage.Tuple
+	for i := 0; i < subs; i++ {
+		for t := 0; t < int(pick(rng, 4))+1; t++ {
+			rows = append(rows, storage.Tuple{storage.NewInt(int64(i)), storage.NewInt(int64(t)),
+				storage.NewInt(pick(rng, 2)), storage.NewInt(pick(rng, 256))})
+			if pick(rng, 2) == 0 {
+				start := pick(rng, 3) * 8
+				cf = append(cf, storage.Tuple{storage.NewInt(int64(i)), storage.NewInt(int64(t)),
+					storage.NewInt(start), storage.NewInt(start + 8), storage.NewInt(rng.Int63n(1 << 30))})
+			}
+		}
+	}
+	if err := db.BulkLoad("special_facility", rows); err != nil {
+		return err
+	}
+	if err := db.BulkLoad("call_forwarding", cf); err != nil {
+		return err
+	}
+
+	pks := []struct {
+		idx, table string
+		cols       []string
+	}{
+		{"subscriber_pk", "subscriber", []string{"s_id"}},
+		{"access_info_pk", "access_info", []string{"ai_s_id", "ai_type"}},
+		{"special_facility_pk", "special_facility", []string{"sf_s_id", "sf_type"}},
+		{"call_forwarding_pk", "call_forwarding", []string{"cf_s_id", "cf_sf_type"}},
+	}
+	for _, pk := range pks {
+		if _, _, err := db.CreateIndex(nil, db.Machine.CPU, pk.idx, pk.table, pk.cols, false, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Procedures returns TATP's seven transaction types with the standard mix.
+func (TATP) Procedures() []Procedure {
+	point := func(table, index string, vals ...int64) *plan.IdxScanNode {
+		keys := make([]storage.Value, len(vals))
+		for i, v := range vals {
+			keys[i] = storage.NewInt(v)
+		}
+		return &plan.IdxScanNode{Table: table, Index: index, Eq: keys, Rows: est(1, 1)}
+	}
+	subs := func(db *engine.DB) int { return int(db.RowCount("subscriber")) }
+
+	return []Procedure{
+		{Name: "GetSubscriberData", Weight: 35, Make: func(db *engine.DB, rng *rand.Rand) []plan.Node {
+			return []plan.Node{point("subscriber", "subscriber_pk", pick(rng, subs(db)))}
+		}},
+		{Name: "GetNewDestination", Weight: 10, Make: func(db *engine.DB, rng *rand.Rand) []plan.Node {
+			s := pick(rng, subs(db))
+			t := pick(rng, 4)
+			return []plan.Node{
+				point("special_facility", "special_facility_pk", s, t),
+				&plan.IdxScanNode{Table: "call_forwarding", Index: "call_forwarding_pk",
+					Eq:     []storage.Value{storage.NewInt(s), storage.NewInt(t)},
+					Filter: plan.Cmp{Op: plan.LE, L: plan.Col(2), R: plan.IntConst(8)},
+					Rows:   est(1, 1)},
+			}
+		}},
+		{Name: "GetAccessData", Weight: 35, Make: func(db *engine.DB, rng *rand.Rand) []plan.Node {
+			return []plan.Node{point("access_info", "access_info_pk", pick(rng, subs(db)), pick(rng, 4))}
+		}},
+		{Name: "UpdateSubscriberData", Weight: 2, Make: func(db *engine.DB, rng *rand.Rand) []plan.Node {
+			s := pick(rng, subs(db))
+			return []plan.Node{
+				&plan.UpdateNode{
+					Child: point("subscriber", "subscriber_pk", s), Table: "subscriber",
+					SetCols:  []int{1},
+					SetExprs: []plan.Expr{plan.IntConst(pick(rng, 2))},
+					Rows:     est(1, 1),
+				},
+				&plan.UpdateNode{
+					Child: point("special_facility", "special_facility_pk", s, pick(rng, 4)),
+					Table: "special_facility", SetCols: []int{3},
+					SetExprs: []plan.Expr{plan.IntConst(pick(rng, 256))},
+					Rows:     est(1, 1),
+				},
+			}
+		}},
+		{Name: "UpdateLocation", Weight: 14, Make: func(db *engine.DB, rng *rand.Rand) []plan.Node {
+			return []plan.Node{&plan.UpdateNode{
+				Child: point("subscriber", "subscriber_pk", pick(rng, subs(db))), Table: "subscriber",
+				SetCols:  []int{4},
+				SetExprs: []plan.Expr{plan.IntConst(rng.Int63n(1 << 30))},
+				Rows:     est(1, 1),
+			}}
+		}},
+		{Name: "InsertCallForwarding", Weight: 2, Make: func(db *engine.DB, rng *rand.Rand) []plan.Node {
+			s := pick(rng, subs(db))
+			t := pick(rng, 4)
+			return []plan.Node{
+				point("subscriber", "subscriber_pk", s),
+				point("special_facility", "special_facility_pk", s, t),
+				&plan.InsertNode{Table: "call_forwarding", Tuples: []storage.Tuple{{
+					storage.NewInt(s), storage.NewInt(t), storage.NewInt(pick(rng, 3) * 8),
+					storage.NewInt(pick(rng, 3)*8 + 8), storage.NewInt(rng.Int63n(1 << 30))}}},
+			}
+		}},
+		{Name: "DeleteCallForwarding", Weight: 2, Make: func(db *engine.DB, rng *rand.Rand) []plan.Node {
+			s := pick(rng, subs(db))
+			t := pick(rng, 4)
+			return []plan.Node{&plan.DeleteNode{
+				Child: point("call_forwarding", "call_forwarding_pk", s, t),
+				Table: "call_forwarding",
+				Rows:  est(1, 1),
+			}}
+		}},
+	}
+}
+
+// Templates implements Benchmark.
+func (b TATP) Templates(db *engine.DB, seed int64) []runner.QueryTemplate {
+	rng := rand.New(rand.NewSource(seed))
+	var out []runner.QueryTemplate
+	for _, p := range b.Procedures() {
+		for i, pl := range p.Make(db, rng) {
+			switch pl.(type) {
+			case *plan.UpdateNode, *plan.DeleteNode, *plan.InsertNode:
+				continue
+			}
+			out = append(out, runner.QueryTemplate{Name: p.Name + "#" + string(rune('0'+i)), Plan: pl})
+		}
+	}
+	return out
+}
