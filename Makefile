@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: tier1 build test race stress fuzz vet
+
+# tier1 is the full pre-merge gate: static checks, build, the whole test
+# suite under the race detector (including the internal/check concurrency
+# harness matrix), and a short parser fuzz pass.
+tier1: vet build race fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# stress runs only the deterministic concurrency harness, race-checked.
+stress:
+	$(GO) test -race -v -run TestStress ./internal/check
+
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/sql

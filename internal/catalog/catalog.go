@@ -5,6 +5,7 @@ package catalog
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -240,7 +241,9 @@ func (c *Catalog) TableIndexes(tableID int) []*IndexMeta {
 	return out
 }
 
-// Tables returns all table names (unordered).
+// Tables returns all table names, sorted. Callers iterate the result to
+// rebuild state (e.g. index recovery), so the order must not depend on map
+// iteration.
 func (c *Catalog) Tables() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -248,5 +251,6 @@ func (c *Catalog) Tables() []string {
 	for n := range c.tables {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }

@@ -1,0 +1,138 @@
+package check
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mb2/internal/engine"
+	"mb2/internal/index"
+	"mb2/internal/storage"
+)
+
+// TestStressMatrix runs the harness over a grid of seeds and worker counts
+// (run under -race by the tier-1 target). Every run must exercise commits,
+// aborts, a parallel index build, GC epochs, and WAL flushes, and pass all
+// invariant families at every phase boundary.
+func TestStressMatrix(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		for seed := int64(1); seed <= 8; seed++ {
+			workers, seed := workers, seed
+			t.Run(fmt.Sprintf("seed=%d,workers=%d", seed, workers), func(t *testing.T) {
+				t.Parallel()
+				rep, err := Run(Config{Seed: seed, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Commits == 0 {
+					t.Error("run committed no transactions")
+				}
+				if rep.Aborts == 0 {
+					t.Error("run aborted no transactions")
+				}
+				if !rep.IndexBuilt {
+					t.Error("parallel index build did not run")
+				}
+				if rep.GCRuns == 0 {
+					t.Error("no GC epochs ran")
+				}
+				if rep.Flushes == 0 {
+					t.Error("no WAL flushes ran")
+				}
+				if rep.Checks < 6*3 {
+					t.Errorf("only %d invariant passes ran, want at least %d", rep.Checks, 6*3)
+				}
+			})
+		}
+	}
+}
+
+// TestSerialReplayIsDeterministic re-runs the same seed in serial mode and
+// requires bit-identical outcomes, down to the digest of the final
+// committed state — the property that makes seed-based failure replay work.
+func TestSerialReplayIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Workers: 4, Serial: true}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *r1 != *r2 {
+		t.Errorf("serial replay diverged:\n first: %+v\nsecond: %+v", *r1, *r2)
+	}
+	if r1.Conflicts != 0 {
+		t.Errorf("serial mode saw %d write conflicts, want 0 (transactions never overlap)", r1.Conflicts)
+	}
+}
+
+// TestBuildScheduleDeterministic checks that schedules are pure functions
+// of the seed and that a worker's stream does not depend on how many other
+// workers exist.
+func TestBuildScheduleDeterministic(t *testing.T) {
+	a := BuildSchedule(3, 4, 100)
+	b := BuildSchedule(3, 4, 100)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := BuildSchedule(3, 2, 100)
+	if !reflect.DeepEqual(a.Workers[0], c.Workers[0]) {
+		t.Error("worker 0's stream depends on the worker count")
+	}
+	if reflect.DeepEqual(a.Workers[0], a.Workers[1]) {
+		t.Error("workers 0 and 1 drew identical streams")
+	}
+}
+
+// TestInjectedIndexCorruptionReportsSeed injects a stale index entry right
+// before the final invariant pass and requires (a) the index family to
+// catch it, (b) the error to carry the seed, and (c) a replay with the same
+// config to reproduce the identical failure.
+func TestInjectedIndexCorruptionReportsSeed(t *testing.T) {
+	cfg := Config{
+		Seed:    7,
+		Workers: 3,
+		Serial:  true,
+		Corrupt: func(db *engine.DB) {
+			db.Index("savings_pk").Insert(nil, index.EncodeKey(storage.NewInt(1<<40)), 1<<20, 1)
+		},
+	}
+	_, err1 := Run(cfg)
+	if err1 == nil {
+		t.Fatal("injected index corruption went undetected")
+	}
+	if !strings.Contains(err1.Error(), "seed=7") {
+		t.Errorf("failure does not report the seed: %v", err1)
+	}
+	if !strings.Contains(err1.Error(), "stale entry") {
+		t.Errorf("failure not attributed to the stale index entry: %v", err1)
+	}
+	_, err2 := Run(cfg)
+	if err2 == nil || err1.Error() != err2.Error() {
+		t.Errorf("seed replay did not reproduce the failure:\n first: %v\nsecond: %v", err1, err2)
+	}
+}
+
+// TestInjectedBalanceCorruptionDetected plants a committed phantom balance
+// and requires the conservation family to catch it.
+func TestInjectedBalanceCorruptionDetected(t *testing.T) {
+	cfg := Config{
+		Seed:    5,
+		Workers: 2,
+		Serial:  true,
+		Corrupt: func(db *engine.DB) {
+			db.Table("savings").AppendCommitted(
+				storage.Tuple{storage.NewInt(999_999), storage.NewFloat(1e9)}, 1)
+		},
+	}
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("injected balance corruption went undetected")
+	}
+	if !strings.Contains(err.Error(), "conservation") || !strings.Contains(err.Error(), "seed=5") {
+		t.Errorf("failure not attributed to conservation with the seed: %v", err)
+	}
+}

@@ -1,0 +1,229 @@
+package check
+
+import (
+	"fmt"
+
+	"mb2/internal/index"
+	"mb2/internal/storage"
+	"mb2/internal/wal"
+)
+
+// checkAll runs the four invariant families at a quiesce point (no active
+// transactions, workers joined, maintenance goroutine stopped). Any failure
+// is tagged with the seed via fail, so the run can be replayed.
+func (h *harness) checkAll(phase int) error {
+	if err := h.checkQuiesce(); err != nil {
+		return h.fail(phase, "quiesce", err)
+	}
+	if err := h.checkStorage(); err != nil {
+		return h.fail(phase, "mvcc", err)
+	}
+	if err := h.checkConservation(); err != nil {
+		return h.fail(phase, "conservation", err)
+	}
+	if err := h.checkIndexes(); err != nil {
+		return h.fail(phase, "index", err)
+	}
+	if err := h.checkGC(); err != nil {
+		return h.fail(phase, "gc", err)
+	}
+	if err := h.checkWALReplay(); err != nil {
+		return h.fail(phase, "wal-replay", err)
+	}
+	return nil
+}
+
+// checkQuiesce verifies the transaction manager is fully drained: nothing
+// active, and every allocated commit timestamp published.
+func (h *harness) checkQuiesce() error {
+	h.checks.Add(1)
+	if n := h.db.Txns.ActiveCount(); n != 0 {
+		return fmt.Errorf("%d transactions still active", n)
+	}
+	if alloc, committed := h.db.Txns.LastAllocatedTS(), h.db.Txns.LastCommitTS(); alloc != committed {
+		return fmt.Errorf("allocated ts %d ahead of published ts %d (commit mid-publication)", alloc, committed)
+	}
+	return nil
+}
+
+// checkStorage validates every version chain: no uncommitted versions at
+// quiesce, committed timestamps strictly decreasing along each chain.
+func (h *harness) checkStorage() error {
+	h.checks.Add(1)
+	for _, tbl := range h.tables() {
+		if err := tbl.CheckInvariants(nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkConservation compares the committed balance total at the latest
+// snapshot against the commit ledger: every committed delta and nothing
+// else. Lost updates, dirty writes, and half-applied commits all break it.
+func (h *harness) checkConservation() error {
+	h.checks.Add(1)
+	readTS := h.db.Txns.LastCommitTS()
+	scanned := h.balanceSum(0, readTS)
+	expected := h.ledgerSum(storage.MaxTS)
+	if !approxEq(scanned, expected) {
+		return fmt.Errorf("committed balances at ts %d sum to %.2f, ledger expects %.2f", readTS, scanned, expected)
+	}
+	return nil
+}
+
+// checkIndexes validates every B+tree's structure and its exact agreement
+// with the owning table: each visible row has exactly its index entries, no
+// stale entries survive aborts or committed deletes, and unique indexes
+// expose at most one visible row per key.
+func (h *harness) checkIndexes() error {
+	h.checks.Add(1)
+	readTS := h.db.Txns.LastCommitTS()
+	type entry struct {
+		key string
+		row storage.RowID
+	}
+	for _, tbl := range h.tables() {
+		for _, im := range h.db.Catalog.TableIndexes(tbl.Meta.ID) {
+			bt := h.db.Index(im.Name)
+			if bt == nil {
+				return fmt.Errorf("index %q registered but not materialized", im.Name)
+			}
+			if err := bt.CheckInvariants(); err != nil {
+				return err
+			}
+			want := make(map[entry]bool)
+			perKey := make(map[string]int)
+			tbl.Scan(nil, 0, readTS, func(row storage.RowID, data storage.Tuple) bool {
+				k := string(index.KeyFromTuple(data, im.KeyCols))
+				want[entry{k, row}] = true
+				perKey[k]++
+				return true
+			})
+			got := make(map[entry]bool)
+			bt.Entries(func(k index.Key, row storage.RowID) bool {
+				got[entry{string(k), row}] = true
+				return true
+			})
+			for e := range want {
+				if !got[e] {
+					return fmt.Errorf("index %q missing entry (key %x, row %d) for a visible row", im.Name, e.key, e.row)
+				}
+			}
+			for e := range got {
+				if !want[e] {
+					return fmt.Errorf("index %q has stale entry (key %x, row %d) with no visible row", im.Name, e.key, e.row)
+				}
+			}
+			if im.Unique {
+				for k, n := range perKey {
+					if n > 1 {
+						return fmt.Errorf("unique index %q key %x maps to %d visible rows", im.Name, k, n)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkGC captures everything visible at the latest snapshot, runs a
+// collection pass, and requires the visible state to be untouched — GC may
+// only prune versions no live snapshot can reach. It then verifies chains
+// are actually pruned below the oldest active timestamp.
+func (h *harness) checkGC() error {
+	h.checks.Add(1)
+	snapTS := h.db.Txns.LastCommitTS()
+	before := h.capture(snapTS)
+	h.db.GC.Run(nil)
+	h.gcRuns.Add(1)
+	after := h.capture(snapTS)
+	for k, v := range before {
+		got, ok := after[k]
+		if !ok {
+			return fmt.Errorf("GC pruned reachable tuple %s (was %q) at snapshot %d", k, v, snapTS)
+		}
+		if got != v {
+			return fmt.Errorf("GC changed visible tuple %s at snapshot %d: %q -> %q", k, snapTS, v, got)
+		}
+	}
+	for k := range after {
+		if _, ok := before[k]; !ok {
+			return fmt.Errorf("GC resurrected tuple %s at snapshot %d", k, snapTS)
+		}
+	}
+	oldest := h.db.Txns.OldestActiveTS()
+	for _, tbl := range h.tables() {
+		if err := tbl.CheckVacuumed(oldest); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkWALReplay flushes the log and replays the durable image into fresh
+// tables, requiring the replayed committed state to match the live tables
+// row for row (and itself satisfy the storage invariants).
+func (h *harness) checkWALReplay() error {
+	h.checks.Add(1)
+	h.db.WAL.Serialize(nil)
+	h.db.WAL.Flush(nil)
+	h.flushes.Add(1)
+	records, err := wal.Deserialize(h.db.WAL.Durable())
+	if err != nil {
+		return fmt.Errorf("durable log image corrupt: %w", err)
+	}
+	fresh := make(map[int32]*storage.Table, 3)
+	for _, tbl := range h.tables() {
+		fresh[int32(tbl.Meta.ID)] = storage.NewTable(tbl.Meta)
+	}
+	if _, err := wal.Replay(records, fresh); err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	for _, live := range h.tables() {
+		replayed := fresh[int32(live.Meta.ID)]
+		if err := compareTables(live, replayed); err != nil {
+			return err
+		}
+		if err := replayed.CheckInvariants(nil); err != nil {
+			return fmt.Errorf("replayed %s: %w", live.Meta.Name, err)
+		}
+	}
+	return nil
+}
+
+// compareTables requires the replayed table to expose exactly the live
+// table's committed state: same visible rows, same tuples. Replay may leave
+// fewer slots (rows only ever touched by aborted transactions are not in
+// the log), and those missing slots must be invisible in the live table too
+// — which the row loop enforces, since reading past the replayed slot array
+// yields not-visible.
+func compareTables(live, replayed *storage.Table) error {
+	if replayed.NumRows() > live.NumRows() {
+		return fmt.Errorf("replay of %s created %d rows, live table has %d",
+			live.Meta.Name, replayed.NumRows(), live.NumRows())
+	}
+	for row := 0; row < live.NumRows(); row++ {
+		lt, lerr := live.Read(nil, storage.RowID(row), 0, storage.MaxTS)
+		rt, rerr := replayed.Read(nil, storage.RowID(row), 0, storage.MaxTS)
+		lok, rok := lerr == nil, rerr == nil
+		if lok != rok {
+			return fmt.Errorf("%s row %d: live visible=%t, replayed visible=%t",
+				live.Meta.Name, row, lok, rok)
+		}
+		if !lok {
+			continue
+		}
+		if len(lt) != len(rt) {
+			return fmt.Errorf("%s row %d: live has %d columns, replayed %d",
+				live.Meta.Name, row, len(lt), len(rt))
+		}
+		for i := range lt {
+			if !lt[i].Equal(rt[i]) {
+				return fmt.Errorf("%s row %d col %d: live %s, replayed %s",
+					live.Meta.Name, row, i, lt[i], rt[i])
+			}
+		}
+	}
+	return nil
+}

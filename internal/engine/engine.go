@@ -32,6 +32,12 @@ type DB struct {
 	tables  map[string]*storage.Table
 	indexes map[string]*index.BTree
 
+	// commitMu orders commit records in the WAL: CommitLogged holds it
+	// across timestamp assignment and the commit-record enqueue, so the
+	// log's commit order always matches commit-timestamp order (the
+	// property commit-ordered replay depends on).
+	commitMu sync.Mutex
+
 	statMu sync.Mutex
 	stats  map[string]float64 // distinct-count cache
 }
@@ -103,6 +109,24 @@ func (db *DB) IndexesForTable(tableID int) []*index.BTree {
 		}
 	}
 	return out
+}
+
+// CommitLogged commits t and enqueues its commit record, atomically with
+// respect to other logged commits. Write records may be enqueued at any
+// point before this call (they are grouped per transaction at replay); the
+// commit record must go through here, otherwise two racing commits can
+// publish commit records in the opposite order of their commit timestamps
+// and crash recovery would rebuild the older write on top of the newer one
+// — a hazard the concurrency harness (internal/check) checks for.
+func (db *DB) CommitLogged(t *txn.Txn, th *hw.Thread) (uint64, error) {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	ts, err := t.Commit(th)
+	if err != nil {
+		return 0, err
+	}
+	db.WAL.Enqueue(th, wal.Record{Type: wal.RecordCommit, TxnID: t.ID})
+	return ts, nil
 }
 
 // BulkLoad appends pre-committed rows (timestamp 0) and maintains any
@@ -230,8 +254,9 @@ func (db *DB) Recover(th *hw.Thread, walImage []byte) (int, error) {
 	if err != nil {
 		return applied, err
 	}
-	// Replayed versions carry timestamp 1; make them visible to snapshots.
-	db.Txns.AdvanceTo(1)
+	// Replay stamps one timestamp per committed transaction, in commit
+	// order; make them all visible to new snapshots.
+	db.Txns.AdvanceTo(wal.NumCommitted(records))
 	// Rebuild indexes over the recovered tables.
 	for _, name := range db.Catalog.Tables() {
 		t := db.Table(name)

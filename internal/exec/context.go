@@ -82,15 +82,13 @@ func (c *Ctx) Begin() *txn.Txn {
 	return t
 }
 
-// Commit commits the context's transaction, recording the TXN_COMMIT OU and
-// handing the commit record to the WAL.
+// Commit commits the context's transaction, recording the TXN_COMMIT OU.
+// The commit record reaches the WAL through the engine's ordered commit
+// path, so the log's commit order matches commit-timestamp order.
 func (c *Ctx) Commit() error {
 	start := c.Tracker.Start()
 	active := float64(c.DB.Txns.ActiveCount())
-	_, err := c.Txn.Commit(c.Thread())
-	if err == nil {
-		c.DB.WAL.Enqueue(c.Thread(), walCommitRecord(c.Txn.ID))
-	}
+	_, err := c.DB.CommitLogged(c.Txn, c.Thread())
 	feats := ou.TxnFeatures(c.TxnRate, active)
 	c.Tracker.Stop(ou.TxnCommit, feats, start)
 	c.Txn = nil

@@ -9,10 +9,6 @@ import (
 	"mb2/internal/wal"
 )
 
-func walCommitRecord(txnID uint64) wal.Record {
-	return wal.Record{Type: wal.RecordCommit, TxnID: txnID}
-}
-
 func execInsert(ctx *Ctx, n *plan.InsertNode) (*Batch, error) {
 	if ctx.Txn == nil {
 		return nil, fmt.Errorf("exec: INSERT requires an open transaction")

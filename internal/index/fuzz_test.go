@@ -1,0 +1,62 @@
+package index
+
+import (
+	"math"
+	"testing"
+
+	"mb2/internal/storage"
+)
+
+// FuzzEncodeKey checks the order-preservation contract of the key encoding:
+// for any two tuples of (int, float, string) columns, comparing the encoded
+// keys bytewise must agree with comparing the tuples column-wise. NaN is
+// skipped (Value.Compare treats NaN as equal-to-everything, which no total
+// byte order can honor) and -0.0 is normalized to +0.0 (they are equal as
+// floats but have distinct bit patterns).
+func FuzzEncodeKey(f *testing.F) {
+	f.Add(int64(0), 0.0, "", int64(0), 0.0, "")
+	f.Add(int64(-1), 1.5, "a", int64(1), -1.5, "b")
+	f.Add(int64(math.MinInt64), math.Inf(-1), "a\x00b", int64(math.MaxInt64), math.Inf(1), "a\x00")
+	f.Add(int64(42), -0.0, "cust-000001", int64(42), 0.0, "cust-0000010")
+	f.Add(int64(7), 1e-300, "\xff\xff", int64(7), -1e-300, "\xff")
+	f.Fuzz(func(t *testing.T, i1 int64, f1 float64, s1 string, i2 int64, f2 float64, s2 string) {
+		if math.IsNaN(f1) || math.IsNaN(f2) {
+			t.Skip("NaN has no position in a total order")
+		}
+		if f1 == 0 {
+			f1 = 0 // collapse -0.0 and +0.0
+		}
+		if f2 == 0 {
+			f2 = 0
+		}
+		a := storage.Tuple{storage.NewInt(i1), storage.NewFloat(f1), storage.NewString(s1)}
+		b := storage.Tuple{storage.NewInt(i2), storage.NewFloat(f2), storage.NewString(s2)}
+		want := 0
+		for i := range a {
+			if c := a[i].Compare(b[i]); c != 0 {
+				want = c
+				break
+			}
+		}
+		ka := EncodeKey(a...)
+		kb := EncodeKey(b...)
+		got := ka.Compare(kb)
+		if sign(got) != sign(want) {
+			t.Fatalf("EncodeKey order mismatch: tuples compare %d, keys compare %d\na=%v\nb=%v\nka=%x\nkb=%x",
+				want, got, a, b, ka, kb)
+		}
+		if (want == 0) != ka.Equal(kb) {
+			t.Fatalf("EncodeKey equality mismatch: tuples compare %d, keys equal=%t", want, ka.Equal(kb))
+		}
+	})
+}
+
+func sign(v int) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	}
+	return 0
+}

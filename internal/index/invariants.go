@@ -1,0 +1,148 @@
+package index
+
+import (
+	"fmt"
+
+	"mb2/internal/storage"
+)
+
+// CheckInvariants verifies the B+tree's structural invariants under the
+// read latch:
+//
+//   - every leaf sits at the same depth (matching the recorded height);
+//   - node fanout stays within bounds;
+//   - keys are strictly increasing within every node and across the whole
+//     leaf chain;
+//   - an internal node's separator keys bound its children: for i >= 1
+//     every key in child i is >= keys[i], and every key in child i is
+//     < keys[i+1] (separators may be stale-low after deletions, never
+//     stale-high);
+//   - the leaf sibling chain enumerates exactly the leaves reachable from
+//     the root, in order;
+//   - every leaf key has a non-empty posting list, and the numKeys/numRows
+//     counters match the tree's contents.
+//
+// The concurrency harness (internal/check) runs this between stress phases
+// and after parallel bulk builds.
+func (t *BTree) CheckInvariants() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.root == nil {
+		return fmt.Errorf("index %q: nil root", t.Meta.Name)
+	}
+	v := &treeValidator{name: t.Meta.Name}
+	if err := v.node(t.root, 1, t.height, nil, nil); err != nil {
+		return err
+	}
+	if len(v.leaves) == 0 {
+		return fmt.Errorf("index %q: no leaves reachable from root", t.Meta.Name)
+	}
+	// The sibling chain starting at the leftmost leaf must visit exactly
+	// the reachable leaves, in order.
+	chain := v.leaves[0]
+	for i, leaf := range v.leaves {
+		if chain != leaf {
+			return fmt.Errorf("index %q: leaf chain diverges from tree order at leaf %d", t.Meta.Name, i)
+		}
+		chain = chain.next
+	}
+	if chain != nil {
+		return fmt.Errorf("index %q: leaf chain extends past the last reachable leaf", t.Meta.Name)
+	}
+	if v.keys != t.numKeys {
+		return fmt.Errorf("index %q: counted %d keys, counter says %d", t.Meta.Name, v.keys, t.numKeys)
+	}
+	if v.rows != t.numRows {
+		return fmt.Errorf("index %q: counted %d rows, counter says %d", t.Meta.Name, v.rows, t.numRows)
+	}
+	return nil
+}
+
+type treeValidator struct {
+	name   string
+	leaves []*node
+	keys   int
+	rows   int
+	// lastKey tracks the previous leaf key seen in tree order, across
+	// leaf boundaries.
+	lastKey Key
+	haveKey bool
+}
+
+// node validates the subtree rooted at n. lo and hi bound the keys the
+// subtree may contain: lo is inclusive (nil for the leftmost spine, which
+// absorbs below-minimum inserts), hi exclusive (nil for unbounded).
+func (v *treeValidator) node(n *node, depth, height int, lo, hi Key) error {
+	for i := 1; i < len(n.keys); i++ {
+		if n.keys[i-1].Compare(n.keys[i]) >= 0 {
+			return fmt.Errorf("index %q: keys out of order at depth %d: %x >= %x",
+				v.name, depth, n.keys[i-1], n.keys[i])
+		}
+	}
+	if n.leaf {
+		if depth != height {
+			return fmt.Errorf("index %q: leaf at depth %d, tree height %d", v.name, depth, height)
+		}
+		if len(n.keys) > fanout {
+			return fmt.Errorf("index %q: leaf holds %d keys, fanout %d", v.name, len(n.keys), fanout)
+		}
+		if len(n.rows) != len(n.keys) {
+			return fmt.Errorf("index %q: leaf has %d posting lists for %d keys", v.name, len(n.rows), len(n.keys))
+		}
+		for i, k := range n.keys {
+			if lo != nil && k.Compare(lo) < 0 {
+				return fmt.Errorf("index %q: leaf key %x below separator %x", v.name, k, lo)
+			}
+			if hi != nil && k.Compare(hi) >= 0 {
+				return fmt.Errorf("index %q: leaf key %x at or above next separator %x", v.name, k, hi)
+			}
+			if v.haveKey && v.lastKey.Compare(k) >= 0 {
+				return fmt.Errorf("index %q: leaf chain not strictly increasing at key %x", v.name, k)
+			}
+			v.lastKey, v.haveKey = k, true
+			if len(n.rows[i]) == 0 {
+				return fmt.Errorf("index %q: key %x has an empty posting list", v.name, k)
+			}
+			v.rows += len(n.rows[i])
+		}
+		v.keys += len(n.keys)
+		v.leaves = append(v.leaves, n)
+		return nil
+	}
+	if depth >= height {
+		return fmt.Errorf("index %q: internal node at depth %d, tree height %d", v.name, depth, height)
+	}
+	if len(n.children) != len(n.keys) {
+		return fmt.Errorf("index %q: internal node has %d children for %d keys", v.name, len(n.children), len(n.keys))
+	}
+	if len(n.keys) == 0 {
+		return fmt.Errorf("index %q: empty internal node at depth %d", v.name, depth)
+	}
+	if len(n.keys) > fanout+1 {
+		return fmt.Errorf("index %q: internal node holds %d keys, fanout %d", v.name, len(n.keys), fanout)
+	}
+	for i, child := range n.children {
+		// Child 0 inherits the subtree's lower bound: inserts below the
+		// global minimum always descend into the leftmost child, so its
+		// separator may be stale.
+		clo := lo
+		if i > 0 {
+			clo = n.keys[i]
+		}
+		chi := hi
+		if i+1 < len(n.keys) {
+			chi = n.keys[i+1]
+		}
+		if err := v.node(child, depth+1, height, clo, chi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Entries calls fn for every (key, row) entry in key order until fn returns
+// false: the full-index iteration the invariant checkers compare against
+// table contents.
+func (t *BTree) Entries(fn func(Key, storage.RowID) bool) {
+	t.SearchRange(nil, nil, nil, fn)
+}

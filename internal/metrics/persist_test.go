@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mb2/internal/hw"
+	"mb2/internal/ou"
+)
+
+// TestPersistRoundTrip is a randomized round-trip property test: any
+// repository of finite-valued records must survive WriteJSON -> ReadJSON
+// exactly (float64 survives encoding/json bit-for-bit for finite values).
+func TestPersistRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < 25; trial++ {
+		src := NewRepository()
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			features := make([]float64, rng.Intn(8))
+			for j := range features {
+				features[j] = randFinite(rng)
+			}
+			labels := make([]float64, hw.NumLabels)
+			for j := range labels {
+				labels[j] = randFinite(rng)
+			}
+			src.Add(Record{
+				Kind:     ou.Kind(rng.Intn(ou.NumKinds)),
+				Features: features,
+				Labels:   hw.MetricsFromVec(labels),
+			})
+		}
+
+		var buf bytes.Buffer
+		if err := src.WriteJSON(&buf); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		dst := NewRepository()
+		read, err := dst.ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: read: %v", trial, err)
+		}
+		if read != n {
+			t.Fatalf("trial %d: wrote %d records, read back %d", trial, n, read)
+		}
+		if !reflect.DeepEqual(src.Kinds(), dst.Kinds()) {
+			t.Fatalf("trial %d: kinds diverged: %v vs %v", trial, src.Kinds(), dst.Kinds())
+		}
+		for _, k := range src.Kinds() {
+			a, b := src.Records(k), dst.Records(k)
+			if len(a) != len(b) {
+				t.Fatalf("trial %d: %s has %d records, read back %d", trial, k, len(a), len(b))
+			}
+			for i := range a {
+				if !recordsEqual(a[i], b[i]) {
+					t.Fatalf("trial %d: %s record %d diverged:\n wrote %+v\n read  %+v", trial, k, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// recordsEqual compares records treating nil and empty feature slices as
+// the same (JSON cannot distinguish them).
+func recordsEqual(a, b Record) bool {
+	if a.Kind != b.Kind || len(a.Features) != len(b.Features) {
+		return false
+	}
+	for i := range a.Features {
+		if a.Features[i] != b.Features[i] {
+			return false
+		}
+	}
+	return a.Labels == b.Labels
+}
+
+// randFinite draws from a wide dynamic range, including exact zeros,
+// negatives, and subnormal-scale magnitudes, but never NaN/Inf (the
+// repository stores measurements, which are always finite).
+func randFinite(rng *rand.Rand) float64 {
+	switch rng.Intn(5) {
+	case 0:
+		return 0
+	case 1:
+		return float64(rng.Intn(1000))
+	case 2:
+		return -rng.Float64() * 1e6
+	case 3:
+		return rng.Float64() * math.Ldexp(1, rng.Intn(120)-60)
+	default:
+		return rng.NormFloat64()
+	}
+}
+
+// TestReadJSONRejectsBadRecords pins the error paths: unknown OU names and
+// wrong label arity must fail loudly, not load silently.
+func TestReadJSONRejectsBadRecords(t *testing.T) {
+	dst := NewRepository()
+	if _, err := dst.ReadJSON(strings.NewReader(`{"ou":"NO_SUCH_OU","features":[],"labels":[]}`)); err == nil {
+		t.Error("unknown OU name accepted")
+	}
+	dst = NewRepository()
+	if _, err := dst.ReadJSON(strings.NewReader(`{"ou":"SEQ_SCAN","features":[1],"labels":[1,2]}`)); err == nil {
+		t.Error("wrong label arity accepted")
+	}
+}

@@ -40,6 +40,13 @@ type Config struct {
 	// measurements (default 0.2 per Sec 6.2; negative selects a plain
 	// mean, used by the robust-statistics ablation).
 	TrimFrac float64
+
+	// noiseSalt distinguishes the noise seeds of successive measurement
+	// series within one runner invocation. It is scoped to the invocation
+	// (AllRunners wraps each runner with a fresh counter) rather than the
+	// process, so a runner's noise stream is a pure function of cfg.Seed
+	// and does not depend on what ran before it.
+	noiseSalt *int64
 }
 
 // DefaultConfig returns the standard training configuration.
@@ -122,11 +129,6 @@ func addScratchTable(db *engine.DB, cfg Config, name string, rows, extraCols, ca
 	}
 }
 
-// measureSalt distinguishes the noise seeds of successive measurement
-// series; runners execute single-threaded, so the sequence is
-// deterministic.
-var measureSalt atomic.Int64
-
 // measure executes fn Warmups+Repetitions times, each against a fresh
 // collector, discards the warmups, and reduces the repeated measurements to
 // trimmed-mean labels per recorded OU invocation (aligned by position;
@@ -136,7 +138,10 @@ func measure(repo *metrics.Repository, cfg Config, fn func(col *metrics.Collecto
 	if reps < 1 {
 		reps = 1
 	}
-	salt := measureSalt.Add(1)
+	var salt int64
+	if cfg.noiseSalt != nil {
+		salt = atomic.AddInt64(cfg.noiseSalt, 1)
+	}
 	var runs [][]metrics.Record
 	for i := 0; i < cfg.Warmups+reps; i++ {
 		col := metrics.NewCollector()
@@ -189,20 +194,32 @@ type OURunner struct {
 	Run  func(repo *metrics.Repository, cfg Config)
 }
 
+// withSalt gives the runner invocation its own noise-salt counter so its
+// measurement noise is a pure function of cfg.Seed, independent of any
+// runners that executed earlier in the process.
+func withSalt(run func(*metrics.Repository, Config)) func(*metrics.Repository, Config) {
+	return func(repo *metrics.Repository, cfg Config) {
+		if cfg.noiseSalt == nil {
+			cfg.noiseSalt = new(int64)
+		}
+		run(repo, cfg)
+	}
+}
+
 // AllRunners returns every OU-runner, covering all 19 OUs.
 func AllRunners() []OURunner {
 	return []OURunner{
-		{Name: "seq_scan", OUs: []ou.Kind{ou.SeqScan, ou.Arithmetic}, Run: runSeqScan},
-		{Name: "idx_scan", OUs: []ou.Kind{ou.IdxScan}, Run: runIdxScan},
-		{Name: "hash_join", OUs: []ou.Kind{ou.HashJoinBuild, ou.HashJoinProbe}, Run: runHashJoin},
-		{Name: "agg", OUs: []ou.Kind{ou.AggBuild, ou.AggProbe}, Run: runAgg},
-		{Name: "sort", OUs: []ou.Kind{ou.SortBuild, ou.SortIter}, Run: runSort},
-		{Name: "output", OUs: []ou.Kind{ou.Output}, Run: runOutput},
-		{Name: "dml", OUs: []ou.Kind{ou.Insert, ou.Update, ou.Delete}, Run: runDML},
-		{Name: "index_build", OUs: []ou.Kind{ou.IndexBuild}, Run: runIndexBuild},
-		{Name: "gc", OUs: []ou.Kind{ou.GC}, Run: runGC},
-		{Name: "wal", OUs: []ou.Kind{ou.LogSerialize, ou.LogFlush}, Run: runWAL},
-		{Name: "txn", OUs: []ou.Kind{ou.TxnBegin, ou.TxnCommit}, Run: runTxn},
+		{Name: "seq_scan", OUs: []ou.Kind{ou.SeqScan, ou.Arithmetic}, Run: withSalt(runSeqScan)},
+		{Name: "idx_scan", OUs: []ou.Kind{ou.IdxScan}, Run: withSalt(runIdxScan)},
+		{Name: "hash_join", OUs: []ou.Kind{ou.HashJoinBuild, ou.HashJoinProbe}, Run: withSalt(runHashJoin)},
+		{Name: "agg", OUs: []ou.Kind{ou.AggBuild, ou.AggProbe}, Run: withSalt(runAgg)},
+		{Name: "sort", OUs: []ou.Kind{ou.SortBuild, ou.SortIter}, Run: withSalt(runSort)},
+		{Name: "output", OUs: []ou.Kind{ou.Output}, Run: withSalt(runOutput)},
+		{Name: "dml", OUs: []ou.Kind{ou.Insert, ou.Update, ou.Delete}, Run: withSalt(runDML)},
+		{Name: "index_build", OUs: []ou.Kind{ou.IndexBuild}, Run: withSalt(runIndexBuild)},
+		{Name: "gc", OUs: []ou.Kind{ou.GC}, Run: withSalt(runGC)},
+		{Name: "wal", OUs: []ou.Kind{ou.LogSerialize, ou.LogFlush}, Run: withSalt(runWAL)},
+		{Name: "txn", OUs: []ou.Kind{ou.TxnBegin, ou.TxnCommit}, Run: withSalt(runTxn)},
 	}
 }
 

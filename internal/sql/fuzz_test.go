@@ -1,0 +1,40 @@
+package sql
+
+import "testing"
+
+// FuzzParse throws arbitrary byte strings at the parser. The only
+// requirement is that Parse never panics or hangs: malformed input must
+// come back as (nil, error). The seed corpus covers every statement kind
+// the grammar accepts, plus a few malformed shapes near grammar edges.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT * FROM products WHERE id = 42",
+		"SELECT id, price FROM products WHERE category = 3 AND price > 50",
+		"SELECT category, count(*), avg(price) FROM products GROUP BY category ORDER BY category DESC LIMIT 5",
+		"SELECT count(*) FROM products JOIN categories ON products.category = categories.cat_id",
+		"SELECT id * 2 + 1 FROM products WHERE name <> 'widget'",
+		"SELECT sum(price), min(price), max(price) FROM products WHERE price >= -1.5",
+		"INSERT INTO categories VALUES (0, 100), (1, 101), (2, 102)",
+		"UPDATE products SET price = price * 1.1 WHERE category = 3",
+		"DELETE FROM products WHERE price > 1000",
+		"CREATE TABLE products (id INT, category INT, price FLOAT, name VARCHAR(20))",
+		"CREATE UNIQUE INDEX products_pk ON products (id) WITH (threads = 2)",
+		"DROP INDEX products_pk",
+		"SELECT 'oops",
+		"SELECT * FROM t WHERE",
+		"INSERT INTO t (1)",
+		"SELECT @x",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := Parse(input)
+		if err == nil && st == nil {
+			t.Errorf("Parse(%q) returned no statement and no error", input)
+		}
+		if err != nil && st != nil {
+			t.Errorf("Parse(%q) returned both a statement and error %v", input, err)
+		}
+	})
+}

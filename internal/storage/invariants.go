@@ -1,0 +1,81 @@
+package storage
+
+import "fmt"
+
+// CheckInvariants walks every version chain and verifies the structural
+// MVCC invariants the rest of the system relies on:
+//
+//   - uncommitted versions appear only at the head of a chain;
+//   - an uncommitted version belongs to a transaction isActive reports as
+//     in flight (a dangling version means a commit or abort lost a write);
+//   - committed timestamps strictly decrease along a chain (newest-first).
+//
+// isActive may be nil when the caller knows the system is quiesced, in
+// which case any uncommitted version is an error. The concurrency harness
+// (internal/check) runs this between stress phases.
+func (t *Table) CheckInvariants(isActive func(txnID uint64) bool) error {
+	t.mu.RLock()
+	slots := t.slots
+	t.mu.RUnlock()
+	for i, s := range slots {
+		s.mu.Lock()
+		err := checkChain(s.head, isActive)
+		s.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("storage: table %q row %d: %w", t.Meta.Name, i, err)
+		}
+	}
+	return nil
+}
+
+func checkChain(head *Version, isActive func(txnID uint64) bool) error {
+	var lastCommitted uint64
+	haveCommitted := false
+	pos := 0
+	for v := head; v != nil; v = v.Next {
+		if v.Begin >= UncommittedBase {
+			txnID := v.Begin - UncommittedBase
+			if pos != 0 {
+				return fmt.Errorf("uncommitted version of txn %d buried at depth %d", txnID, pos)
+			}
+			if isActive == nil || !isActive(txnID) {
+				return fmt.Errorf("dangling uncommitted version of txn %d", txnID)
+			}
+		} else {
+			if haveCommitted && v.Begin >= lastCommitted {
+				return fmt.Errorf("version chain not newest-first: ts %d at depth %d under ts %d",
+					v.Begin, pos, lastCommitted)
+			}
+			lastCommitted = v.Begin
+			haveCommitted = true
+		}
+		pos++
+	}
+	return nil
+}
+
+// CheckVacuumed verifies the garbage-collection postcondition for the given
+// pruning horizon: behind the newest version visible at oldestActiveTS every
+// chain must be empty, i.e. at most one committed version per chain carries
+// a timestamp <= oldestActiveTS. Valid immediately after Vacuum(oldest) and
+// preserved until the horizon moves.
+func (t *Table) CheckVacuumed(oldestActiveTS uint64) error {
+	t.mu.RLock()
+	slots := t.slots
+	t.mu.RUnlock()
+	for i, s := range slots {
+		s.mu.Lock()
+		reachable := 0
+		for v := s.head; v != nil; v = v.Next {
+			if v.Begin < UncommittedBase && v.Begin <= oldestActiveTS {
+				reachable++
+			}
+		}
+		s.mu.Unlock()
+		if reachable > 1 {
+			return fmt.Errorf("storage: table %q row %d: %d versions at or below GC horizon %d, want <= 1",
+				t.Meta.Name, i, reachable, oldestActiveTS)
+		}
+	}
+	return nil
+}

@@ -99,7 +99,9 @@ func (t *Table) AppendCommitted(data Tuple, ts uint64) RowID {
 
 // ReplayWrite installs a committed version at the given row during WAL
 // replay, growing the slot array as needed so recovered rows land at their
-// original identities. data == nil replays a delete.
+// original identities. data == nil replays a delete. Successive writes at
+// the same timestamp (one transaction rewriting its own row) collapse into
+// one version, matching the live write path's in-place overwrite.
 func (t *Table) ReplayWrite(row RowID, data Tuple, ts uint64) {
 	t.mu.Lock()
 	for int(row) >= len(t.slots) {
@@ -108,7 +110,11 @@ func (t *Table) ReplayWrite(row RowID, data Tuple, ts uint64) {
 	s := t.slots[row]
 	t.mu.Unlock()
 	s.mu.Lock()
-	s.head = &Version{Begin: ts, Data: data, Next: s.head}
+	if s.head != nil && s.head.Begin == ts {
+		s.head.Data = data
+	} else {
+		s.head = &Version{Begin: ts, Data: data, Next: s.head}
+	}
 	s.mu.Unlock()
 }
 

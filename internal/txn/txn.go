@@ -41,9 +41,19 @@ type Txn struct {
 }
 
 // Manager hands out timestamps and tracks active transactions.
+//
+// Commit timestamps are allocated and published in two steps: a committing
+// transaction first reserves the next timestamp (allocTS), stamps every
+// written version with it, and only then publishes it (commitTS). Snapshots
+// read the published timestamp, so a reader can never observe a partially
+// stamped commit — the lost-update race the concurrency harness
+// (internal/check) originally caught. Publication is ordered: a timestamp
+// becomes visible only once every smaller timestamp has been published.
 type Manager struct {
 	mu        sync.Mutex
-	commitTS  uint64 // last committed timestamp
+	commitTS  uint64 // last *published* commit timestamp
+	allocTS   uint64 // last *allocated* commit timestamp (>= commitTS)
+	pending   map[uint64]struct{}
 	nextTxnID uint64
 	active    map[uint64]uint64 // txnID -> readTS
 
@@ -55,7 +65,11 @@ type Manager struct {
 // NewManager returns a fresh transaction manager. Timestamp 0 is reserved
 // for pre-loaded data, so a snapshot at 0 already sees bulk-loaded rows.
 func NewManager() *Manager {
-	return &Manager{nextTxnID: 1, active: make(map[uint64]uint64)}
+	return &Manager{
+		nextTxnID: 1,
+		active:    make(map[uint64]uint64),
+		pending:   make(map[uint64]struct{}),
+	}
 }
 
 // Begin starts a transaction, charging the begin OU's bookkeeping to th.
@@ -102,22 +116,37 @@ func (t *Txn) RedoBytes() int {
 
 // Commit assigns a commit timestamp, stamps every written version, and
 // retires the transaction. It returns the commit timestamp.
+//
+// The timestamp is only published (made visible to new snapshots) after
+// every written version carries it, and publication preserves timestamp
+// order, so snapshot reads never see a half-committed transaction.
 func (t *Txn) Commit(th *hw.Thread) (uint64, error) {
 	if t.state != Active {
 		return 0, ErrTxnFinished
 	}
 	m := t.mgr
 	m.mu.Lock()
-	m.commitTS++
-	ts := m.commitTS
-	delete(m.active, t.ID)
-	concurrent := len(m.active) + 1
-	m.committed++
+	m.allocTS++
+	ts := m.allocTS
+	concurrent := len(m.active)
 	m.mu.Unlock()
 
 	for _, w := range t.writes {
 		w.table.CommitWrite(w.row, t.ID, ts)
 	}
+
+	m.mu.Lock()
+	delete(m.active, t.ID)
+	m.pending[ts] = struct{}{}
+	for {
+		if _, ok := m.pending[m.commitTS+1]; !ok {
+			break
+		}
+		m.commitTS++
+		delete(m.pending, m.commitTS)
+	}
+	m.committed++
+	m.mu.Unlock()
 	t.state = Committed
 	if th != nil {
 		th.Latch(float64(concurrent))
@@ -178,6 +207,27 @@ func (m *Manager) AdvanceTo(ts uint64) {
 	if ts > m.commitTS {
 		m.commitTS = ts
 	}
+	if ts > m.allocTS {
+		m.allocTS = ts
+	}
+}
+
+// LastAllocatedTS returns the most recently allocated commit timestamp. At
+// quiesce it equals LastCommitTS; a gap means a commit is mid-publication.
+// The concurrency harness checks this invariant between phases.
+func (m *Manager) LastAllocatedTS() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.allocTS
+}
+
+// IsActive reports whether the given transaction is still in flight (used
+// by storage invariant checks to classify uncommitted versions).
+func (m *Manager) IsActive(txnID uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.active[txnID]
+	return ok
 }
 
 // LastCommitTS returns the most recent commit timestamp.

@@ -85,34 +85,61 @@ func decodeRecord(b []byte) (Record, error) {
 // tables (keyed by table ID): the recovery path. Records of transactions
 // without a commit record are discarded, exactly as a crash would lose
 // uncommitted work. It returns how many write records were applied.
+//
+// Transactions are applied in commit order — the position of each
+// transaction's commit record in the log — with a distinct timestamp per
+// transaction (1, 2, ...), so the rebuilt version chains carry the same
+// newest-wins ordering as the live tables. The commit record itself is
+// written under the engine's commit-order mutex (engine.DB.CommitLogged),
+// which is what guarantees log order matches commit-timestamp order.
 func Replay(records []Record, tables map[int32]*storage.Table) (int, error) {
-	committed := make(map[uint64]bool)
+	// Pass 1: commit order and per-transaction write lists (in log order).
+	seq := make(map[uint64]uint64)
+	writes := make(map[uint64][]Record)
+	var order []uint64
 	for _, r := range records {
 		if r.Type == RecordCommit {
-			committed[r.TxnID] = true
-		}
-	}
-	applied := 0
-	ts := uint64(1)
-	for _, r := range records {
-		if r.Type == RecordCommit || !committed[r.TxnID] {
+			if _, ok := seq[r.TxnID]; !ok {
+				seq[r.TxnID] = uint64(len(order) + 1)
+				order = append(order, r.TxnID)
+			}
 			continue
 		}
-		t, ok := tables[r.TableID]
-		if !ok {
-			return applied, fmt.Errorf("wal: replay references unknown table %d", r.TableID)
+		writes[r.TxnID] = append(writes[r.TxnID], r)
+	}
+	// Pass 2: redo each committed transaction at its commit-sequence
+	// timestamp.
+	applied := 0
+	for _, txnID := range order {
+		ts := seq[txnID]
+		for _, r := range writes[txnID] {
+			t, ok := tables[r.TableID]
+			if !ok {
+				return applied, fmt.Errorf("wal: replay references unknown table %d", r.TableID)
+			}
+			switch r.Type {
+			case RecordInsert, RecordUpdate:
+				t.ReplayWrite(storage.RowID(r.Row), r.Payload, ts)
+			case RecordDelete:
+				t.ReplayWrite(storage.RowID(r.Row), nil, ts)
+			default:
+				return applied, fmt.Errorf("wal: unknown record type %d", r.Type)
+			}
+			applied++
 		}
-		switch r.Type {
-		case RecordInsert:
-			t.ReplayWrite(storage.RowID(r.Row), r.Payload, ts)
-		case RecordUpdate:
-			t.ReplayWrite(storage.RowID(r.Row), r.Payload, ts)
-		case RecordDelete:
-			t.ReplayWrite(storage.RowID(r.Row), nil, ts)
-		default:
-			return applied, fmt.Errorf("wal: unknown record type %d", r.Type)
-		}
-		applied++
 	}
 	return applied, nil
+}
+
+// NumCommitted returns the number of distinct committed transactions in the
+// record stream: the highest timestamp Replay will stamp, which recovery
+// must advance the transaction manager to.
+func NumCommitted(records []Record) uint64 {
+	seen := make(map[uint64]struct{})
+	for _, r := range records {
+		if r.Type == RecordCommit {
+			seen[r.TxnID] = struct{}{}
+		}
+	}
+	return uint64(len(seen))
 }
