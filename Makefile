@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race stress fuzz vet
+.PHONY: tier1 build test race stress fuzz vet bench-train
 
 # tier1 is the full pre-merge gate: static checks, build, the whole test
 # suite under the race detector (including the internal/check concurrency
@@ -25,3 +25,9 @@ stress:
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/sql
+
+# bench-train times the offline training pipeline serially and at
+# increasing -j, verifies the runs digest identically, and records the
+# measurements (wall clock, speedup, records/sec) as JSON.
+bench-train:
+	$(GO) run ./cmd/mb2-train -bench-parallel BENCH_train_parallel.json

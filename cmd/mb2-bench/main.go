@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	mb2-bench [-full] [-seed N] -exp tab1|tab2|fig1|fig5|fig6|fig7a|fig7b|
-//	          fig8a|fig8b|fig9a|fig9b|fig10|fig11|fig11c|ablations|all
+//	mb2-bench [-full] [-seed N] [-j N] -exp tab1|tab2|fig1|fig5|fig6|fig7a|
+//	          fig7b|fig8a|fig8b|fig9a|fig9b|fig10|fig11|fig11c|ablations|all
 //
 // Each experiment prints the same rows/series the paper reports; shapes
 // (who wins, by roughly what factor, where crossovers fall) are the
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"mb2/internal/experiments"
@@ -31,6 +32,7 @@ func main() {
 	full := flag.Bool("full", false, "use the paper-scale configuration (slower)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	exp := flag.String("exp", "all", "experiment id or 'all': "+strings.Join(experimentOrder, "|"))
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker-pool size for pipeline building (1 = serial; results are identical at any value)")
 	flag.Parse()
 
 	cfg := experiments.Quick()
@@ -40,6 +42,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Runner.Seed = *seed
 	cfg.Train.Seed = *seed
+	cfg.Jobs = *jobs
 
 	var selected []string
 	if *exp == "all" {

@@ -1,28 +1,3 @@
-// Package check is a deterministic concurrency-stress and
-// invariant-checking harness for the MB2 substrate. One Run drives N worker
-// goroutines through a seed-derived SmallBank-style transaction mix — point
-// reads, balance updates, cross-account transfers, account insert/delete,
-// and live snapshot audits — against a single engine.DB while background
-// maintenance (GC epochs, WAL group flushes) races the workload, with a
-// parallel index build at the first phase boundary. At every phase boundary
-// the harness quiesces and verifies four invariant families:
-//
-//   - MVCC / snapshot isolation: no half-published commits, version chains
-//     well-formed, committed balances conserved against a commit ledger,
-//     repeatable reads and cross-table commit atomicity (checked live by
-//     the audit and balance operations inside the workload itself);
-//   - B+tree structure: fanout and depth bounds, key ordering, separator
-//     bounds, leaf chain integrity, plus exact index<->table agreement;
-//   - GC safety: a collection pass never changes any state visible to a
-//     live snapshot, and afterwards chains are pruned below the oldest
-//     active timestamp;
-//   - WAL-replay equivalence: replaying the durable log image into fresh
-//     tables reproduces the live tables' committed state exactly.
-//
-// Every schedule is a pure function of its seed, so a failure report (which
-// always carries the seed) can be replayed; Serial mode re-executes the
-// same per-worker operation streams in a fixed round-robin interleaving for
-// bit-exact reproduction.
 package check
 
 import (

@@ -47,6 +47,7 @@ func AblationInterferenceNorm(p *Pipeline) (AblationInterferenceNormResult, erro
 		}
 		ccfg := runner.DefaultConcurrentConfig()
 		ccfg.IntervalUS = p.Cfg.IntervalUS
+		ccfg.Jobs = p.Cfg.Jobs
 		tr := modeling.NewTranslator(db, ccfg.Mode)
 		return runner.GenerateInterference(db, p.Models, tr, templates, ccfg,
 			p.Cfg.InterferenceThreads, p.Cfg.InterferenceRates)
@@ -61,7 +62,7 @@ func AblationInterferenceNorm(p *Pipeline) (AblationInterferenceNormResult, erro
 	}
 
 	// Normalized variant: the production path.
-	normModel, err := modeling.TrainInterference(train, []string{"random_forest"}, p.Cfg.Seed)
+	normModel, err := modeling.TrainInterference(train, []string{"random_forest"}, p.Cfg.Seed, p.Cfg.Jobs)
 	if err != nil {
 		return res, err
 	}
@@ -79,7 +80,7 @@ func AblationInterferenceNorm(p *Pipeline) (AblationInterferenceNormResult, erro
 		data.X = append(data.X, rawInterferenceFeatures(s.TargetPred, s.ThreadTotals))
 		data.Y = append(data.Y, s.ActualRatios)
 	}
-	rawModel, _, err := ml.SelectAndTrain(data, []string{"random_forest"}, p.Cfg.Seed, 0.05)
+	rawModel, _, err := ml.SelectAndTrain(data, []string{"random_forest"}, p.Cfg.Seed, 0.05, p.Cfg.Jobs)
 	if err != nil {
 		return res, err
 	}
@@ -245,6 +246,7 @@ func AblationInterferenceSummaries(p *Pipeline) (AblationSummariesResult, error)
 		}
 		ccfg := runner.DefaultConcurrentConfig()
 		ccfg.IntervalUS = p.Cfg.IntervalUS
+		ccfg.Jobs = p.Cfg.Jobs
 		tr := modeling.NewTranslator(db, ccfg.Mode)
 		return runner.GenerateInterference(db, p.Models, tr, templates, ccfg,
 			p.Cfg.InterferenceThreads, p.Cfg.InterferenceRates)
@@ -258,7 +260,7 @@ func AblationInterferenceSummaries(p *Pipeline) (AblationSummariesResult, error)
 		return res, err
 	}
 
-	std, err := modeling.TrainInterference(train, []string{"random_forest"}, p.Cfg.Seed)
+	std, err := modeling.TrainInterference(train, []string{"random_forest"}, p.Cfg.Seed, p.Cfg.Jobs)
 	if err != nil {
 		return res, err
 	}
@@ -267,7 +269,7 @@ func AblationInterferenceSummaries(p *Pipeline) (AblationSummariesResult, error)
 		data.X = append(data.X, percentileFeatures(s))
 		data.Y = append(data.Y, s.ActualRatios)
 	}
-	ext, _, err := ml.SelectAndTrain(data, []string{"random_forest"}, p.Cfg.Seed, 0.05)
+	ext, _, err := ml.SelectAndTrain(data, []string{"random_forest"}, p.Cfg.Seed, 0.05, p.Cfg.Jobs)
 	if err != nil {
 		return res, err
 	}

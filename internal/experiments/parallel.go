@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"mb2/internal/par"
+)
+
+// Digest returns an FNV-64a fingerprint of the pipeline's complete trained
+// state: every training record (features and labels), every OU-model's
+// selection report and its predictions over its own training features, and
+// the interference model's selection report. Two pipelines built from the
+// same Config at different -j settings must digest identically — the
+// serial-equivalence proof the parallel pipeline is tested against.
+func (p *Pipeline) Digest() uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf, v)
+		h.Write(buf)
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(s string) {
+		io.WriteString(h, s)
+		h.Write([]byte{0})
+	}
+
+	for _, kind := range p.Repo.Kinds() {
+		u64(uint64(kind))
+		for _, rec := range p.Repo.Records(kind) {
+			for _, v := range rec.Features {
+				f64(v)
+			}
+			for _, v := range rec.Labels.Vec() {
+				f64(v)
+			}
+		}
+	}
+	if p.Models != nil {
+		for _, kind := range p.Models.Kinds() {
+			m := p.Models.OUModels[kind]
+			u64(uint64(kind))
+			str(m.Report.Best)
+			for _, c := range m.Report.Candidates {
+				str(c.Name)
+				f64(c.Error)
+			}
+			for _, rec := range p.Repo.Records(kind) {
+				for _, v := range m.Predict(rec.Features).Vec() {
+					f64(v)
+				}
+			}
+		}
+		if im := p.Models.Interference; im != nil {
+			str(im.Report.Best)
+			for _, c := range im.Report.Candidates {
+				str(c.Name)
+				f64(c.Error)
+			}
+			u64(uint64(im.Model.SizeBytes()))
+		}
+	}
+	return h.Sum64()
+}
+
+// ParallelBenchPoint is one -j measurement of the offline pipeline.
+type ParallelBenchPoint struct {
+	Jobs          float64 `json:"jobs"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	Speedup       float64 `json:"speedup_vs_serial"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+// ParallelBenchResult is the perf trajectory make bench-train records in
+// BENCH_train_parallel.json.
+type ParallelBenchResult struct {
+	Preset       string               `json:"preset"`
+	Records      int                  `json:"records"`
+	GOMAXPROCS   int                  `json:"gomaxprocs"`
+	NumCPU       int                  `json:"num_cpu"`
+	DigestsMatch bool                 `json:"digests_match"`
+	Digest       string               `json:"digest"`
+	Points       []ParallelBenchPoint `json:"points"`
+}
+
+// RunParallelBench times the full offline pipeline (OU-runners, OU-model
+// training, concurrent runners, interference model) at each jobs setting
+// and verifies every run digests identically. Speedups are relative to the
+// first setting, which callers should make 1 (serial). On machines where
+// the scheduler caps usable cores below the requested -j (GOMAXPROCS,
+// container CPU quotas), speedup saturates at that cap; the recorded
+// GOMAXPROCS/NumCPU give the context to read the numbers against.
+func RunParallelBench(cfg Config, preset string, jobsList []int) (ParallelBenchResult, error) {
+	res := ParallelBenchResult{
+		Preset:     preset,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	var digests []uint64
+	for _, jobs := range jobsList {
+		cfg.Jobs = jobs
+		start := time.Now()
+		p, err := BuildPipeline(cfg)
+		if err != nil {
+			return res, err
+		}
+		if err := p.TrainInterference(); err != nil {
+			return res, err
+		}
+		wall := time.Since(start).Seconds()
+		digests = append(digests, p.Digest())
+		res.Records = p.Repo.NumRecords()
+		res.Points = append(res.Points, ParallelBenchPoint{
+			Jobs:          float64(par.Resolve(jobs)),
+			WallSeconds:   wall,
+			RecordsPerSec: float64(p.Repo.NumRecords()) / wall,
+		})
+	}
+	res.DigestsMatch = true
+	for i, pt := range res.Points {
+		res.Points[i].Speedup = res.Points[0].WallSeconds / pt.WallSeconds
+		if digests[i] != digests[0] {
+			res.DigestsMatch = false
+		}
+	}
+	if len(digests) > 0 {
+		res.Digest = fmt.Sprintf("%016x", digests[0])
+	}
+	return res, nil
+}
+
+// WriteJSON writes the bench result as indented JSON.
+func (r ParallelBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -31,6 +31,12 @@ type Config struct {
 	InterferenceThreads []int
 	InterferenceRates   []int
 	Seed                int64
+	// Jobs is the pipeline-wide worker-pool bound (the -j knob): <= 0
+	// selects runtime.GOMAXPROCS(0), 1 is the serial path. BuildPipeline
+	// and TrainInterference propagate it into the runner sweep, the
+	// concurrent runners, and model training; results are bit-for-bit
+	// identical at every setting.
+	Jobs int
 }
 
 // Quick returns a configuration sized for tests and benches: small sweeps,
@@ -85,6 +91,8 @@ type Pipeline struct {
 
 // BuildPipeline runs every OU-runner and trains the OU-models.
 func BuildPipeline(cfg Config) (*Pipeline, error) {
+	cfg.Runner.Jobs = cfg.Jobs
+	cfg.Train.Jobs = cfg.Jobs
 	p := &Pipeline{Cfg: cfg, Repo: metrics.NewRepository()}
 	start := time.Now()
 	rep := runner.RunAll(p.Repo, cfg.Runner)
@@ -125,6 +133,7 @@ func (p *Pipeline) TrainInterference() error {
 	ccfg := runner.DefaultConcurrentConfig()
 	ccfg.IntervalUS = p.Cfg.IntervalUS
 	ccfg.Mode = catalog.Interpret
+	ccfg.Jobs = p.Cfg.Jobs
 	tr := modeling.NewTranslator(db, ccfg.Mode)
 	samples, err := runner.GenerateInterference(db, p.Models, tr, templates, ccfg,
 		p.Cfg.InterferenceThreads, p.Cfg.InterferenceRates)
@@ -133,7 +142,7 @@ func (p *Pipeline) TrainInterference() error {
 	}
 	p.InterfSamples = len(samples)
 	p.InterfDataBytes = len(samples) * (modeling.NumInterferenceFeatures + 9) * 8
-	im, err := modeling.TrainInterference(samples, interferenceCandidates(p.Cfg), p.Cfg.Seed)
+	im, err := modeling.TrainInterference(samples, interferenceCandidates(p.Cfg), p.Cfg.Seed, p.Cfg.Jobs)
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"mb2/internal/ou"
+	"mb2/internal/par"
 )
 
 // Tab1Row is one line of Table 1: the OU property summary.
@@ -83,6 +84,6 @@ func PrintTab2(w io.Writer, p *Pipeline) {
 		fprintf(w, "%-13s %14.0f %12d %14.0f %12d\n",
 			r.ModelType, r.RunnerWallMS, r.DataBytes, r.TrainWallMS, r.ModelBytes)
 	}
-	fprintf(w, "records=%d simulated-runner-time=%.1fs interference-samples=%d\n",
-		p.Repo.NumRecords(), p.RunnerSimUS/1e6, p.InterfSamples)
+	fprintf(w, "records=%d simulated-runner-time=%.1fs interference-samples=%d jobs=%d\n",
+		p.Repo.NumRecords(), p.RunnerSimUS/1e6, p.InterfSamples, par.Resolve(p.Cfg.Jobs))
 }

@@ -22,8 +22,11 @@ type Record struct {
 	Labels   hw.Metrics
 }
 
-// Collector is the thread-local metrics buffer one worker writes to. It is
-// not itself synchronized; the aggregator drains collectors safely.
+// Collector is the thread-local metrics buffer one worker writes to. A
+// mutex guards its state so the aggregator (and the race detector) can
+// drain a collector another goroutine is filling, but the intended
+// discipline is one writer per collector — the parallel runner pipeline
+// gives every sweep unit and every measurement repetition its own.
 type Collector struct {
 	mu      sync.Mutex
 	enabled map[ou.Kind]bool // nil means everything enabled
@@ -199,6 +202,24 @@ func (r *Repository) Add(recs ...Record) {
 	defer r.mu.Unlock()
 	for _, rec := range recs {
 		r.data[rec.Kind] = append(r.data[rec.Kind], rec)
+	}
+}
+
+// Merge appends every record of other into r, preserving other's per-kind
+// record order. Merging per-unit repositories in deterministic unit order
+// reproduces, per kind, exactly the record order a serial run would have
+// produced — the invariant the parallel runner pipeline relies on, since
+// downstream shuffles and splits key off record positions.
+func (r *Repository) Merge(other *Repository) {
+	if other == nil || other == r {
+		return
+	}
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, recs := range other.data {
+		r.data[k] = append(r.data[k], recs...)
 	}
 }
 

@@ -3,6 +3,8 @@ package ml
 import (
 	"math"
 	"math/rand"
+
+	"mb2/internal/par"
 )
 
 // RandomForest is a bagged ensemble of multi-output CART trees with random
@@ -12,11 +14,18 @@ type RandomForest struct {
 	NumTrees int
 	MaxDepth int
 	MinLeaf  int
-	seed     int64
+	// Jobs bounds tree-training parallelism (<= 0 selects GOMAXPROCS, 1
+	// is serial). Each tree's RNG derives from (seed, tree index) alone,
+	// so the fitted forest is identical at any worker count.
+	Jobs int
+	seed int64
 
 	trees  []*treeNode
 	yScale *Scaler
 }
+
+// SetJobs bounds Fit's worker pool.
+func (m *RandomForest) SetJobs(jobs int) { m.Jobs = jobs }
 
 // NewRandomForest returns a forest with the paper's 50 estimators.
 func NewRandomForest(seed int64) *RandomForest {
@@ -38,15 +47,16 @@ func (m *RandomForest) Fit(X, Y [][]float64) error {
 	}
 	cfg := treeConfig{maxDepth: m.MaxDepth, minLeaf: m.MinLeaf, maxFeatures: maxFeatures}
 
+	// Trees share X/Ys read-only and write only their own slot.
 	m.trees = make([]*treeNode, m.NumTrees)
-	for t := 0; t < m.NumTrees; t++ {
+	par.Do(m.Jobs, m.NumTrees, func(t int) {
 		rng := rand.New(rand.NewSource(m.seed + int64(t)*7919))
 		rows := make([]int, n) // bootstrap sample
 		for i := range rows {
 			rows[i] = rng.Intn(n)
 		}
 		m.trees[t] = buildTree(X, Ys, rows, cfg, 0, rng)
-	}
+	})
 	return nil
 }
 
@@ -84,12 +94,21 @@ type GradientBoosting struct {
 	MaxDepth  int
 	MinLeaf   int
 	LR        float64
-	seed      int64
+	// Jobs bounds per-output tree-training parallelism within each
+	// boosting round (<= 0 selects GOMAXPROCS, 1 is serial). Outputs are
+	// independent within a round — output k's residuals and predictions
+	// touch only column k — so the fitted model is identical at any
+	// worker count.
+	Jobs int
+	seed int64
 
 	base   []float64
 	stages [][]*treeNode // [round][output]
 	yScale *Scaler
 }
+
+// SetJobs bounds Fit's worker pool.
+func (m *GradientBoosting) SetJobs(jobs int) { m.Jobs = jobs }
 
 // NewGradientBoosting returns a GBM tuned for the OU-model workloads.
 func NewGradientBoosting(seed int64) *GradientBoosting {
@@ -125,24 +144,33 @@ func (m *GradientBoosting) Fit(X, Y [][]float64) error {
 	}
 	cfg := treeConfig{maxDepth: m.MaxDepth, minLeaf: m.MinLeaf}
 
+	// One residual buffer per output so the outputs of a round can train
+	// concurrently; rounds remain sequential (each consumes the previous
+	// round's predictions). Within a round, output k reads and writes only
+	// column k of pred — distinct memory words — so parallel outputs
+	// reproduce the serial result exactly.
 	m.stages = make([][]*treeNode, m.NumRounds)
-	resid := make([][]float64, n)
-	for i := range resid {
-		resid[i] = make([]float64, 1)
+	resid := make([][][]float64, dy)
+	for k := range resid {
+		resid[k] = make([][]float64, n)
+		for i := range resid[k] {
+			resid[k][i] = make([]float64, 1)
+		}
 	}
 	for round := 0; round < m.NumRounds; round++ {
 		m.stages[round] = make([]*treeNode, dy)
-		for k := 0; k < dy; k++ {
-			for i := range resid {
-				resid[i][0] = Ys[i][k] - pred[i][k]
+		par.Do(m.Jobs, dy, func(k int) {
+			rk := resid[k]
+			for i := range rk {
+				rk[i][0] = Ys[i][k] - pred[i][k]
 			}
 			rng := rand.New(rand.NewSource(m.seed + int64(round*31+k)))
-			tr := buildTree(X, resid, rows, cfg, 0, rng)
+			tr := buildTree(X, rk, rows, cfg, 0, rng)
 			m.stages[round][k] = tr
 			for i := range pred {
 				pred[i][k] += m.LR * tr.predict(X[i])[0]
 			}
-		}
+		})
 	}
 	return nil
 }

@@ -1,9 +1,3 @@
-// Package ml is a from-scratch machine-learning library covering the seven
-// algorithm families MB2 trains OU-models with (Sec 6.4): linear regression,
-// Huber regression, support-vector regression, kernel regression, random
-// forest, gradient boosting machine, and a multilayer-perceptron neural
-// network — plus train/test splitting, k-fold cross-validation, and
-// best-model selection. Everything is deterministic given a seed.
 package ml
 
 import (

@@ -3,6 +3,7 @@ package ml
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -208,7 +209,7 @@ func TestKFoldPartitions(t *testing.T) {
 
 func TestSelectAndTrainPicksReasonableModel(t *testing.T) {
 	d := synthDataset(600, 0.02, 23)
-	m, report, err := SelectAndTrain(d, []string{"linear", "random_forest", "gbm"}, 1, 1)
+	m, report, err := SelectAndTrain(d, []string{"linear", "random_forest", "gbm"}, 1, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,12 +228,65 @@ func TestSelectAndTrainPicksReasonableModel(t *testing.T) {
 
 func TestCrossValidate(t *testing.T) {
 	d := synthDataset(300, 0.05, 25)
-	e, err := CrossValidate(d, "linear", 5, 1, 1)
+	e, err := CrossValidate(d, "linear", 5, 1, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if e < 0 || math.IsNaN(e) {
 		t.Fatalf("cv error = %v", e)
+	}
+}
+
+func TestParallelTrainingMatchesSerialML(t *testing.T) {
+	d := synthDataset(400, 0.02, 29)
+	probe := synthDataset(50, 0, 30)
+
+	// Ensembles: identical trees at any worker count.
+	for _, name := range []string{"random_forest", "gbm"} {
+		serial, _ := NewByName(name, 7)
+		parallel, _ := NewByName(name, 7)
+		setJobs(serial, 1)
+		setJobs(parallel, 8)
+		if err := serial.Fit(d.X, d.Y); err != nil {
+			t.Fatal(err)
+		}
+		if err := parallel.Fit(d.X, d.Y); err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range probe.X {
+			s, p := serial.Predict(x), parallel.Predict(x)
+			for k := range s {
+				if s[k] != p[k] {
+					t.Fatalf("%s: prediction %d output %d diverges: %v vs %v", name, i, k, s[k], p[k])
+				}
+			}
+		}
+	}
+
+	// Selection: same winner, same candidate errors.
+	_, rs, err := SelectAndTrain(d, []string{"linear", "random_forest", "gbm"}, 7, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rp, err := SelectAndTrain(d, []string{"linear", "random_forest", "gbm"}, 7, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs, rp) {
+		t.Fatalf("selection reports diverge:\nserial   %+v\nparallel %+v", rs, rp)
+	}
+
+	// Cross-validation: bit-identical score.
+	es, err := CrossValidate(d, "gbm", 4, 7, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := CrossValidate(d, "gbm", 4, 7, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es != ep {
+		t.Fatalf("cv scores diverge: %v vs %v", es, ep)
 	}
 }
 

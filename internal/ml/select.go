@@ -3,6 +3,8 @@ package ml
 import (
 	"fmt"
 	"sort"
+
+	"mb2/internal/par"
 )
 
 // AlgorithmNames lists the seven families MB2 supports (Sec 6.4).
@@ -83,11 +85,26 @@ func shuffleInts(idx []int, seed int64) {
 	}
 }
 
+// jobsSetter is implemented by models whose training parallelizes
+// internally (the tree ensembles).
+type jobsSetter interface{ SetJobs(jobs int) }
+
+// setJobs propagates a worker-pool bound into models that support it.
+func setJobs(m Model, jobs int) {
+	if s, ok := m.(jobsSetter); ok {
+		s.SetJobs(jobs)
+	}
+}
+
 // SelectAndTrain implements MB2's model-selection procedure (Sec 6.4): fit
 // every candidate family on the 80% train split, score it on the 20% test
 // split by average relative error, pick the winner, then refit the winner
 // on all available data. relFloor guards relative error for tiny labels.
-func SelectAndTrain(data Dataset, candidates []string, seed int64, relFloor float64) (Model, SelectionReport, error) {
+//
+// Candidates fit on jobs workers (<= 0 selects GOMAXPROCS, 1 is serial);
+// each candidate's seed and the report's candidate order depend only on
+// the candidate list, so the selection is identical at any worker count.
+func SelectAndTrain(data Dataset, candidates []string, seed int64, relFloor float64, jobs int) (Model, SelectionReport, error) {
 	if data.Len() == 0 {
 		return nil, SelectionReport{}, ErrNoData
 	}
@@ -100,17 +117,29 @@ func SelectAndTrain(data Dataset, candidates []string, seed int64, relFloor floa
 		test = data
 	}
 
-	report := SelectionReport{}
-	for _, name := range candidates {
+	results := make([]CandidateResult, len(candidates))
+	errs := make([]error, len(candidates))
+	par.Do(jobs, len(candidates), func(ci int) {
+		name := candidates[ci]
 		m, err := NewByName(name, seed)
 		if err != nil {
-			return nil, report, err
+			errs[ci] = err
+			return
 		}
+		setJobs(m, jobs)
 		if err := m.Fit(train.X, train.Y); err != nil {
-			return nil, report, fmt.Errorf("ml: fitting %s: %w", name, err)
+			errs[ci] = fmt.Errorf("ml: fitting %s: %w", name, err)
+			return
 		}
 		e := AvgRelError(PredictAll(m, test.X), test.Y, relFloor)
-		report.Candidates = append(report.Candidates, CandidateResult{Name: name, Error: e})
+		results[ci] = CandidateResult{Name: name, Error: e}
+	})
+	report := SelectionReport{}
+	for ci := range candidates {
+		if errs[ci] != nil {
+			return nil, report, errs[ci]
+		}
+		report.Candidates = append(report.Candidates, results[ci])
 	}
 	sort.SliceStable(report.Candidates, func(i, j int) bool {
 		return report.Candidates[i].Error < report.Candidates[j].Error
@@ -121,18 +150,22 @@ func SelectAndTrain(data Dataset, candidates []string, seed int64, relFloor floa
 	if err != nil {
 		return nil, report, err
 	}
+	setJobs(final, jobs)
 	if err := final.Fit(data.X, data.Y); err != nil {
 		return nil, report, err
 	}
 	return final, report, nil
 }
 
-// CrossValidate scores one family by k-fold average relative error.
-func CrossValidate(data Dataset, name string, k int, seed int64, relFloor float64) (float64, error) {
+// CrossValidate scores one family by k-fold average relative error. Folds
+// fit on jobs workers; per-fold errors reduce in fold order, so the score
+// is bit-identical at any worker count.
+func CrossValidate(data Dataset, name string, k int, seed int64, relFloor float64, jobs int) (float64, error) {
 	folds := KFold(data.Len(), k, seed)
-	total := 0.0
-	for fi, fold := range folds {
-		trainIdx, testIdx := fold[0], fold[1]
+	foldErrs := make([]float64, len(folds))
+	errs := make([]error, len(folds))
+	par.Do(jobs, len(folds), func(fi int) {
+		trainIdx, testIdx := folds[fi][0], folds[fi][1]
 		sub := Dataset{}
 		for _, i := range trainIdx {
 			sub.X = append(sub.X, data.X[i])
@@ -140,17 +173,27 @@ func CrossValidate(data Dataset, name string, k int, seed int64, relFloor float6
 		}
 		m, err := NewByName(name, seed+int64(fi))
 		if err != nil {
-			return 0, err
+			errs[fi] = err
+			return
 		}
+		setJobs(m, jobs)
 		if err := m.Fit(sub.X, sub.Y); err != nil {
-			return 0, err
+			errs[fi] = err
+			return
 		}
 		var px, py [][]float64
 		for _, i := range testIdx {
 			px = append(px, data.X[i])
 			py = append(py, data.Y[i])
 		}
-		total += AvgRelError(PredictAll(m, px), py, relFloor)
+		foldErrs[fi] = AvgRelError(PredictAll(m, px), py, relFloor)
+	})
+	total := 0.0
+	for fi := range folds {
+		if errs[fi] != nil {
+			return 0, errs[fi]
+		}
+		total += foldErrs[fi]
 	}
 	return total / float64(len(folds)), nil
 }

@@ -1,0 +1,19 @@
+// Package modeling is MB2 itself: the OU translator that converts query
+// plans and self-driving actions into OU feature vectors, the OU-models
+// (one per operating unit, trained with automatic algorithm selection and
+// output-label normalization), the interference model for concurrent OUs,
+// and the inference pipeline that combines them into behavior predictions
+// for the planning system (Secs 3-6).
+//
+// # Concurrency contract
+//
+// TrainModelSet trains the per-OU models on TrainOptions.Jobs workers and
+// TrainInterference fits its candidate families on an explicit jobs
+// argument; both propagate the bound into internal/ml. Every parallel unit
+// (OU, candidate, tree) seeds from TrainOptions.Seed and its own identity,
+// writes only unit-private state, and reduces in deterministic kind/
+// candidate order, so trained model sets are bit-for-bit identical to a
+// serial run at any worker count (jobs <= 0 selects GOMAXPROCS, 1 is
+// serial). A trained ModelSet is safe for concurrent Predict calls;
+// training and Retrain are not.
+package modeling

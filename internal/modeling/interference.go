@@ -81,7 +81,9 @@ type InterferenceModel struct {
 // TrainInterference fits the interference model from concurrent-runner
 // samples. The paper found the neural network works best here given the
 // summary-statistic inputs (Sec 8.4); candidates default accordingly.
-func TrainInterference(samples []InterferenceSample, candidates []string, seed int64) (*InterferenceModel, error) {
+// Candidate families fit on jobs workers (<= 0 selects GOMAXPROCS, 1 is
+// serial) with an identical selection at every setting.
+func TrainInterference(samples []InterferenceSample, candidates []string, seed int64, jobs int) (*InterferenceModel, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("modeling: no interference training data")
 	}
@@ -93,7 +95,7 @@ func TrainInterference(samples []InterferenceSample, candidates []string, seed i
 		data.X = append(data.X, InterferenceFeatures(s.TargetPred, s.ThreadTotals, s.IntervalUS))
 		data.Y = append(data.Y, s.ActualRatios)
 	}
-	model, report, err := ml.SelectAndTrain(data, candidates, seed, 0.05)
+	model, report, err := ml.SelectAndTrain(data, candidates, seed, 0.05, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -330,7 +330,7 @@ func TestInterferenceModelLearnsLoad(t *testing.T) {
 			})
 		}
 	}
-	im, err := TrainInterference(samples, []string{"random_forest"}, 1)
+	im, err := TrainInterference(samples, []string{"random_forest"}, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +345,7 @@ func TestInterferenceModelLearnsLoad(t *testing.T) {
 			t.Fatal("ratios must clamp at 1")
 		}
 	}
-	if _, err := TrainInterference(nil, nil, 1); err == nil {
+	if _, err := TrainInterference(nil, nil, 1, 1); err == nil {
 		t.Fatal("empty samples must error")
 	}
 }

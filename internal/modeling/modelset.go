@@ -7,6 +7,7 @@ import (
 	"mb2/internal/hw"
 	"mb2/internal/metrics"
 	"mb2/internal/ou"
+	"mb2/internal/par"
 )
 
 // ModelSet is the complete trained state of MB2: one OU-model per operating
@@ -19,14 +20,23 @@ type ModelSet struct {
 // TrainModelSet trains an OU-model for every OU with records in the
 // repository (Sec 6.4). The interference model is trained separately from
 // concurrent-runner data via TrainInterference.
+//
+// The per-OU models train on opts.Jobs workers. Each model depends only on
+// its OU's records and opts, and a failure reports the first error in kind
+// order, so the result is identical to a serial run at any worker count.
 func TrainModelSet(repo *metrics.Repository, opts TrainOptions) (*ModelSet, error) {
 	ms := &ModelSet{OUModels: make(map[ou.Kind]*OUModel)}
-	for _, kind := range repo.Kinds() {
-		m, err := TrainOUModel(kind, repo.Records(kind), opts)
-		if err != nil {
-			return nil, err
+	kinds := repo.Kinds()
+	models := make([]*OUModel, len(kinds))
+	errs := make([]error, len(kinds))
+	par.Do(opts.Jobs, len(kinds), func(i int) {
+		models[i], errs[i] = TrainOUModel(kinds[i], repo.Records(kinds[i]), opts)
+	})
+	for i, kind := range kinds {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		ms.OUModels[kind] = m
+		ms.OUModels[kind] = models[i]
 	}
 	if len(ms.OUModels) == 0 {
 		return nil, fmt.Errorf("modeling: repository has no training data")

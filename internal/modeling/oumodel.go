@@ -24,6 +24,10 @@ type TrainOptions struct {
 	// RelFloor guards relative error for near-zero labels during model
 	// selection.
 	RelFloor float64
+	// Jobs bounds training parallelism (per-OU models, candidate
+	// families, ensemble trees): <= 0 selects runtime.GOMAXPROCS(0), 1 is
+	// the serial path. Trained models are identical at every setting.
+	Jobs int
 }
 
 // DefaultTrainOptions returns the standard configuration.
@@ -80,7 +84,7 @@ func TrainOUModel(kind ou.Kind, recs []metrics.Record, opts TrainOptions) (*OUMo
 	if opts.Normalize {
 		selFloor = 1e-3
 	}
-	model, report, err := ml.SelectAndTrain(data, candidates, opts.Seed, selFloor)
+	model, report, err := ml.SelectAndTrain(data, candidates, opts.Seed, selFloor, opts.Jobs)
 	if err != nil {
 		return nil, fmt.Errorf("modeling: training %v: %w", kind, err)
 	}

@@ -1,9 +1,3 @@
-// Package modeling is MB2 itself: the OU translator that converts query
-// plans and self-driving actions into OU feature vectors, the OU-models
-// (one per operating unit, trained with automatic algorithm selection and
-// output-label normalization), the interference model for concurrent OUs,
-// and the inference pipeline that combines them into behavior predictions
-// for the planning system (Secs 3-6).
 package modeling
 
 import (

@@ -1,0 +1,89 @@
+// Package par provides the bounded worker pool behind the offline
+// pipeline's -j knob. Callers split work into independent units, run them
+// with Do, and merge per-unit outputs in deterministic unit order, so the
+// parallel result is bit-for-bit identical to the serial one: parallelism
+// only changes *when* a unit runs, never what it computes or where its
+// output lands.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a jobs setting to a concrete worker count: values <= 0
+// select runtime.GOMAXPROCS(0) (the -j default), anything else is taken
+// as-is. 1 means serial.
+func Resolve(jobs int) int {
+	if jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return jobs
+}
+
+// Do runs fn(i) for every i in [0, n) on at most Resolve(jobs) workers.
+// With an effective worker count of one (or a single unit) it runs inline
+// on the calling goroutine — exactly the serial path. Units are claimed
+// from an atomic counter, so scheduling is work-stealing but the set of
+// executed indices is always [0, n).
+//
+// fn must not depend on the order or goroutine in which units run; it may
+// only write to unit-private state (e.g. slot i of a results slice). If
+// units panic, Do waits for the pool to drain and re-panics with the
+// lowest-indexed unit's panic value, matching what a serial loop that
+// stopped at the first failure would surface.
+func Do(jobs, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Resolve(jobs)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	next := int64(-1)
+	panics := make([]any, n)
+	var panicked atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				runUnit(i, fn, panics, &panicked)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		for _, p := range panics {
+			if p != nil {
+				panic(p)
+			}
+		}
+	}
+}
+
+// runUnit executes one unit, capturing a panic into its slot instead of
+// unwinding the worker goroutine (which would crash the process before the
+// pool drains).
+func runUnit(i int, fn func(int), panics []any, panicked *atomic.Bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics[i] = r
+			panicked.Store(true)
+		}
+	}()
+	fn(i)
+}

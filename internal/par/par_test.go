@@ -1,0 +1,93 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, j := range []int{1, 2, 8, 64} {
+		if got := Resolve(j); got != j {
+			t.Fatalf("Resolve(%d) = %d", j, got)
+		}
+	}
+}
+
+func TestDoCoversAllUnitsExactlyOnce(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 100} {
+		n := 57
+		counts := make([]int64, n)
+		Do(jobs, n, func(i int) { atomic.AddInt64(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("jobs=%d: unit %d ran %d times", jobs, i, c)
+			}
+		}
+	}
+}
+
+func TestDoZeroAndNegativeN(t *testing.T) {
+	ran := false
+	Do(4, 0, func(int) { ran = true })
+	Do(4, -1, func(int) { ran = true })
+	if ran {
+		t.Fatal("Do ran units for n <= 0")
+	}
+}
+
+func TestDoSerialRunsInline(t *testing.T) {
+	// jobs=1 must run in submission order on the calling goroutine.
+	var order []int
+	Do(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestDoDeterministicReduction(t *testing.T) {
+	// The canonical usage: units write only their own slot; the ordered
+	// reduction is identical regardless of worker count.
+	n := 64
+	ref := make([]int, n)
+	Do(1, n, func(i int) { ref[i] = i * i })
+	for _, jobs := range []int{2, 8} {
+		got := make([]int, n)
+		Do(jobs, n, func(i int) { got[i] = i * i })
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("jobs=%d: slot %d = %d, want %d", jobs, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestDoPanicPropagatesLowestUnit(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r != "boom 3" {
+					t.Fatalf("jobs=%d: recovered %v, want lowest-unit panic \"boom 3\"", jobs, r)
+				}
+			}()
+			Do(jobs, 10, func(i int) {
+				if i == 3 {
+					panic("boom 3")
+				}
+				if i == 7 && jobs > 1 {
+					panic("boom 7")
+				}
+			})
+			t.Fatalf("jobs=%d: Do did not panic", jobs)
+		}()
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"mb2/internal/hw"
 	"mb2/internal/metrics"
 	"mb2/internal/modeling"
+	"mb2/internal/par"
 	"mb2/internal/plan"
 )
 
@@ -24,6 +25,11 @@ type ConcurrentConfig struct {
 	Machine    hw.Machine
 	IntervalUS float64
 	Mode       catalog.ExecutionMode
+	// Jobs bounds the worker pool GenerateInterference spreads its
+	// (subset, threads, rate) scenario cells over: <= 0 selects
+	// runtime.GOMAXPROCS(0), 1 is the serial path. Samples are merged in
+	// cell order, so results are identical at every setting.
+	Jobs int
 }
 
 // DefaultConcurrentConfig returns the standard setup: 1-second intervals on
@@ -121,39 +127,63 @@ func GenerateInterference(db *engine.DB, ms *modeling.ModelSet, tr *modeling.Tra
 		preds[i] = p
 	}
 
-	var samples []modeling.InterferenceSample
-	subsets := templateSubsets(len(templates))
-	for _, subset := range subsets {
+	// Enumerate the scenario cells in serial sweep order. Each cell
+	// executes against the shared database read-only (the templates touch
+	// no write OUs) and produces a private sample slice; the ordered merge
+	// below makes the result independent of cfg.Jobs.
+	type cell struct {
+		subset  []int
+		threads int
+		rate    int
+	}
+	var cells []cell
+	for _, subset := range templateSubsets(len(templates)) {
 		for _, threads := range threadCounts {
 			for _, rate := range rates {
-				assignment := RoundRobinAssignment(subset, threads, rate)
-				run, err := ExecuteInterval(db, cfg, templates, assignment, nil)
-				if err != nil {
-					return nil, err
-				}
-				// Predicted per-thread totals mirror the assignment.
-				predTotals := make([]hw.Metrics, threads)
-				for t, list := range assignment {
-					for _, ti := range list {
-						predTotals[t].Add(preds[ti])
-					}
-				}
-				// One sample per template per interval configuration.
-				seen := map[int]bool{}
-				for _, q := range run.Queries {
-					if seen[q.Template] {
-						continue
-					}
-					seen[q.Template] = true
-					samples = append(samples, modeling.InterferenceSample{
-						TargetPred:   preds[q.Template],
-						ThreadTotals: predTotals,
-						IntervalUS:   cfg.IntervalUS,
-						ActualRatios: q.Concurrent.Ratios(preds[q.Template]),
-					})
-				}
+				cells = append(cells, cell{subset, threads, rate})
 			}
 		}
+	}
+
+	perCell := make([][]modeling.InterferenceSample, len(cells))
+	errs := make([]error, len(cells))
+	par.Do(cfg.Jobs, len(cells), func(ci int) {
+		c := cells[ci]
+		assignment := RoundRobinAssignment(c.subset, c.threads, c.rate)
+		run, err := ExecuteInterval(db, cfg, templates, assignment, nil)
+		if err != nil {
+			errs[ci] = err
+			return
+		}
+		// Predicted per-thread totals mirror the assignment.
+		predTotals := make([]hw.Metrics, c.threads)
+		for t, list := range assignment {
+			for _, ti := range list {
+				predTotals[t].Add(preds[ti])
+			}
+		}
+		// One sample per template per interval configuration.
+		seen := map[int]bool{}
+		for _, q := range run.Queries {
+			if seen[q.Template] {
+				continue
+			}
+			seen[q.Template] = true
+			perCell[ci] = append(perCell[ci], modeling.InterferenceSample{
+				TargetPred:   preds[q.Template],
+				ThreadTotals: predTotals,
+				IntervalUS:   cfg.IntervalUS,
+				ActualRatios: q.Concurrent.Ratios(preds[q.Template]),
+			})
+		}
+	})
+
+	var samples []modeling.InterferenceSample
+	for ci := range cells {
+		if errs[ci] != nil {
+			return nil, errs[ci]
+		}
+		samples = append(samples, perCell[ci]...)
 	}
 	return samples, nil
 }

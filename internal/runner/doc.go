@@ -1,0 +1,26 @@
+// Package runner implements MB2's data-generation infrastructure (Sec 6):
+// one OU-runner per operating unit that sweeps the OU's input-feature space
+// with fixed-length and exponential step sizes (Sec 6.2), and concurrent
+// runners that execute end-to-end workloads under varying parallelism to
+// produce interference-model training data (Sec 6.3).
+//
+// # Concurrency contract
+//
+// The offline sweep is parallelized behind Config.Jobs (and
+// ConcurrentConfig.Jobs for the concurrent runners) with results
+// bit-for-bit identical to a serial run at any worker count:
+//
+//   - Every OU-runner enumerates its sweep as independent SweepUnits, each
+//     owning a private scratch database, hardware-thread contexts, and a
+//     noise stream pre-derived from (Config.Seed, unit name) — never from
+//     execution order.
+//   - RunAll executes units on a bounded worker pool (internal/par); each
+//     unit fills a private metrics.Repository and the parts are merged in
+//     deterministic unit order, reproducing the serial per-OU record order
+//     that downstream shuffles and splits key off.
+//   - GenerateInterference applies the same scheme to its (query subset,
+//     thread count, rate) scenario cells; cells execute read-only against
+//     the shared database and their samples merge in cell order.
+//
+// Jobs <= 0 selects runtime.GOMAXPROCS(0); 1 is the serial path.
+package runner

@@ -1,11 +1,7 @@
-// Package runner implements MB2's data-generation infrastructure (Sec 6):
-// one OU-runner per operating unit that sweeps the OU's input-feature space
-// with fixed-length and exponential step sizes, and concurrent runners that
-// execute end-to-end workloads under varying parallelism to produce
-// interference-model training data.
 package runner
 
 import (
+	"hash/fnv"
 	"math/rand"
 	"sync/atomic"
 
@@ -14,6 +10,7 @@ import (
 	"mb2/internal/hw"
 	"mb2/internal/metrics"
 	"mb2/internal/ou"
+	"mb2/internal/par"
 	"mb2/internal/storage"
 )
 
@@ -30,6 +27,10 @@ type Config struct {
 	MaxRows int
 	// Seed drives data generation.
 	Seed int64
+	// Jobs bounds the worker pool RunAll spreads sweep units over: <= 0
+	// selects runtime.GOMAXPROCS(0), 1 is the serial path. Results are
+	// bit-for-bit identical at every setting (see SweepUnit).
+	Jobs int
 	// NoiseScale, when positive, adds multiplicative measurement noise to
 	// collected labels (exercised by the trimmed-mean ablation).
 	NoiseScale float64
@@ -41,11 +42,16 @@ type Config struct {
 	// mean, used by the robust-statistics ablation).
 	TrimFrac float64
 
+	// noiseBase is the per-unit noise seed base, pre-derived by
+	// SweepUnit.Run as Seed ^ fnv64a(unit name). It makes a unit's noise
+	// stream a pure function of (Seed, unit) — independent of which worker
+	// runs the unit and of everything that ran before it — which is what
+	// keeps noisy runs deterministic under -j. Zero falls back to Seed
+	// (measure called outside a sweep unit).
+	noiseBase int64
 	// noiseSalt distinguishes the noise seeds of successive measurement
-	// series within one runner invocation. It is scoped to the invocation
-	// (AllRunners wraps each runner with a fresh counter) rather than the
-	// process, so a runner's noise stream is a pure function of cfg.Seed
-	// and does not depend on what ran before it.
+	// series within one sweep unit. It is scoped to the unit (SweepUnit.Run
+	// installs a fresh counter) rather than the process.
 	noiseSalt *int64
 }
 
@@ -142,11 +148,15 @@ func measure(repo *metrics.Repository, cfg Config, fn func(col *metrics.Collecto
 	if cfg.noiseSalt != nil {
 		salt = atomic.AddInt64(cfg.noiseSalt, 1)
 	}
+	noiseBase := cfg.noiseBase
+	if noiseBase == 0 {
+		noiseBase = cfg.Seed
+	}
 	var runs [][]metrics.Record
 	for i := 0; i < cfg.Warmups+reps; i++ {
 		col := metrics.NewCollector()
 		if cfg.NoiseScale > 0 {
-			col.SetNoise(cfg.NoiseScale, cfg.Seed+salt*1000003+int64(i))
+			col.SetNoise(cfg.NoiseScale, noiseBase+salt*1000003+int64(i))
 		}
 		fn(col)
 		if i >= cfg.Warmups {
@@ -181,6 +191,35 @@ func measure(repo *metrics.Repository, cfg Config, fn func(col *metrics.Collecto
 	}
 }
 
+// SweepUnit is one independent cell of an OU-runner's parameter sweep: it
+// builds its own scratch database, runs its own measurement series, and
+// emits records into whatever repository it is given. Units never share
+// mutable state, so RunAll can execute them on any worker in any order and
+// recover the serial result by merging per-unit repositories in unit order.
+type SweepUnit struct {
+	// Name identifies the unit (runner name plus its sweep coordinates).
+	// It is unique across all runners and seeds the unit's noise stream.
+	Name string
+	run  func(repo *metrics.Repository, cfg Config)
+}
+
+// Run executes the unit. The unit gets a fresh noise-salt counter and a
+// noise seed base derived from (cfg.Seed, unit name), so its output is a
+// pure function of cfg — independent of scheduling.
+func (u SweepUnit) Run(repo *metrics.Repository, cfg Config) {
+	cfg.noiseSalt = new(int64)
+	cfg.noiseBase = unitSeed(cfg.Seed, u.Name)
+	u.run(repo, cfg)
+}
+
+// unitSeed derives a unit's seed as seed XOR fnv64a(name): stable across
+// processes, independent of unit execution order.
+func unitSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ int64(h.Sum64())
+}
+
 // RunReport summarizes a data-generation run (the Table 2 accounting).
 type RunReport struct {
 	Records     int
@@ -191,43 +230,64 @@ type RunReport struct {
 type OURunner struct {
 	Name string
 	OUs  []ou.Kind
-	Run  func(repo *metrics.Repository, cfg Config)
+	// Units enumerates the runner's sweep as independent cells, in the
+	// order the serial sweep visits them.
+	Units func(cfg Config) []SweepUnit
+	// Run executes the full sweep serially into repo (all units in order).
+	Run func(repo *metrics.Repository, cfg Config)
 }
 
-// withSalt gives the runner invocation its own noise-salt counter so its
-// measurement noise is a pure function of cfg.Seed, independent of any
-// runners that executed earlier in the process.
-func withSalt(run func(*metrics.Repository, Config)) func(*metrics.Repository, Config) {
-	return func(repo *metrics.Repository, cfg Config) {
-		if cfg.noiseSalt == nil {
-			cfg.noiseSalt = new(int64)
-		}
-		run(repo, cfg)
+// ouRunner wires a unit generator into an OURunner whose Run executes the
+// units serially in enumeration order.
+func ouRunner(name string, ous []ou.Kind, units func(cfg Config) []SweepUnit) OURunner {
+	return OURunner{
+		Name:  name,
+		OUs:   ous,
+		Units: units,
+		Run: func(repo *metrics.Repository, cfg Config) {
+			for _, u := range units(cfg) {
+				u.Run(repo, cfg)
+			}
+		},
 	}
 }
 
 // AllRunners returns every OU-runner, covering all 19 OUs.
 func AllRunners() []OURunner {
 	return []OURunner{
-		{Name: "seq_scan", OUs: []ou.Kind{ou.SeqScan, ou.Arithmetic}, Run: withSalt(runSeqScan)},
-		{Name: "idx_scan", OUs: []ou.Kind{ou.IdxScan}, Run: withSalt(runIdxScan)},
-		{Name: "hash_join", OUs: []ou.Kind{ou.HashJoinBuild, ou.HashJoinProbe}, Run: withSalt(runHashJoin)},
-		{Name: "agg", OUs: []ou.Kind{ou.AggBuild, ou.AggProbe}, Run: withSalt(runAgg)},
-		{Name: "sort", OUs: []ou.Kind{ou.SortBuild, ou.SortIter}, Run: withSalt(runSort)},
-		{Name: "output", OUs: []ou.Kind{ou.Output}, Run: withSalt(runOutput)},
-		{Name: "dml", OUs: []ou.Kind{ou.Insert, ou.Update, ou.Delete}, Run: withSalt(runDML)},
-		{Name: "index_build", OUs: []ou.Kind{ou.IndexBuild}, Run: withSalt(runIndexBuild)},
-		{Name: "gc", OUs: []ou.Kind{ou.GC}, Run: withSalt(runGC)},
-		{Name: "wal", OUs: []ou.Kind{ou.LogSerialize, ou.LogFlush}, Run: withSalt(runWAL)},
-		{Name: "txn", OUs: []ou.Kind{ou.TxnBegin, ou.TxnCommit}, Run: withSalt(runTxn)},
+		ouRunner("seq_scan", []ou.Kind{ou.SeqScan, ou.Arithmetic}, seqScanUnits),
+		ouRunner("idx_scan", []ou.Kind{ou.IdxScan}, idxScanUnits),
+		ouRunner("hash_join", []ou.Kind{ou.HashJoinBuild, ou.HashJoinProbe}, hashJoinUnits),
+		ouRunner("agg", []ou.Kind{ou.AggBuild, ou.AggProbe}, aggUnits),
+		ouRunner("sort", []ou.Kind{ou.SortBuild, ou.SortIter}, sortUnits),
+		ouRunner("output", []ou.Kind{ou.Output}, outputUnits),
+		ouRunner("dml", []ou.Kind{ou.Insert, ou.Update, ou.Delete}, dmlUnits),
+		ouRunner("index_build", []ou.Kind{ou.IndexBuild}, indexBuildUnits),
+		ouRunner("gc", []ou.Kind{ou.GC}, gcUnits),
+		ouRunner("wal", []ou.Kind{ou.LogSerialize, ou.LogFlush}, walUnits),
+		ouRunner("txn", []ou.Kind{ou.TxnBegin, ou.TxnCommit}, txnUnits),
 	}
 }
 
 // RunAll executes every OU-runner into the repository and reports volume.
+// Units run on cfg.Jobs workers; each fills a private repository and the
+// parts are merged in unit order, so the repository's per-OU record order
+// (which downstream shuffles and splits key off) is identical to a serial
+// run at any worker count.
 func RunAll(repo *metrics.Repository, cfg Config) RunReport {
 	before := repo.NumRecords()
+	var units []SweepUnit
 	for _, r := range AllRunners() {
-		r.Run(repo, cfg)
+		units = append(units, r.Units(cfg)...)
+	}
+	parts := make([]*metrics.Repository, len(units))
+	par.Do(cfg.Jobs, len(units), func(i int) {
+		part := metrics.NewRepository()
+		units[i].Run(part, cfg)
+		parts[i] = part
+	})
+	for _, part := range parts {
+		repo.Merge(part)
 	}
 	rep := RunReport{Records: repo.NumRecords() - before}
 	for _, k := range repo.Kinds() {

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"reflect"
 	"testing"
 
 	"mb2/internal/catalog"
@@ -84,6 +85,32 @@ func TestRunAllCoversEveryOU(t *testing.T) {
 	}
 }
 
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	cfg := tinyConfig()
+	run := func(jobs int) *metrics.Repository {
+		cfg.Jobs = jobs
+		repo := metrics.NewRepository()
+		RunAll(repo, cfg)
+		return repo
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial.Kinds(), parallel.Kinds()) {
+		t.Fatalf("kinds diverge: %v vs %v", serial.Kinds(), parallel.Kinds())
+	}
+	for _, k := range serial.Kinds() {
+		s, p := serial.Records(k), parallel.Records(k)
+		if len(s) != len(p) {
+			t.Fatalf("%v: %d records serial, %d parallel", k, len(s), len(p))
+		}
+		for i := range s {
+			if !reflect.DeepEqual(s[i], p[i]) {
+				t.Fatalf("%v record %d diverges:\nserial   %+v\nparallel %+v", k, i, s[i], p[i])
+			}
+		}
+	}
+}
+
 func TestRunnersCoverDeclaredOUs(t *testing.T) {
 	cfg := tinyConfig()
 	for _, r := range AllRunners() {
@@ -142,8 +169,11 @@ func TestExecuteIntervalAndInterferenceData(t *testing.T) {
 
 	// Train tiny OU models from a quick sweep, then generate samples.
 	repo := metrics.NewRepository()
-	runSeqScan(repo, cfg)
-	runAgg(repo, cfg)
+	for _, r := range AllRunners() {
+		if r.Name == "seq_scan" || r.Name == "agg" {
+			r.Run(repo, cfg)
+		}
+	}
 	ms := trainTinyModels(t, repo)
 	tr := modeling.NewTranslator(db, ccfg.Mode)
 	samples, err := GenerateInterference(db, ms, tr, templates, ccfg, []int{1, 3}, []int{2})

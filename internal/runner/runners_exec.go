@@ -31,240 +31,296 @@ func mustExec(ctx *exec.Ctx, n plan.Node) *exec.Batch {
 	return b
 }
 
-// runSeqScan sweeps table size, width, selectivity, and execution mode:
-// training data for SEQ_SCAN and the filter side of ARITHMETICS.
-func runSeqScan(repo *metrics.Repository, cfg Config) {
+// seqScanUnits sweeps table size, width, selectivity, and execution mode:
+// training data for SEQ_SCAN and the filter side of ARITHMETICS. One unit
+// per (rows, extraCols) cell — each owns its scratch table.
+func seqScanUnits(cfg Config) []SweepUnit {
+	var units []SweepUnit
 	for _, rows := range rowLadder(cfg.MaxRows) {
 		for _, extraCols := range []int{0, 2, 4, 7} {
-			db := scratchDB(cfg, "t", rows, extraCols, rows/4+1)
-			for _, mode := range modes {
-				// Full scan.
-				measure(repo, cfg, func(col *metrics.Collector) {
-					col.EnableOnly(ou.SeqScan)
-					mustExec(ctxFor(db, cfg, col, mode), &plan.SeqScanNode{Table: "t"})
-				})
-				// Filtered scans at several selectivities.
-				for _, sel := range []float64{0.1, 0.5, 0.9} {
-					cut := int64(float64(rows) * sel)
-					pred := plan.Cmp{Op: plan.LT, L: plan.Col(0), R: plan.IntConst(cut)}
-					measure(repo, cfg, func(col *metrics.Collector) {
-						col.EnableOnly(ou.SeqScan, ou.Arithmetic)
-						mustExec(ctxFor(db, cfg, col, mode), &plan.SeqScanNode{Table: "t", Filter: pred})
-					})
-				}
-			}
-		}
-	}
-}
-
-// runIdxScan sweeps point lookups, range scans of varying selectivity, and
-// looped lookups (via index joins) that exercise the caching-effect
-// feature.
-func runIdxScan(repo *metrics.Repository, cfg Config) {
-	for _, rows := range rowLadder(cfg.MaxRows) {
-		db := scratchDB(cfg, "t", rows, 2, rows/8+1)
-		if _, _, err := db.CreateIndex(nil, cfg.CPU, "t_id", "t", []string{"id"}, true, 1); err != nil {
-			panic(err)
-		}
-		if _, _, err := db.CreateIndex(nil, cfg.CPU, "t_grp", "t", []string{"grp"}, false, 1); err != nil {
-			panic(err)
-		}
-		for _, mode := range modes {
-			// Point lookup.
-			measure(repo, cfg, func(col *metrics.Collector) {
-				col.EnableOnly(ou.IdxScan)
-				mustExec(ctxFor(db, cfg, col, mode), &plan.IdxScanNode{
-					Table: "t", Index: "t_id",
-					Eq: []storage.Value{storage.NewInt(int64(rows / 2))},
-				})
+			units = append(units, SweepUnit{
+				Name: fmt.Sprintf("seq_scan/rows=%d,cols=%d", rows, extraCols),
+				run: func(repo *metrics.Repository, cfg Config) {
+					db := scratchDB(cfg, "t", rows, extraCols, rows/4+1)
+					for _, mode := range modes {
+						// Full scan.
+						measure(repo, cfg, func(col *metrics.Collector) {
+							col.EnableOnly(ou.SeqScan)
+							mustExec(ctxFor(db, cfg, col, mode), &plan.SeqScanNode{Table: "t"})
+						})
+						// Filtered scans at several selectivities.
+						for _, sel := range []float64{0.1, 0.5, 0.9} {
+							cut := int64(float64(rows) * sel)
+							pred := plan.Cmp{Op: plan.LT, L: plan.Col(0), R: plan.IntConst(cut)}
+							measure(repo, cfg, func(col *metrics.Collector) {
+								col.EnableOnly(ou.SeqScan, ou.Arithmetic)
+								mustExec(ctxFor(db, cfg, col, mode), &plan.SeqScanNode{Table: "t", Filter: pred})
+							})
+						}
+					}
+				},
 			})
-			// Range scans.
-			for _, frac := range []float64{0.01, 0.1, 0.5} {
-				span := int64(float64(rows) * frac)
-				if span < 1 {
-					span = 1
-				}
-				measure(repo, cfg, func(col *metrics.Collector) {
-					col.EnableOnly(ou.IdxScan)
-					mustExec(ctxFor(db, cfg, col, mode), &plan.IdxScanNode{
-						Table: "t", Index: "t_id",
-						Lo: []storage.Value{storage.NewInt(0)},
-						Hi: []storage.Value{storage.NewInt(span)},
-					})
-				})
-			}
-			// Looped lookups: index join with outer subsets of varying size.
-			for _, outer := range []int64{4, 64} {
-				measure(repo, cfg, func(col *metrics.Collector) {
-					col.EnableOnly(ou.IdxScan)
-					mustExec(ctxFor(db, cfg, col, mode), &plan.IndexJoinNode{
-						Outer: &plan.SeqScanNode{Table: "t",
-							Filter: plan.Cmp{Op: plan.LT, L: plan.Col(0), R: plan.IntConst(outer)}},
-						Table: "t", Index: "t_grp", OuterKeys: []int{1},
-					})
-				})
-			}
 		}
 	}
+	return units
 }
 
-// runHashJoin sweeps build size, key cardinality, and the widths of the
+// idxScanUnits sweeps point lookups, range scans of varying selectivity,
+// and looped lookups (via index joins) that exercise the caching-effect
+// feature. One unit per table size — index builds dominate setup cost.
+func idxScanUnits(cfg Config) []SweepUnit {
+	var units []SweepUnit
+	for _, rows := range rowLadder(cfg.MaxRows) {
+		units = append(units, SweepUnit{
+			Name: fmt.Sprintf("idx_scan/rows=%d", rows),
+			run: func(repo *metrics.Repository, cfg Config) {
+				db := scratchDB(cfg, "t", rows, 2, rows/8+1)
+				if _, _, err := db.CreateIndex(nil, cfg.CPU, "t_id", "t", []string{"id"}, true, 1); err != nil {
+					panic(err)
+				}
+				if _, _, err := db.CreateIndex(nil, cfg.CPU, "t_grp", "t", []string{"grp"}, false, 1); err != nil {
+					panic(err)
+				}
+				for _, mode := range modes {
+					// Point lookup.
+					measure(repo, cfg, func(col *metrics.Collector) {
+						col.EnableOnly(ou.IdxScan)
+						mustExec(ctxFor(db, cfg, col, mode), &plan.IdxScanNode{
+							Table: "t", Index: "t_id",
+							Eq: []storage.Value{storage.NewInt(int64(rows / 2))},
+						})
+					})
+					// Range scans.
+					for _, frac := range []float64{0.01, 0.1, 0.5} {
+						span := int64(float64(rows) * frac)
+						if span < 1 {
+							span = 1
+						}
+						measure(repo, cfg, func(col *metrics.Collector) {
+							col.EnableOnly(ou.IdxScan)
+							mustExec(ctxFor(db, cfg, col, mode), &plan.IdxScanNode{
+								Table: "t", Index: "t_id",
+								Lo: []storage.Value{storage.NewInt(0)},
+								Hi: []storage.Value{storage.NewInt(span)},
+							})
+						})
+					}
+					// Looped lookups: index join with outer subsets of varying size.
+					for _, outer := range []int64{4, 64} {
+						measure(repo, cfg, func(col *metrics.Collector) {
+							col.EnableOnly(ou.IdxScan)
+							mustExec(ctxFor(db, cfg, col, mode), &plan.IndexJoinNode{
+								Outer: &plan.SeqScanNode{Table: "t",
+									Filter: plan.Cmp{Op: plan.LT, L: plan.Col(0), R: plan.IntConst(outer)}},
+								Table: "t", Index: "t_grp", OuterKeys: []int{1},
+							})
+						})
+					}
+				}
+			},
+		})
+	}
+	return units
+}
+
+// hashJoinUnits sweeps build size, key cardinality, and the widths of the
 // build and probe sides. The sides come from two separately shaped tables
 // so the probe's emitted-tuple-width (payload) feature decorrelates from
-// the probe input width — self-joins alone would alias the two.
-func runHashJoin(repo *metrics.Repository, cfg Config) {
+// the probe input width — self-joins alone would alias the two. One unit
+// per (rows, cardFrac, shape) cell: the heaviest sweep, so it splits fine.
+func hashJoinUnits(cfg Config) []SweepUnit {
+	var units []SweepUnit
 	for _, rows := range rowLadder(cfg.MaxRows) {
 		for _, cardFrac := range []float64{0.01, 0.25, 1.0} {
 			card := int(float64(rows)*cardFrac) + 1
 			for _, shape := range []struct{ buildCols, probeCols int }{
 				{2, 2}, {7, 1}, {1, 7},
 			} {
-				db := scratchDB(cfg, "build_side", rows, shape.buildCols, card)
-				addScratchTable(db, cfg, "probe_side", rows/2+1, shape.probeCols, card)
-				for _, mode := range modes {
-					join := &plan.HashJoinNode{
-						Left:      &plan.SeqScanNode{Table: "build_side"},
-						Right:     &plan.SeqScanNode{Table: "probe_side"},
-						LeftKeys:  []int{1},
-						RightKeys: []int{1},
-					}
-					measure(repo, cfg, func(col *metrics.Collector) {
-						col.EnableOnly(ou.HashJoinBuild, ou.HashJoinProbe)
-						mustExec(ctxFor(db, cfg, col, mode), join)
-					})
-				}
+				units = append(units, SweepUnit{
+					Name: fmt.Sprintf("hash_join/rows=%d,card=%d,shape=%dx%d",
+						rows, card, shape.buildCols, shape.probeCols),
+					run: func(repo *metrics.Repository, cfg Config) {
+						db := scratchDB(cfg, "build_side", rows, shape.buildCols, card)
+						addScratchTable(db, cfg, "probe_side", rows/2+1, shape.probeCols, card)
+						for _, mode := range modes {
+							join := &plan.HashJoinNode{
+								Left:      &plan.SeqScanNode{Table: "build_side"},
+								Right:     &plan.SeqScanNode{Table: "probe_side"},
+								LeftKeys:  []int{1},
+								RightKeys: []int{1},
+							}
+							measure(repo, cfg, func(col *metrics.Collector) {
+								col.EnableOnly(ou.HashJoinBuild, ou.HashJoinProbe)
+								mustExec(ctxFor(db, cfg, col, mode), join)
+							})
+						}
+					},
+				})
 			}
 		}
 	}
+	return units
 }
 
-// runAgg sweeps input size and group cardinality for the aggregation OUs.
-func runAgg(repo *metrics.Repository, cfg Config) {
+// aggUnits sweeps input size and group cardinality for the aggregation
+// OUs. One unit per (rows, groups) cell.
+func aggUnits(cfg Config) []SweepUnit {
+	var units []SweepUnit
 	for _, rows := range rowLadder(cfg.MaxRows) {
 		for _, groups := range []int{1, 16, 256, 4096} {
 			if groups > rows {
 				continue
 			}
-			db := scratchDB(cfg, "t", rows, 7, groups)
-			for _, mode := range modes {
-				for _, nAggs := range []int{1, 3, 5} {
-					aggs := []plan.AggSpec{{Fn: plan.Count, Arg: plan.Col(0)}}
-					if nAggs >= 3 {
-						aggs = append(aggs,
-							plan.AggSpec{Fn: plan.Sum, Arg: plan.Col(3)},
-							plan.AggSpec{Fn: plan.Max, Arg: plan.Col(2)})
+			units = append(units, SweepUnit{
+				Name: fmt.Sprintf("agg/rows=%d,groups=%d", rows, groups),
+				run: func(repo *metrics.Repository, cfg Config) {
+					db := scratchDB(cfg, "t", rows, 7, groups)
+					for _, mode := range modes {
+						for _, nAggs := range []int{1, 3, 5} {
+							aggs := []plan.AggSpec{{Fn: plan.Count, Arg: plan.Col(0)}}
+							if nAggs >= 3 {
+								aggs = append(aggs,
+									plan.AggSpec{Fn: plan.Sum, Arg: plan.Col(3)},
+									plan.AggSpec{Fn: plan.Max, Arg: plan.Col(2)})
+							}
+							if nAggs >= 5 {
+								aggs = append(aggs,
+									plan.AggSpec{Fn: plan.Avg, Arg: plan.Col(3)},
+									plan.AggSpec{Fn: plan.Sum, Arg: plan.Arith{Op: plan.Mul, L: plan.Col(3), R: plan.Col(3)}})
+							}
+							measure(repo, cfg, func(col *metrics.Collector) {
+								col.EnableOnly(ou.AggBuild, ou.AggProbe)
+								mustExec(ctxFor(db, cfg, col, mode), &plan.AggNode{
+									Child:   &plan.SeqScanNode{Table: "t"},
+									GroupBy: []int{1},
+									Aggs:    aggs,
+								})
+							})
+						}
 					}
-					if nAggs >= 5 {
-						aggs = append(aggs,
-							plan.AggSpec{Fn: plan.Avg, Arg: plan.Col(3)},
-							plan.AggSpec{Fn: plan.Sum, Arg: plan.Arith{Op: plan.Mul, L: plan.Col(3), R: plan.Col(3)}})
-					}
-					measure(repo, cfg, func(col *metrics.Collector) {
-						col.EnableOnly(ou.AggBuild, ou.AggProbe)
-						mustExec(ctxFor(db, cfg, col, mode), &plan.AggNode{
-							Child:   &plan.SeqScanNode{Table: "t"},
-							GroupBy: []int{1},
-							Aggs:    aggs,
-						})
-					})
-				}
-			}
+				},
+			})
 		}
 	}
+	return units
 }
 
-// runSort sweeps input size, width, and limits for the sort OUs.
-func runSort(repo *metrics.Repository, cfg Config) {
+// sortUnits sweeps input size, width, and limits for the sort OUs. One
+// unit per (rows, extraCols) cell.
+func sortUnits(cfg Config) []SweepUnit {
+	var units []SweepUnit
 	for _, rows := range rowLadder(cfg.MaxRows) {
 		for _, extraCols := range []int{0, 3, 7} {
-			db := scratchDB(cfg, "t", rows, extraCols, rows/4+1)
-			for _, mode := range modes {
-				for _, limit := range []int{0, 10} {
-					measure(repo, cfg, func(col *metrics.Collector) {
-						col.EnableOnly(ou.SortBuild, ou.SortIter)
-						mustExec(ctxFor(db, cfg, col, mode), &plan.SortNode{
-							Child: &plan.SeqScanNode{Table: "t"},
-							Keys:  []plan.SortKey{{Col: 1}, {Col: 0}},
-							Limit: limit,
-						})
-					})
-				}
-			}
+			units = append(units, SweepUnit{
+				Name: fmt.Sprintf("sort/rows=%d,cols=%d", rows, extraCols),
+				run: func(repo *metrics.Repository, cfg Config) {
+					db := scratchDB(cfg, "t", rows, extraCols, rows/4+1)
+					for _, mode := range modes {
+						for _, limit := range []int{0, 10} {
+							measure(repo, cfg, func(col *metrics.Collector) {
+								col.EnableOnly(ou.SortBuild, ou.SortIter)
+								mustExec(ctxFor(db, cfg, col, mode), &plan.SortNode{
+									Child: &plan.SeqScanNode{Table: "t"},
+									Keys:  []plan.SortKey{{Col: 1}, {Col: 0}},
+									Limit: limit,
+								})
+							})
+						}
+					}
+				},
+			})
 		}
 	}
+	return units
 }
 
-// runOutput sweeps result-set size and width for the networking OU.
-func runOutput(repo *metrics.Repository, cfg Config) {
+// outputUnits sweeps result-set size and width for the networking OU. One
+// unit per (rows, extraCols) cell.
+func outputUnits(cfg Config) []SweepUnit {
+	var units []SweepUnit
 	for _, rows := range rowLadder(cfg.MaxRows) {
 		for _, extraCols := range []int{0, 4, 7} {
-			db := scratchDB(cfg, "t", rows, extraCols, 16)
-			for _, mode := range modes {
-				measure(repo, cfg, func(col *metrics.Collector) {
-					col.EnableOnly(ou.Output)
-					mustExec(ctxFor(db, cfg, col, mode), &plan.OutputNode{
-						Child: &plan.SeqScanNode{Table: "t"},
-					})
-				})
-			}
+			units = append(units, SweepUnit{
+				Name: fmt.Sprintf("output/rows=%d,cols=%d", rows, extraCols),
+				run: func(repo *metrics.Repository, cfg Config) {
+					db := scratchDB(cfg, "t", rows, extraCols, 16)
+					for _, mode := range modes {
+						measure(repo, cfg, func(col *metrics.Collector) {
+							col.EnableOnly(ou.Output)
+							mustExec(ctxFor(db, cfg, col, mode), &plan.OutputNode{
+								Child: &plan.SeqScanNode{Table: "t"},
+							})
+						})
+					}
+				},
+			})
 		}
 	}
+	return units
 }
 
-// runDML sweeps write-batch sizes for INSERT/UPDATE/DELETE. Changes are
+// dmlUnits sweeps write-batch sizes for INSERT/UPDATE/DELETE. Changes are
 // rolled back after measurement so every repetition sees the same state
-// (the paper reverts DML with transaction rollbacks, Sec 6.2).
-func runDML(repo *metrics.Repository, cfg Config) {
+// (the paper reverts DML with transaction rollbacks, Sec 6.2). One unit
+// per table size.
+func dmlUnits(cfg Config) []SweepUnit {
+	var units []SweepUnit
 	for _, rows := range rowLadder(cfg.MaxRows / 4) {
-		db := scratchDB(cfg, "t", rows, 2, rows/4+1)
-		for _, mode := range modes {
-			for _, batch := range []int{1, 8, 64, 512} {
-				if batch > rows {
-					continue
-				}
-				tuples := make([]storage.Tuple, batch)
-				for i := range tuples {
-					tuples[i] = storage.Tuple{
-						storage.NewInt(int64(1_000_000 + i)),
-						storage.NewInt(int64(i)),
-						storage.NewInt(7),
-						storage.NewFloat(3.5),
+		units = append(units, SweepUnit{
+			Name: fmt.Sprintf("dml/rows=%d", rows),
+			run: func(repo *metrics.Repository, cfg Config) {
+				db := scratchDB(cfg, "t", rows, 2, rows/4+1)
+				for _, mode := range modes {
+					for _, batch := range []int{1, 8, 64, 512} {
+						if batch > rows {
+							continue
+						}
+						tuples := make([]storage.Tuple, batch)
+						for i := range tuples {
+							tuples[i] = storage.Tuple{
+								storage.NewInt(int64(1_000_000 + i)),
+								storage.NewInt(int64(i)),
+								storage.NewInt(7),
+								storage.NewFloat(3.5),
+							}
+						}
+						measure(repo, cfg, func(col *metrics.Collector) {
+							col.EnableOnly(ou.Insert)
+							ctx := ctxFor(db, cfg, col, mode)
+							ctx.Begin()
+							mustExec(ctx, &plan.InsertNode{Table: "t", Tuples: tuples})
+							if err := ctx.Abort(); err != nil {
+								panic(err)
+							}
+						})
+						target := &plan.SeqScanNode{Table: "t",
+							Filter: plan.Cmp{Op: plan.LT, L: plan.Col(0), R: plan.IntConst(int64(batch))}}
+						measure(repo, cfg, func(col *metrics.Collector) {
+							col.EnableOnly(ou.Update)
+							ctx := ctxFor(db, cfg, col, mode)
+							ctx.Begin()
+							mustExec(ctx, &plan.UpdateNode{
+								Child: target, Table: "t",
+								SetCols:  []int{2},
+								SetExprs: []plan.Expr{plan.Arith{Op: plan.Add, L: plan.Col(2), R: plan.IntConst(1)}},
+							})
+							if err := ctx.Abort(); err != nil {
+								panic(err)
+							}
+						})
+						measure(repo, cfg, func(col *metrics.Collector) {
+							col.EnableOnly(ou.Delete)
+							ctx := ctxFor(db, cfg, col, mode)
+							ctx.Begin()
+							mustExec(ctx, &plan.DeleteNode{Child: target, Table: "t"})
+							if err := ctx.Abort(); err != nil {
+								panic(err)
+							}
+						})
 					}
 				}
-				measure(repo, cfg, func(col *metrics.Collector) {
-					col.EnableOnly(ou.Insert)
-					ctx := ctxFor(db, cfg, col, mode)
-					ctx.Begin()
-					mustExec(ctx, &plan.InsertNode{Table: "t", Tuples: tuples})
-					if err := ctx.Abort(); err != nil {
-						panic(err)
-					}
-				})
-				target := &plan.SeqScanNode{Table: "t",
-					Filter: plan.Cmp{Op: plan.LT, L: plan.Col(0), R: plan.IntConst(int64(batch))}}
-				measure(repo, cfg, func(col *metrics.Collector) {
-					col.EnableOnly(ou.Update)
-					ctx := ctxFor(db, cfg, col, mode)
-					ctx.Begin()
-					mustExec(ctx, &plan.UpdateNode{
-						Child: target, Table: "t",
-						SetCols:  []int{2},
-						SetExprs: []plan.Expr{plan.Arith{Op: plan.Add, L: plan.Col(2), R: plan.IntConst(1)}},
-					})
-					if err := ctx.Abort(); err != nil {
-						panic(err)
-					}
-				})
-				measure(repo, cfg, func(col *metrics.Collector) {
-					col.EnableOnly(ou.Delete)
-					ctx := ctxFor(db, cfg, col, mode)
-					ctx.Begin()
-					mustExec(ctx, &plan.DeleteNode{Child: target, Table: "t"})
-					if err := ctx.Abort(); err != nil {
-						panic(err)
-					}
-				})
-			}
-		}
+			},
+		})
 	}
+	return units
 }
