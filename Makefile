@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race stress fuzz vet bench-train
+.PHONY: tier1 build test race stress fuzz vet bench-train bench-drive
 
 # tier1 is the full pre-merge gate: static checks, build, the whole test
 # suite under the race detector (including the internal/check concurrency
@@ -31,3 +31,10 @@ fuzz:
 # measurements (wall clock, speedup, records/sec) as JSON.
 bench-train:
 	$(GO) run ./cmd/mb2-train -bench-parallel BENCH_train_parallel.json
+
+# bench-drive runs the closed control loop with a fixed seed, verifies a
+# replay reproduces it bit for bit, and records loop-interval wall clock,
+# inference p50/p99, prediction-cache hit rate, and predicted-vs-observed
+# MAPE as JSON.
+bench-drive:
+	$(GO) run ./cmd/mb2-drive -verify -bench BENCH_drive.json

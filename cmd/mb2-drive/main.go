@@ -1,0 +1,209 @@
+// Command mb2-drive closes MB2's loop: it drives a live engine under
+// concurrent seeded workload sessions and, at each planning interval,
+// aggregates the live query stream, forecasts the next interval, ranks
+// candidate actions (execution-mode flip, index builds at several thread
+// counts) with the behavior models, and applies the winner against the
+// running system — recording predicted-vs-observed interval latency.
+//
+// Usage:
+//
+//	mb2-drive [-seed N] [-intervals N] [-sessions N] [-j N]
+//	          [-data FILE] [-bench FILE] [-verify]
+//
+// With -data, the behavior models train from a repository previously
+// written by `mb2-train -data-out FILE`; otherwise a quick training sweep
+// runs in-process first. A fixed -seed makes the whole run bit-for-bit
+// reproducible: -verify replays the run and fails unless the action logs
+// and interval digests match exactly. -bench writes loop timing, inference
+// latency percentiles, cache hit rate, and forecast error as JSON.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"reflect"
+	"sort"
+
+	"mb2/internal/metrics"
+	"mb2/internal/modeling"
+	"mb2/internal/runner"
+	"mb2/internal/selfdrive"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	intervals := flag.Int("intervals", selfdrive.DefaultConfig().Intervals, "planning intervals to run")
+	sessions := flag.Int("sessions", selfdrive.DefaultConfig().Sessions, "concurrent workload sessions")
+	jobs := flag.Int("j", 0, "session worker-pool size (0 = GOMAXPROCS, 1 = serial; results are identical at any value)")
+	dataPath := flag.String("data", "", "train models from this mb2-train -data-out repository instead of sweeping in-process")
+	benchPath := flag.String("bench", "", "write loop benchmark results as JSON to this file")
+	verify := flag.Bool("verify", false, "replay the run and fail unless it reproduces bit for bit")
+	flag.Parse()
+
+	ms, err := trainModels(*dataPath, *seed)
+	if err != nil {
+		log.Fatalf("mb2-drive: %v", err)
+	}
+
+	cfg := selfdrive.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Intervals = *intervals
+	cfg.Sessions = *sessions
+	cfg.Jobs = *jobs
+
+	fmt.Printf("== MB2 online control loop (seed %d, %d intervals, %d sessions) ==\n",
+		cfg.Seed, cfg.Intervals, cfg.Sessions)
+	res, err := selfdrive.Run(cfg, ms)
+	if err != nil {
+		log.Fatalf("mb2-drive: %v", err)
+	}
+	printRun(res)
+
+	if *verify {
+		replay, err := selfdrive.Run(cfg, ms)
+		if err != nil {
+			log.Fatalf("mb2-drive: verify replay: %v", err)
+		}
+		if replay.Digest != res.Digest || !reflect.DeepEqual(replay.Actions, res.Actions) {
+			log.Fatalf("mb2-drive: verify FAILED: replay digest %#x vs %#x", replay.Digest, res.Digest)
+		}
+		fmt.Printf("\nverify: replay reproduced digest %#x and an identical action log\n", res.Digest)
+	}
+
+	if *benchPath != "" {
+		if err := writeBench(*benchPath, cfg, res); err != nil {
+			log.Fatalf("mb2-drive: %v", err)
+		}
+		fmt.Printf("benchmark results written to %s\n", *benchPath)
+	}
+}
+
+// trainModels loads a persisted training repository, or runs the quick
+// in-process sweep, and trains the OU-model set.
+func trainModels(dataPath string, seed int64) (*modeling.ModelSet, error) {
+	repo := metrics.NewRepository()
+	if dataPath != "" {
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return nil, err
+		}
+		n, err := repo.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", dataPath, err)
+		}
+		fmt.Printf("loaded %d training records from %s\n", n, dataPath)
+	} else {
+		cfg := runner.DefaultConfig()
+		cfg.Seed = seed
+		cfg.MaxRows = 1024
+		cfg.Repetitions = 2
+		cfg.Warmups = 1
+		runner.RunAll(repo, cfg)
+		fmt.Printf("in-process training sweep: %d records\n", repo.NumRecords())
+	}
+	opts := modeling.DefaultTrainOptions()
+	opts.Seed = seed
+	opts.Candidates = []string{"huber", "gbm"}
+	return modeling.TrainModelSet(repo, opts)
+}
+
+func printRun(res *selfdrive.Result) {
+	fmt.Println("\n interval  queries  mode       observed us  predicted us  state")
+	for _, rep := range res.Intervals {
+		state := "-"
+		if rep.Building {
+			state = "building"
+		} else if rep.IndexLive {
+			state = "index live"
+		}
+		pred := "        -"
+		if rep.PredictedAvgLatencyUS > 0 {
+			pred = fmt.Sprintf("%9.1f", rep.PredictedAvgLatencyUS)
+		}
+		fmt.Printf("   %3d     %5d    %-9s  %11.1f  %s     %s\n",
+			rep.Interval, rep.Queries, rep.Mode, rep.ObservedAvgLatencyUS, pred, state)
+	}
+	fmt.Println("\nactions:")
+	if len(res.Actions) == 0 {
+		fmt.Println("  (none)")
+	}
+	for _, a := range res.Actions {
+		fmt.Printf("  interval %2d  %-17s %s", a.Interval, a.Kind, a.Detail)
+		if a.PredictedImprovement > 0 {
+			fmt.Printf("  (predicted improvement %.1f%%)", 100*a.PredictedImprovement)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\npredicted-vs-observed MAPE: %.3f\n", res.MAPE)
+	fmt.Printf("prediction cache: %d hits, %d misses (hit rate %.2f)\n",
+		res.CacheHits, res.CacheMisses, res.CacheHitRate)
+	fmt.Printf("run digest: %#x\n", res.Digest)
+}
+
+// benchReport is the BENCH_drive.json schema.
+type benchReport struct {
+	Seed              int64   `json:"seed"`
+	Intervals         int     `json:"intervals"`
+	Sessions          int     `json:"sessions"`
+	IntervalWallP50US float64 `json:"interval_wall_p50_us"`
+	IntervalWallP99US float64 `json:"interval_wall_p99_us"`
+	InferenceP50US    float64 `json:"inference_p50_us"`
+	InferenceP99US    float64 `json:"inference_p99_us"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	MAPE              float64 `json:"mape"`
+	ModeChanges       int     `json:"mode_changes"`
+	IndexBuilds       int     `json:"index_builds"`
+	IndexPublishes    int     `json:"index_publishes"`
+	Digest            string  `json:"digest"`
+}
+
+func writeBench(path string, cfg selfdrive.Config, res *selfdrive.Result) error {
+	walls := make([]float64, 0, len(res.Intervals))
+	for _, rep := range res.Intervals {
+		walls = append(walls, rep.WallUS)
+	}
+	rep := benchReport{
+		Seed:              cfg.Seed,
+		Intervals:         cfg.Intervals,
+		Sessions:          cfg.Sessions,
+		IntervalWallP50US: percentile(walls, 0.50),
+		IntervalWallP99US: percentile(walls, 0.99),
+		InferenceP50US:    percentile(res.InferenceUS, 0.50),
+		InferenceP99US:    percentile(res.InferenceUS, 0.99),
+		CacheHitRate:      res.CacheHitRate,
+		MAPE:              res.MAPE,
+		ModeChanges:       res.ModeChanges(),
+		IndexBuilds:       res.IndexBuilds(),
+		IndexPublishes:    res.IndexPublishes(),
+		Digest:            fmt.Sprintf("%#x", res.Digest),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// percentile returns the pth quantile (nearest-rank) of vs; 0 when empty.
+func percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	i := int(p * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -7,6 +7,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mb2/internal/catalog"
 	"mb2/internal/gc"
@@ -40,6 +41,12 @@ type DB struct {
 
 	statMu sync.Mutex
 	stats  map[string]float64 // distinct-count cache
+
+	// configVersion counts configuration changes that can invalidate
+	// model-prediction caches: knob updates and index create/rename/drop.
+	// Readers snapshot it with ConfigVersion and drop cached predictions
+	// when it moves (the online loop's cache-invalidation signal).
+	configVersion atomic.Uint64
 }
 
 // Open creates an empty database with the given knob configuration.
@@ -68,9 +75,15 @@ func (db *DB) Knobs() catalog.Knobs {
 // SetKnobs applies a new configuration (a self-driving knob action).
 func (db *DB) SetKnobs(k catalog.Knobs) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.knobs = k
+	db.mu.Unlock()
+	db.configVersion.Add(1)
 }
+
+// ConfigVersion returns a counter that advances on every knob change and
+// index create/rename/drop. Prediction caches key their validity to it:
+// a cache filled at version V is stale once ConfigVersion() != V.
+func (db *DB) ConfigVersion() uint64 { return db.configVersion.Load() }
 
 // CreateTable registers and materializes a table.
 func (db *DB) CreateTable(name string, schema catalog.Schema) (*storage.Table, error) {
@@ -199,6 +212,7 @@ func (db *DB) CreateIndex(col *metrics.Collector, cpu hw.CPU, name, table string
 	db.mu.Lock()
 	db.indexes[name] = bt
 	db.mu.Unlock()
+	db.configVersion.Add(1)
 	return bt, res, nil
 }
 
@@ -209,11 +223,12 @@ func (db *DB) RenameIndex(old, new string) error {
 		return err
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if bt, ok := db.indexes[old]; ok {
 		delete(db.indexes, old)
 		db.indexes[new] = bt
 	}
+	db.mu.Unlock()
+	db.configVersion.Add(1)
 	return nil
 }
 
@@ -225,6 +240,7 @@ func (db *DB) DropIndex(name string) error {
 	db.mu.Lock()
 	delete(db.indexes, name)
 	db.mu.Unlock()
+	db.configVersion.Add(1)
 	return nil
 }
 

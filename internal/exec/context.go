@@ -37,6 +37,12 @@ type Ctx struct {
 	// hash-table build: the simulated software update of the adaptation
 	// experiment (Sec 8.5). Zero disables it.
 	JHTSleepEvery int
+
+	// Observer, when set, receives one event per query executed through
+	// ExecuteObserved: the live-path metrics stream feeding the online
+	// control loop (template counts for forecasting, observed resource
+	// usage for predicted-vs-actual accounting).
+	Observer QueryObserver
 }
 
 // NewCtx builds a context with a fresh collector-less tracker on the given

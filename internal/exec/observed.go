@@ -1,0 +1,40 @@
+package exec
+
+import (
+	"mb2/internal/hw"
+	"mb2/internal/plan"
+)
+
+// QueryObserver receives one event per query executed on the live path:
+// the template's name, its plan fingerprint, and the isolated (per-thread,
+// pre-contention) metrics the execution consumed. This is the hook the
+// online control loop uses to stream per-template arrival counts and
+// resource usage out of the execution engine — the same counters the
+// offline runners collect, but fed continuously instead of in sweeps.
+//
+// Implementations are called from whatever goroutine executes the query;
+// an observer shared across workers must be safe for concurrent use (the
+// self-driving loop gives each session its own buffer and merges in
+// session order to keep float reductions deterministic).
+type QueryObserver interface {
+	ObserveQuery(template string, fingerprint uint64, iso hw.Metrics)
+}
+
+// ExecuteObserved runs a plan like Execute and streams the invocation to
+// the context's observer (when one is attached) tagged with the template
+// name and plan fingerprint. The metrics bracket the whole query — every
+// operator OU plus tracker overhead — measured on the worker's thread in
+// isolation; contention adjustment across concurrent workers happens in
+// the caller's interval reduction, exactly as with the offline runners.
+func ExecuteObserved(ctx *Ctx, template string, fingerprint uint64, node plan.Node) (*Batch, hw.Metrics, error) {
+	before := ctx.Thread().Counters()
+	b, err := Execute(ctx, node)
+	iso := ctx.Thread().Since(before)
+	if err != nil {
+		return nil, iso, err
+	}
+	if ctx.Observer != nil {
+		ctx.Observer.ObserveQuery(template, fingerprint, iso)
+	}
+	return b, iso, nil
+}

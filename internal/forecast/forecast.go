@@ -13,30 +13,61 @@ import (
 )
 
 // History accumulates per-template arrival counts in fixed intervals.
+//
+// A History is safe for concurrent use: the online control loop's
+// aggregator Appends one interval at a time while planning goroutines read
+// Series/Templates/Len. Series returns a copy, so a snapshot taken before
+// an Append is never mutated by it. With a window (NewWindowedHistory),
+// Append evicts the oldest interval once the window is full, keeping the
+// store's footprint constant over an unbounded run.
 type History struct {
 	mu         sync.Mutex
 	intervalUS float64
 	intervals  int
+	window     int // max retained intervals; 0 = unbounded
+	evicted    int // intervals dropped from the front of every series
 	counts     map[string][]float64
 }
 
-// NewHistory creates an empty history with the given interval length.
+// NewHistory creates an empty, unbounded history with the given interval
+// length.
 func NewHistory(intervalUS float64) *History {
 	return &History{intervalUS: intervalUS, counts: make(map[string][]float64)}
+}
+
+// NewWindowedHistory creates a history that retains at most maxIntervals
+// recent intervals, evicting the oldest on Append once full — the
+// incrementally-fed store the online loop keeps its forecasting state in.
+// maxIntervals <= 0 means unbounded.
+func NewWindowedHistory(intervalUS float64, maxIntervals int) *History {
+	h := NewHistory(intervalUS)
+	h.window = maxIntervals
+	return h
 }
 
 // IntervalUS returns the interval length.
 func (h *History) IntervalUS() float64 { return h.intervalUS }
 
-// Len returns the number of recorded intervals.
+// Len returns the number of retained intervals (capped at the window).
 func (h *History) Len() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.intervals
 }
 
+// Evicted returns how many intervals a windowed history has dropped from
+// the front of its series since creation.
+func (h *History) Evicted() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.evicted
+}
+
 // Append records one interval's per-template counts. Templates absent from
-// the map count zero for the interval.
+// the map count zero for the interval. When the history is windowed and
+// full, the oldest interval is evicted, and templates with no arrivals
+// anywhere in the retained window are forgotten entirely (so unbounded
+// runs with template churn keep a bounded footprint).
 func (h *History) Append(counts map[string]float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -48,6 +79,28 @@ func (h *History) Append(counts map[string]float64) {
 	}
 	for name, series := range h.counts {
 		h.counts[name] = append(series, counts[name])
+	}
+	if h.window > 0 && h.intervals > h.window {
+		drop := h.intervals - h.window
+		for name, series := range h.counts {
+			// Re-slice into a fresh array so previously returned Series
+			// copies and the retained tail never alias evicted storage.
+			tail := append([]float64(nil), series[drop:]...)
+			live := false
+			for _, v := range tail {
+				if v != 0 {
+					live = true
+					break
+				}
+			}
+			if live {
+				h.counts[name] = tail
+			} else {
+				delete(h.counts, name)
+			}
+		}
+		h.intervals = h.window
+		h.evicted += drop
 	}
 }
 
@@ -149,15 +202,31 @@ func (f Forecaster) ForecastAll(h *History, horizon int) map[string][]float64 {
 }
 
 // MAPE computes the mean absolute percentage error of predictions against
-// actuals (denominator floored at 1 query).
+// actuals (denominator floored at 1 query). It is total: mismatched
+// lengths compare only the overlapping prefix, empty input or an all-zero
+// actual series yields a finite value, and non-finite elements (NaN/Inf
+// from degenerate upstream models) are skipped rather than propagated, so
+// the result is always a defined, finite number.
 func MAPE(pred, actual []float64) float64 {
-	if len(pred) == 0 {
+	n := len(pred)
+	if len(actual) < n {
+		n = len(actual)
+	}
+	if n == 0 {
 		return 0
 	}
-	total := 0.0
-	for i := range pred {
-		denom := math.Max(1, math.Abs(actual[i]))
-		total += math.Abs(pred[i]-actual[i]) / denom
+	total, counted := 0.0, 0
+	for i := 0; i < n; i++ {
+		p, a := pred[i], actual[i]
+		if math.IsNaN(p) || math.IsInf(p, 0) || math.IsNaN(a) || math.IsInf(a, 0) {
+			continue
+		}
+		denom := math.Max(1, math.Abs(a))
+		total += math.Abs(p-a) / denom
+		counted++
 	}
-	return total / float64(len(pred))
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
 }

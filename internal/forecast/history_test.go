@@ -1,0 +1,133 @@
+package forecast
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestWindowedHistoryEviction feeds a windowed store one interval at a
+// time past its capacity and checks the retained tail, the eviction
+// counter, and that templates with no arrivals left in the window are
+// forgotten entirely.
+func TestWindowedHistoryEviction(t *testing.T) {
+	h := NewWindowedHistory(1e6, 4)
+	// "old" only ever appears in the first interval; "q" appears in all.
+	h.Append(map[string]float64{"q": 1, "old": 9})
+	for i := 2; i <= 7; i++ {
+		h.Append(map[string]float64{"q": float64(i)})
+	}
+
+	if h.Len() != 4 {
+		t.Fatalf("Len = %d, want the window size 4", h.Len())
+	}
+	if h.Evicted() != 3 {
+		t.Fatalf("Evicted = %d, want 3", h.Evicted())
+	}
+	got := h.Series("q")
+	want := []float64{4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("series q = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series q = %v, want %v", got, want)
+		}
+	}
+	if names := h.Templates(); len(names) != 1 || names[0] != "q" {
+		t.Fatalf("templates = %v; 'old' left the window and must be forgotten", names)
+	}
+	if s := h.Series("old"); len(s) != 0 {
+		t.Fatalf("evicted template still has a series: %v", s)
+	}
+}
+
+// TestSeriesStableWhileAppendRuns checks the read contract: a Series
+// snapshot is a copy, so concurrent Appends (including ones that trigger
+// eviction) never mutate it. Run under -race this also hammers the
+// store's locking from both sides.
+func TestSeriesStableWhileAppendRuns(t *testing.T) {
+	h := NewWindowedHistory(1e6, 8)
+	for i := 1; i <= 8; i++ {
+		h.Append(map[string]float64{"q": float64(i)})
+	}
+	snapshot := h.Series("q")
+	frozen := append([]float64(nil), snapshot...)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 9; i <= 200; i++ {
+			h.Append(map[string]float64{"q": float64(i)})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = h.Series("q")
+			_ = h.Templates()
+			_ = h.Len()
+			_ = h.Evicted()
+		}
+	}()
+	wg.Wait()
+
+	for i := range frozen {
+		if snapshot[i] != frozen[i] {
+			t.Fatalf("snapshot mutated at %d: %v -> %v", i, frozen[i], snapshot[i])
+		}
+	}
+	if h.Len() != 8 || h.Evicted() != 192 {
+		t.Fatalf("after 200 appends: Len=%d Evicted=%d, want 8 and 192", h.Len(), h.Evicted())
+	}
+}
+
+// TestWindowedForecasterLinearFixture pins the forecaster against a
+// hand-computed fixture fed incrementally through a windowed store: after
+// appending 10 + 5i for i = 0..9 into a 6-interval window, the retained
+// series is 30..55 step 5, a perfect linear trend, so the next two
+// predictions must be exactly 60 and 65.
+func TestWindowedForecasterLinearFixture(t *testing.T) {
+	h := NewWindowedHistory(1e6, 6)
+	for i := 0; i < 10; i++ {
+		h.Append(map[string]float64{"q": 10 + 5*float64(i)})
+	}
+	got := Forecaster{}.Forecast(h, "q", 2)
+	if math.Abs(got[0]-60) > 1e-6 || math.Abs(got[1]-65) > 1e-6 {
+		t.Fatalf("windowed linear forecast = %v, want [60 65]", got)
+	}
+	// The same store through ForecastAll (the loop's entry point).
+	all := Forecaster{}.ForecastAll(h, 1)
+	if math.Abs(all["q"][0]-60) > 1e-6 {
+		t.Fatalf("ForecastAll = %v, want q -> [60]", all)
+	}
+}
+
+// TestMAPEDegenerate checks MAPE is total: zero actuals, non-finite
+// elements, empty and mismatched inputs all yield defined finite values.
+func TestMAPEDegenerate(t *testing.T) {
+	cases := []struct {
+		name         string
+		pred, actual []float64
+		want         float64
+	}{
+		{"zero actual floors denominator", []float64{5}, []float64{0}, 5},
+		{"all-zero actuals", []float64{2, 4}, []float64{0, 0}, 3},
+		{"nan skipped", []float64{math.NaN(), 10}, []float64{1, 10}, 0},
+		{"inf skipped", []float64{math.Inf(1)}, []float64{100}, 0},
+		{"nan actual skipped", []float64{10}, []float64{math.NaN()}, 0},
+		{"empty", nil, nil, 0},
+		{"mismatched lengths use prefix", []float64{90, 7}, []float64{100}, 0.1},
+	}
+	for _, tc := range cases {
+		got := MAPE(tc.pred, tc.actual)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: MAPE = %v, not finite", tc.name, got)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: MAPE = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -22,11 +22,21 @@ type Record struct {
 	Labels   hw.Metrics
 }
 
-// Collector is the thread-local metrics buffer one worker writes to. A
-// mutex guards its state so the aggregator (and the race detector) can
-// drain a collector another goroutine is filling, but the intended
-// discipline is one writer per collector — the parallel runner pipeline
-// gives every sweep unit and every measurement repetition its own.
+// Collector is the thread-local metrics buffer one worker writes to.
+//
+// # Concurrency contract
+//
+// Every method is safe for concurrent use; a mutex guards all state. The
+// Emit-vs-Drain contract is exactly-once delivery: each record passed to
+// Emit appears in the result of exactly one Drain call — never lost,
+// never duplicated — because Drain atomically takes the buffer and
+// resets it under the same lock Emit appends under. Records from a
+// single emitting goroutine appear in emission order within and across
+// drains. The intended discipline is still one writer per collector
+// (the parallel runner pipeline gives every sweep unit and every
+// measurement repetition its own, which also fixes the global record
+// order); multiple concurrent writers are memory-safe but interleave in
+// an unspecified order.
 type Collector struct {
 	mu      sync.Mutex
 	enabled map[ou.Kind]bool // nil means everything enabled

@@ -1,0 +1,128 @@
+package modeling
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mb2/internal/catalog"
+	"mb2/internal/hw"
+)
+
+// cacheKey identifies one memoized prediction: the plan fingerprint (0 for
+// action entries), the execution-mode knob, and the action signature (""
+// for plain query entries). Together with the cache's config-version tag
+// this is the (plan fingerprint, mode, action) key of the online loop.
+type cacheKey struct {
+	Fingerprint uint64
+	Mode        catalog.ExecutionMode
+	Action      string
+}
+
+// cacheEntry holds one memoized isolated prediction.
+type cacheEntry struct {
+	Total hw.Metrics
+	PerOU []hw.Metrics
+}
+
+// PredictionCache memoizes isolated OU-model predictions for the online
+// inference path. Entries are keyed by (plan fingerprint, execution mode,
+// action signature) and tagged with the engine configuration version they
+// were computed at: Sync drops every entry when the version moves (a knob
+// change or index create/rename/drop can alter both translation features
+// and plan choice, so stale entries must not survive).
+//
+// The cache is safe for concurrent readers and writers; hit/miss counters
+// are atomic so the loop can report its hit rate without stopping
+// inference. Only the isolated (pre-interference) predictions are cached —
+// interference adjustment depends on the whole interval's concurrency
+// summary and is recomputed per call.
+type PredictionCache struct {
+	mu      sync.RWMutex
+	version uint64
+	entries map[cacheKey]cacheEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewPredictionCache returns an empty cache.
+func NewPredictionCache() *PredictionCache {
+	return &PredictionCache{entries: make(map[cacheKey]cacheEntry)}
+}
+
+// Sync compares the engine's configuration version against the cache's and
+// invalidates every entry on mismatch. Callers invoke it once per
+// inference pass (PredictInterval does this automatically for translators
+// carrying a cache).
+func (c *PredictionCache) Sync(version uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.RLock()
+	cur := c.version
+	c.mu.RUnlock()
+	if cur == version {
+		return
+	}
+	c.mu.Lock()
+	if c.version != version {
+		c.version = version
+		c.entries = make(map[cacheKey]cacheEntry)
+	}
+	c.mu.Unlock()
+}
+
+// Invalidate unconditionally drops every entry.
+func (c *PredictionCache) Invalidate() {
+	c.mu.Lock()
+	c.entries = make(map[cacheKey]cacheEntry)
+	c.mu.Unlock()
+}
+
+// lookup returns the memoized prediction for the key, counting the probe.
+func (c *PredictionCache) lookup(k cacheKey) (cacheEntry, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// store memoizes one prediction.
+func (c *PredictionCache) store(k cacheKey, e cacheEntry) {
+	c.mu.Lock()
+	c.entries[k] = e
+	c.mu.Unlock()
+}
+
+// Len returns the number of live entries.
+func (c *PredictionCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *PredictionCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any probe.
+func (c *PredictionCache) HitRate() float64 {
+	h, m := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// ActionSignature renders an index-build action as a stable cache-key
+// component.
+func (a IndexBuildAction) ActionSignature() string {
+	return fmt.Sprintf("idx:%s:%v:t%d", a.Table, a.KeyCols, a.Threads)
+}

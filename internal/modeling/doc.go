@@ -16,4 +16,14 @@
 // serial run at any worker count (jobs <= 0 selects GOMAXPROCS, 1 is
 // serial). A trained ModelSet is safe for concurrent Predict calls;
 // training and Retrain are not.
+//
+// The inference pipeline (PredictOU, PredictQuery, PredictInterval) is
+// likewise safe for concurrent callers over a trained set: models are
+// immutable after training and prediction only reads them. The one piece
+// of shared mutable inference state, the Translator's optional
+// PredictionCache, is internally synchronized (RWMutex-guarded entries,
+// atomic hit/miss counters) and keys validity to the engine's
+// configuration version, so concurrent planning goroutines may share a
+// translator-and-cache pair while the online loop applies knob and index
+// actions underneath them.
 package modeling

@@ -10,6 +10,11 @@ import (
 type ForecastQuery struct {
 	Plan  plan.Node
 	Count float64 // executions in the interval
+	// Fingerprint, when non-zero, is the plan's structural hash
+	// (plan.Fingerprint): the key the translator's prediction cache
+	// memoizes this query's isolated prediction under. Zero disables
+	// caching for the query.
+	Fingerprint uint64
 }
 
 // IntervalForecast describes one forecast interval's workload.
@@ -65,13 +70,22 @@ type IntervalPrediction struct {
 // forecasted queries and the planned action into OUs, predict each with the
 // OU-models, summarize the concurrent load per thread, and adjust every
 // prediction with the interference model.
+//
+// PredictInterval is safe for concurrent callers: trained models are
+// immutable after training, and the only shared mutable state — the
+// translator's optional PredictionCache — is internally synchronized.
+// Queries carrying a Fingerprint reuse memoized isolated predictions; the
+// cache is synced against the engine's configuration version first, so
+// knob or index changes invalidate stale entries before any lookup.
 func (ms *ModelSet) PredictInterval(tr *Translator, f IntervalForecast, action *ActionForecast) (IntervalPrediction, error) {
 	out := IntervalPrediction{}
+	if tr.Cache != nil {
+		tr.Cache.Sync(tr.DB.ConfigVersion())
+	}
 
 	// OU-model pass: isolated predictions.
 	for _, q := range f.Queries {
-		invs := tr.TranslatePlan(q.Plan)
-		total, perOU, err := ms.PredictQuery(invs)
+		total, perOU, err := ms.predictQueryCached(tr, q)
 		if err != nil {
 			return out, err
 		}
@@ -95,20 +109,38 @@ func (ms *ModelSet) PredictInterval(tr *Translator, f IntervalForecast, action *
 		out.ThreadTotals = append(out.ThreadTotals, perWorker)
 	}
 
-	// Action pass: the build threads join the interval's load.
+	// Action pass: the build threads join the interval's load. The
+	// per-thread invocations share one feature vector, so one cache entry
+	// (keyed by the action signature and mode) covers them all.
 	var actionIso []hw.Metrics
 	if action != nil && action.IndexBuild != nil {
 		atr := tr
 		if action.Translator != nil {
 			atr = action.Translator
 		}
-		for _, inv := range atr.TranslateIndexBuild(*action.IndexBuild) {
-			p, err := ms.PredictOU(inv)
-			if err != nil {
-				return out, err
+		var akey cacheKey
+		var cached bool
+		var entry cacheEntry
+		if atr.Cache != nil {
+			atr.Cache.Sync(atr.DB.ConfigVersion())
+			akey = cacheKey{Mode: atr.Mode, Action: action.IndexBuild.ActionSignature()}
+			entry, cached = atr.Cache.lookup(akey)
+		}
+		if cached {
+			actionIso = append(actionIso, entry.PerOU...)
+			out.ThreadTotals = append(out.ThreadTotals, entry.PerOU...)
+		} else {
+			for _, inv := range atr.TranslateIndexBuild(*action.IndexBuild) {
+				p, err := ms.PredictOU(inv)
+				if err != nil {
+					return out, err
+				}
+				actionIso = append(actionIso, p)
+				out.ThreadTotals = append(out.ThreadTotals, p)
 			}
-			actionIso = append(actionIso, p)
-			out.ThreadTotals = append(out.ThreadTotals, p)
+			if atr.Cache != nil {
+				atr.Cache.store(akey, cacheEntry{PerOU: append([]hw.Metrics(nil), actionIso...)})
+			}
 		}
 	}
 
@@ -148,4 +180,22 @@ func (ms *ModelSet) PredictInterval(tr *Translator, f IntervalForecast, action *
 		out.ActionCPUUS += a.CPUTimeUS
 	}
 	return out, nil
+}
+
+// predictQueryCached resolves one forecast query's isolated prediction,
+// through the translator's cache when the query carries a fingerprint.
+func (ms *ModelSet) predictQueryCached(tr *Translator, q ForecastQuery) (hw.Metrics, []hw.Metrics, error) {
+	if tr.Cache == nil || q.Fingerprint == 0 {
+		return ms.PredictQuery(tr.TranslatePlan(q.Plan))
+	}
+	key := cacheKey{Fingerprint: q.Fingerprint, Mode: tr.Mode}
+	if e, ok := tr.Cache.lookup(key); ok {
+		return e.Total, e.PerOU, nil
+	}
+	total, perOU, err := ms.PredictQuery(tr.TranslatePlan(q.Plan))
+	if err != nil {
+		return total, perOU, err
+	}
+	tr.Cache.store(key, cacheEntry{Total: total, PerOU: perOU})
+	return total, perOU, nil
 }

@@ -24,6 +24,13 @@ type Translator struct {
 	// counts, distinct keys): the noisy-estimate robustness experiment
 	// (Sec 8.5 / Fig 9b).
 	CardNoise func(v float64) float64
+
+	// Cache, when set, memoizes isolated predictions for fingerprinted
+	// forecast queries and planned actions across PredictInterval calls.
+	// It is synced against DB.ConfigVersion() before use, so knob and
+	// index changes invalidate it automatically. Must not be combined
+	// with CardNoise (cached entries would bypass the perturbation).
+	Cache *PredictionCache
 }
 
 // NewTranslator builds a translator reading schema information from db.

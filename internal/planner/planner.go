@@ -8,6 +8,7 @@ package planner
 
 import (
 	"fmt"
+	"math"
 
 	"mb2/internal/catalog"
 	"mb2/internal/engine"
@@ -18,11 +19,32 @@ import (
 type Planner struct {
 	DB     *engine.DB
 	Models *modeling.ModelSet
+	// Cache, when set, memoizes isolated predictions across evaluations
+	// (shared by every translator the planner constructs; entries are keyed
+	// by mode, so one cache serves both execution modes).
+	Cache *modeling.PredictionCache
 }
 
 // New returns a planner over the trained models.
 func New(db *engine.DB, ms *modeling.ModelSet) *Planner {
 	return &Planner{DB: db, Models: ms}
+}
+
+// translator builds a mode translator carrying the planner's cache.
+func (p *Planner) translator(mode catalog.ExecutionMode) *modeling.Translator {
+	tr := modeling.NewTranslator(p.DB, mode)
+	tr.Cache = p.Cache
+	return tr
+}
+
+// finiteOr returns v, or fallback when v is NaN or infinite — the guard
+// that keeps planner outputs defined for degenerate forecasts (no queries,
+// zero counts, pathological model outputs).
+func finiteOr(v, fallback float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fallback
+	}
+	return v
 }
 
 // ModeDecision compares execution modes for a forecasted workload.
@@ -38,18 +60,23 @@ type ModeDecision struct {
 // EvaluateModeChange predicts the forecasted workload's average latency
 // under both execution modes. The forecast's plans are mode-independent;
 // the translator applies the mode knob feature.
+//
+// The decision is total: a degenerate forecast (no queries, all-zero
+// counts, or models emitting non-finite values) yields zero latencies and
+// PredictedReduction = 0 — never NaN or Inf — so callers acting only on a
+// positive reduction stay inert.
 func (p *Planner) EvaluateModeChange(f modeling.IntervalForecast) (ModeDecision, error) {
 	var d ModeDecision
-	interp, err := p.Models.PredictInterval(modeling.NewTranslator(p.DB, catalog.Interpret), f, nil)
+	interp, err := p.Models.PredictInterval(p.translator(catalog.Interpret), f, nil)
 	if err != nil {
 		return d, err
 	}
-	comp, err := p.Models.PredictInterval(modeling.NewTranslator(p.DB, catalog.Compile), f, nil)
+	comp, err := p.Models.PredictInterval(p.translator(catalog.Compile), f, nil)
 	if err != nil {
 		return d, err
 	}
-	d.InterpretLatencyUS = interp.AvgQueryLatencyUS
-	d.CompileLatencyUS = comp.AvgQueryLatencyUS
+	d.InterpretLatencyUS = finiteOr(interp.AvgQueryLatencyUS, 0)
+	d.CompileLatencyUS = finiteOr(comp.AvgQueryLatencyUS, 0)
 	if d.CompileLatencyUS <= d.InterpretLatencyUS {
 		d.Best = catalog.Compile
 		if d.InterpretLatencyUS > 0 {
@@ -61,6 +88,7 @@ func (p *Planner) EvaluateModeChange(f modeling.IntervalForecast) (ModeDecision,
 			d.PredictedReduction = 1 - d.InterpretLatencyUS/d.CompileLatencyUS
 		}
 	}
+	d.PredictedReduction = finiteOr(d.PredictedReduction, 0)
 	return d, nil
 }
 
@@ -93,12 +121,17 @@ type IndexDecision struct {
 // current-plan workload while it runs, and the benefit once post-index
 // plans take over. before and after hold the same forecasted workload with
 // pre-index and post-index plans respectively.
+//
+// The decision is total: degenerate forecasts (no queries, zero counts,
+// non-finite model outputs) yield zero costs, and with no baseline latency
+// the impact and benefit ratios stay 0 rather than dividing by zero — the
+// result is always defined and finite.
 func (p *Planner) EvaluateIndexBuild(mode catalog.ExecutionMode,
 	action modeling.IndexBuildAction,
 	before, after modeling.IntervalForecast) (IndexDecision, error) {
 
 	d := IndexDecision{Threads: action.Threads}
-	tr := modeling.NewTranslator(p.DB, mode)
+	tr := p.translator(mode)
 
 	base, err := p.Models.PredictInterval(tr, before, nil)
 	if err != nil {
@@ -113,15 +146,15 @@ func (p *Planner) EvaluateIndexBuild(mode catalog.ExecutionMode,
 		return d, err
 	}
 
-	d.BaselineLatencyUS = base.AvgQueryLatencyUS
-	d.DuringLatencyUS = during.AvgQueryLatencyUS
-	d.AfterLatencyUS = post.AvgQueryLatencyUS
-	d.BuildTimeUS = during.ActionElapsedUS
-	d.BuildCPUUS = during.ActionTotal.CPUTimeUS
-	d.BuildMemoryBytes = during.ActionTotal.MemoryBytes
+	d.BaselineLatencyUS = finiteOr(base.AvgQueryLatencyUS, 0)
+	d.DuringLatencyUS = finiteOr(during.AvgQueryLatencyUS, 0)
+	d.AfterLatencyUS = finiteOr(post.AvgQueryLatencyUS, 0)
+	d.BuildTimeUS = finiteOr(during.ActionElapsedUS, 0)
+	d.BuildCPUUS = finiteOr(during.ActionTotal.CPUTimeUS, 0)
+	d.BuildMemoryBytes = finiteOr(during.ActionTotal.MemoryBytes, 0)
 	if d.BaselineLatencyUS > 0 {
-		d.ImpactRatio = d.DuringLatencyUS / d.BaselineLatencyUS
-		d.BenefitRatio = d.AfterLatencyUS / d.BaselineLatencyUS
+		d.ImpactRatio = finiteOr(d.DuringLatencyUS/d.BaselineLatencyUS, 0)
+		d.BenefitRatio = finiteOr(d.AfterLatencyUS/d.BaselineLatencyUS, 0)
 	}
 	return d, nil
 }

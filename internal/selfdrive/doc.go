@@ -1,0 +1,28 @@
+// Package selfdrive closes MB2's loop (Sec 8.7): it drives a live engine.DB
+// under concurrent seeded workload sessions and, at each planning interval,
+// (1) aggregates per-template query counts and resource metrics streamed
+// from the live execution path, (2) forecasts the next interval's volumes,
+// (3) generates and ranks candidate actions — an execution-mode flip and
+// index builds over hot predicate columns at several thread counts — with
+// the planner, and (4) applies the winning action against the running
+// system, recording predicted-vs-observed interval latency.
+//
+// # Determinism
+//
+// A fixed-seed run is bit-for-bit reproducible at any session-parallelism
+// setting. Every session derives its RNG from the run seed and its own
+// identity (seed ^ fnv64a("drive/interval-i/session-s")), writes only
+// session-private observation buffers, and the loop merges them in session
+// index order — so every float reduction happens in a fixed order. Actions
+// apply at interval boundaries, on the loop goroutine, never concurrently
+// with query execution.
+//
+// # Prediction caching
+//
+// All inference — planner evaluations and the loop's own next-interval
+// predictions — shares one modeling.PredictionCache keyed by (plan
+// fingerprint, execution mode, action signature). The cache syncs against
+// the engine's configuration version, so the knob writes and index
+// publishes the loop itself performs invalidate stale predictions
+// automatically.
+package selfdrive

@@ -1,0 +1,62 @@
+package selfdrive
+
+import (
+	"mb2/internal/hw"
+)
+
+// sessionStats is one session's private observation buffer: it implements
+// exec.QueryObserver and is written only by its session's goroutine, so no
+// locking is needed on the hot path. The loop merges all sessions' buffers
+// in session index order after the interval's barrier — the serial-order
+// reduction that keeps float sums bit-identical at any parallelism.
+type sessionStats struct {
+	counts map[string]float64
+	iso    map[string]hw.Metrics
+}
+
+func newSessionStats() *sessionStats {
+	return &sessionStats{
+		counts: make(map[string]float64),
+		iso:    make(map[string]hw.Metrics),
+	}
+}
+
+// ObserveQuery implements exec.QueryObserver.
+func (s *sessionStats) ObserveQuery(template string, _ uint64, iso hw.Metrics) {
+	s.counts[template]++
+	m := s.iso[template]
+	m.Add(iso)
+	s.iso[template] = m
+}
+
+// IntervalObservation is the merged live view of one executed interval:
+// per-template arrival counts and summed isolated resource metrics, the
+// stream the forecaster and the predicted-vs-observed accounting consume.
+type IntervalObservation struct {
+	Counts map[string]float64
+	Iso    map[string]hw.Metrics
+}
+
+// mergeSessions folds the per-session buffers in index order. Each
+// template's count and metric sums accumulate session by session, so the
+// result is independent of how the sessions were scheduled.
+func mergeSessions(stats []*sessionStats) IntervalObservation {
+	obs := IntervalObservation{
+		Counts: make(map[string]float64),
+		Iso:    make(map[string]hw.Metrics),
+	}
+	for _, s := range stats {
+		if s == nil {
+			continue
+		}
+		for name, c := range s.counts {
+			obs.Counts[name] += c
+		}
+		for name, m := range s.iso {
+			t := obs.Iso[name]
+			t.Add(m)
+			obs.Iso[name] = t
+		}
+	}
+	return obs
+}

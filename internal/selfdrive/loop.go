@@ -1,0 +1,444 @@
+package selfdrive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"time"
+
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/exec"
+	"mb2/internal/forecast"
+	"mb2/internal/hw"
+	"mb2/internal/metrics"
+	"mb2/internal/modeling"
+	"mb2/internal/par"
+	"mb2/internal/plan"
+	"mb2/internal/planner"
+	"mb2/internal/workload"
+)
+
+// Config drives one closed-loop run.
+type Config struct {
+	Seed int64
+	// Sessions is the number of concurrent workload sessions (worker
+	// threads); QueriesPerSession is each session's per-interval volume.
+	Sessions          int
+	QueriesPerSession int
+	Intervals         int
+	// PlanEvery runs a planning step at every Nth interval boundary.
+	PlanEvery int
+	// HistoryWindow bounds the windowed forecast store (and the trend fit).
+	HistoryWindow int
+	IntervalUS    float64
+	// ThreadCandidates are the index-build parallelism degrees the planner
+	// weighs; MaxImpactRatio is its during-build impact budget (0 =
+	// unbounded); MinImprovement is the predicted relative latency
+	// reduction an action must promise to be applied.
+	ThreadCandidates []int
+	MaxImpactRatio   float64
+	MinImprovement   float64
+	// Jobs bounds the session worker pool (<= 0 selects GOMAXPROCS, 1 is
+	// serial); results are bit-for-bit identical at every setting.
+	Jobs int
+
+	// Workload shape: TPC-C customers per district, and the
+	// customer-lookup share ramp (base + perInterval*i, capped at max) that
+	// makes the workload drift.
+	CustomersPerDistrict     int
+	CustomerBaseShare        float64
+	CustomerSharePerInterval float64
+	CustomerMaxShare         float64
+}
+
+// DefaultConfig returns a configuration sized for tests and quick CLI runs.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                     1,
+		Sessions:                 2,
+		QueriesPerSession:        6,
+		Intervals:                12,
+		PlanEvery:                2,
+		HistoryWindow:            6,
+		IntervalUS:               100_000,
+		ThreadCandidates:         []int{1, 2, 4},
+		MaxImpactRatio:           2.0,
+		MinImprovement:           0.02,
+		CustomersPerDistrict:     300,
+		CustomerBaseShare:        0.15,
+		CustomerSharePerInterval: 0.05,
+		CustomerMaxShare:         0.7,
+	}
+}
+
+func (cfg Config) withDefaults() Config {
+	d := DefaultConfig()
+	if cfg.Sessions < 1 {
+		cfg.Sessions = d.Sessions
+	}
+	if cfg.QueriesPerSession < 1 {
+		cfg.QueriesPerSession = d.QueriesPerSession
+	}
+	if cfg.Intervals < 1 {
+		cfg.Intervals = d.Intervals
+	}
+	if cfg.PlanEvery < 1 {
+		cfg.PlanEvery = d.PlanEvery
+	}
+	if cfg.HistoryWindow < 2 {
+		cfg.HistoryWindow = d.HistoryWindow
+	}
+	if cfg.IntervalUS <= 0 {
+		cfg.IntervalUS = d.IntervalUS
+	}
+	if len(cfg.ThreadCandidates) == 0 {
+		cfg.ThreadCandidates = d.ThreadCandidates
+	}
+	if cfg.MaxImpactRatio <= 0 {
+		cfg.MaxImpactRatio = d.MaxImpactRatio
+	}
+	if cfg.MinImprovement <= 0 {
+		cfg.MinImprovement = d.MinImprovement
+	}
+	if cfg.CustomersPerDistrict < tpccLastNames {
+		cfg.CustomersPerDistrict = d.CustomersPerDistrict
+	}
+	if cfg.CustomerBaseShare <= 0 {
+		cfg.CustomerBaseShare = d.CustomerBaseShare
+	}
+	if cfg.CustomerSharePerInterval <= 0 {
+		cfg.CustomerSharePerInterval = d.CustomerSharePerInterval
+	}
+	if cfg.CustomerMaxShare <= 0 {
+		cfg.CustomerMaxShare = d.CustomerMaxShare
+	}
+	return cfg
+}
+
+// customerCount returns how many of a session's queries are customer
+// lookups at interval i (the drifting share, rounded).
+func (cfg Config) customerCount(i int) int {
+	share := cfg.CustomerBaseShare + cfg.CustomerSharePerInterval*float64(i)
+	if share > cfg.CustomerMaxShare {
+		share = cfg.CustomerMaxShare
+	}
+	n := int(math.Round(share * float64(cfg.QueriesPerSession)))
+	if n > cfg.QueriesPerSession {
+		n = cfg.QueriesPerSession
+	}
+	return n
+}
+
+// AppliedAction records one action the loop applied.
+type AppliedAction struct {
+	Interval             int     `json:"interval"`
+	Kind                 string  `json:"kind"` // mode-change | index-build-start | index-publish
+	Detail               string  `json:"detail"`
+	PredictedImprovement float64 `json:"predicted_improvement"`
+}
+
+// IntervalReport is the loop's record of one executed interval.
+type IntervalReport struct {
+	Interval             int     `json:"interval"`
+	Queries              int     `json:"queries"`
+	ObservedAvgLatencyUS float64 `json:"observed_avg_latency_us"`
+	// PredictedAvgLatencyUS is the prediction made for this interval at the
+	// end of the previous one (0 when none was made yet).
+	PredictedAvgLatencyUS float64               `json:"predicted_avg_latency_us"`
+	Mode                  catalog.ExecutionMode `json:"mode"`
+	Building              bool                  `json:"building"`
+	IndexLive             bool                  `json:"index_live"`
+	WallUS                float64               `json:"wall_us"`
+}
+
+// Result is the full run outcome.
+type Result struct {
+	Intervals []IntervalReport `json:"intervals"`
+	Actions   []AppliedAction  `json:"actions"`
+	// MAPE is the predicted-vs-observed interval-latency error over every
+	// interval that had a prediction.
+	MAPE float64 `json:"mape"`
+	// Cache accounting across all loop inference.
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Digest fingerprints the run's observable behavior (per-interval
+	// counts, latencies, modes, actions): two same-seed runs must match
+	// bit for bit.
+	Digest uint64 `json:"digest"`
+	// HistoryEvicted counts intervals the windowed forecast store dropped.
+	HistoryEvicted int `json:"history_evicted"`
+	// InferenceUS are the wall-clock durations of the loop's direct
+	// next-interval predictions (for p50/p99 reporting).
+	InferenceUS []float64 `json:"inference_us"`
+}
+
+// ModeChanges counts applied mode changes; IndexBuilds counts started
+// builds.
+func (r *Result) ModeChanges() int { return r.countKind("mode-change") }
+
+// IndexBuilds counts index builds the loop started.
+func (r *Result) IndexBuilds() int { return r.countKind("index-build-start") }
+
+// IndexPublishes counts builds that completed and went live.
+func (r *Result) IndexPublishes() int { return r.countKind("index-publish") }
+
+func (r *Result) countKind(kind string) int {
+	n := 0
+	for _, a := range r.Actions {
+		if a.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the closed loop against a fresh TPC-C database using the
+// trained models. See the package comment for the loop's phases and
+// determinism scheme.
+func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
+	cfg = cfg.withDefaults()
+	db := engine.Open(catalog.DefaultKnobs())
+	bench := workload.TPCC{CustomersPerDistrict: cfg.CustomersPerDistrict}
+	if err := bench.Load(db, 1, cfg.Seed); err != nil {
+		return nil, fmt.Errorf("selfdrive: loading workload: %w", err)
+	}
+
+	p := planner.New(db, ms)
+	p.Cache = modeling.NewPredictionCache()
+	hist := forecast.NewWindowedHistory(cfg.IntervalUS, cfg.HistoryWindow)
+	fc := forecast.Forecaster{Window: cfg.HistoryWindow}
+	machine := db.Machine
+
+	res := &Result{}
+	digest := fnv.New64a()
+	var published []planner.IndexCandidate
+	var build *planner.BuildHandle
+	var predSeries, obsSeries []float64
+	predictedNext := 0.0
+
+	for i := 0; i < cfg.Intervals; i++ {
+		ivStart := time.Now()
+		mode := db.Knobs().ExecutionMode
+
+		// Phase 1: concurrent seeded execution with live observation.
+		sessions := make([][]liveQuery, cfg.Sessions)
+		nCustomer := cfg.customerCount(i)
+		for s := range sessions {
+			rng := rand.New(rand.NewSource(unitSeed(cfg.Seed,
+				fmt.Sprintf("drive/interval-%d/session-%d", i, s))))
+			sessions[s] = sessionQueries(rng, cfg, nCustomer, published)
+		}
+		stats := make([]*sessionStats, cfg.Sessions)
+		totals := make([]hw.Metrics, cfg.Sessions)
+		queryIso := make([][]hw.Metrics, cfg.Sessions)
+		errs := make([]error, cfg.Sessions)
+		par.Do(cfg.Jobs, cfg.Sessions, func(s int) {
+			st := newSessionStats()
+			stats[s] = st
+			th := hw.NewThread(machine.CPU)
+			ctx := &exec.Ctx{
+				DB:         db,
+				Tracker:    metrics.NewTracker(nil, th),
+				Mode:       mode,
+				Contenders: float64(cfg.Sessions),
+				Observer:   st,
+			}
+			for _, q := range sessions[s] {
+				_, iso, err := exec.ExecuteObserved(ctx, q.name, q.fp, q.node)
+				if err != nil {
+					errs[s] = fmt.Errorf("selfdrive: session %d executing %s: %w", s, q.name, err)
+					return
+				}
+				totals[s].Add(iso)
+				queryIso[s] = append(queryIso[s], iso)
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// Phase 2: whole-machine contention, including active build threads.
+		perThread := append([]hw.Metrics(nil), totals...)
+		var extraIdx []int
+		if build != nil {
+			work, idx := build.ActiveWork(cfg.IntervalUS)
+			perThread = append(perThread, work...)
+			extraIdx = idx
+		}
+		ratios := machine.ContentionRatios(perThread, cfg.IntervalUS)
+		var latSum float64
+		nq := 0
+		for s := 0; s < cfg.Sessions; s++ {
+			for _, iso := range queryIso[s] {
+				latSum += iso.ScaleVec(ratios[s]).ElapsedUS
+				nq++
+			}
+		}
+		observed := 0.0
+		if nq > 0 {
+			observed = latSum / float64(nq)
+		}
+
+		// Phase 3: feed the live stream into the windowed forecast store.
+		merged := mergeSessions(stats)
+		hist.Append(merged.Counts)
+
+		// Phase 4: advance and maybe publish an in-progress build.
+		building := false
+		if build != nil {
+			for e, j := range extraIdx {
+				r := ratios[cfg.Sessions+e][hw.LabelElapsedUS]
+				if r > 0 {
+					build.Advance(j, cfg.IntervalUS/r)
+				}
+			}
+			if build.Done() {
+				if err := build.Publish(db); err != nil {
+					return nil, fmt.Errorf("selfdrive: publishing %s: %w", build.Candidate.Name, err)
+				}
+				published = append(published, build.Candidate)
+				res.Actions = append(res.Actions, AppliedAction{
+					Interval: i, Kind: "index-publish", Detail: build.Candidate.Name,
+				})
+				build = nil
+			} else {
+				building = true
+			}
+		}
+
+		rep := IntervalReport{
+			Interval: i, Queries: nq,
+			ObservedAvgLatencyUS:  observed,
+			PredictedAvgLatencyUS: predictedNext,
+			Mode:                  mode,
+			Building:              building,
+			IndexLive:             len(published) > 0,
+		}
+		if predictedNext > 0 {
+			predSeries = append(predSeries, predictedNext)
+			obsSeries = append(obsSeries, observed)
+		}
+
+		hashInterval(digest, i, merged.Counts, observed, mode, res.Actions)
+
+		// Phase 5: forecast, plan, act, and predict the next interval.
+		predictedNext = 0
+		if hist.Len() >= 2 && i < cfg.Intervals-1 {
+			f := buildForecast(hist, fc, cfg, published)
+			if (i+1)%cfg.PlanEvery == 0 && len(f.Queries) > 0 {
+				actions, err := p.PlanActions(mode, f, planner.CandidateConfig{
+					ThreadCandidates: cfg.ThreadCandidates,
+					MaxImpactRatio:   cfg.MaxImpactRatio,
+				})
+				if err != nil {
+					return nil, err
+				}
+				for _, a := range actions {
+					if a.PredictedImprovement < cfg.MinImprovement {
+						break // sorted best-first: nothing further qualifies
+					}
+					if a.Kind == planner.ActionIndexBuild && build != nil {
+						continue // one build at a time
+					}
+					handle, err := p.Apply(a, nil)
+					if err != nil {
+						return nil, fmt.Errorf("selfdrive: applying %v: %w", a, err)
+					}
+					kind, detail := "mode-change", a.Mode.String()
+					if a.Kind == planner.ActionIndexBuild {
+						kind = "index-build-start"
+						detail = fmt.Sprintf("%s threads=%d", a.Index.Name, a.Threads)
+						build = handle
+					}
+					res.Actions = append(res.Actions, AppliedAction{
+						Interval: i, Kind: kind, Detail: detail,
+						PredictedImprovement: a.PredictedImprovement,
+					})
+					break // apply the winning action only
+				}
+			}
+			// Predict the coming interval with whatever is now in effect.
+			curMode := db.Knobs().ExecutionMode
+			tr := modeling.NewTranslator(db, curMode)
+			tr.Cache = p.Cache
+			var af *modeling.ActionForecast
+			if build != nil {
+				af = &modeling.ActionForecast{IndexBuild: &modeling.IndexBuildAction{
+					Table:   build.Candidate.Table,
+					KeyCols: build.Candidate.KeyColNames,
+					Threads: build.Threads,
+				}}
+			}
+			infStart := time.Now()
+			pred, err := ms.PredictInterval(tr, f, af)
+			if err != nil {
+				return nil, err
+			}
+			res.InferenceUS = append(res.InferenceUS, float64(time.Since(infStart).Microseconds()))
+			predictedNext = pred.AvgQueryLatencyUS
+		}
+
+		rep.WallUS = float64(time.Since(ivStart).Microseconds())
+		res.Intervals = append(res.Intervals, rep)
+	}
+
+	res.CacheHits, res.CacheMisses = p.Cache.Stats()
+	res.CacheHitRate = p.Cache.HitRate()
+	res.MAPE = forecast.MAPE(predSeries, obsSeries)
+	res.HistoryEvicted = hist.Evicted()
+	res.Digest = digest.Sum64()
+	return res, nil
+}
+
+// buildForecast converts the history's next-interval volume forecasts into
+// the inference pipeline's input, using the canonical per-template plans.
+func buildForecast(hist *forecast.History, fc forecast.Forecaster, cfg Config, published []planner.IndexCandidate) modeling.IntervalForecast {
+	reps := representatives(cfg, published)
+	predictions := fc.ForecastAll(hist, 1)
+	counts := make(map[string]float64, len(predictions))
+	for name, series := range predictions {
+		if len(series) > 0 {
+			counts[name] = series[0]
+		}
+	}
+	f := modeling.IntervalForecast{IntervalUS: cfg.IntervalUS, Threads: cfg.Sessions}
+	for _, name := range sortedTemplates(counts) {
+		rep, ok := reps[name]
+		if !ok || counts[name] <= 0 {
+			continue
+		}
+		f.Queries = append(f.Queries, modeling.ForecastQuery{
+			Plan: rep, Count: counts[name], Fingerprint: plan.Fingerprint(rep),
+		})
+	}
+	return f
+}
+
+// hashInterval folds one interval's observable outcome into the run
+// digest: the per-template counts (sorted), the observed latency, the
+// execution mode, and the cumulative action log length.
+func hashInterval(h interface{ Write([]byte) (int, error) }, interval int, counts map[string]float64, observed float64, mode catalog.ExecutionMode, actions []AppliedAction) {
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(interval))
+	for _, name := range sortedTemplates(counts) {
+		h.Write([]byte(name))
+		put(math.Float64bits(counts[name]))
+	}
+	put(math.Float64bits(observed))
+	put(uint64(mode))
+	put(uint64(len(actions)))
+	for _, a := range actions {
+		h.Write([]byte(a.Kind))
+		h.Write([]byte(a.Detail))
+	}
+}

@@ -1,0 +1,164 @@
+package selfdrive
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mb2/internal/metrics"
+	"mb2/internal/modeling"
+	"mb2/internal/runner"
+)
+
+var (
+	modelsOnce sync.Once
+	testModels *modeling.ModelSet
+)
+
+// sharedModels trains a small OU-model set once for the package.
+func sharedModels(t *testing.T) *modeling.ModelSet {
+	t.Helper()
+	modelsOnce.Do(func() {
+		cfg := runner.DefaultConfig()
+		cfg.MaxRows = 1024
+		cfg.Repetitions = 2
+		cfg.Warmups = 1
+		repo := metrics.NewRepository()
+		runner.RunAll(repo, cfg)
+		opts := modeling.DefaultTrainOptions()
+		opts.Candidates = []string{"huber", "gbm"}
+		ms, err := modeling.TrainModelSet(repo, opts)
+		if err != nil {
+			panic(err)
+		}
+		testModels = ms
+	})
+	if testModels == nil {
+		t.Fatal("model training failed")
+	}
+	return testModels
+}
+
+// stripWall zeroes the wall-clock fields, which legitimately differ between
+// runs; everything else must replay bit for bit.
+func stripWall(reports []IntervalReport) []IntervalReport {
+	out := append([]IntervalReport(nil), reports...)
+	for i := range out {
+		out[i].WallUS = 0
+	}
+	return out
+}
+
+// TestDriveLoopDeterministicReplay runs the full closed loop twice with the
+// same seed and demands identical behavior: matching digests, action logs,
+// and interval reports. It also checks the loop actually drove the system —
+// at least one mode change and one index build chosen by the planner — and
+// that its predicted-vs-observed accounting and prediction cache engaged.
+func TestDriveLoopDeterministicReplay(t *testing.T) {
+	ms := sharedModels(t)
+	cfg := DefaultConfig()
+
+	a, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if a.Digest != b.Digest {
+		t.Fatalf("digest mismatch across same-seed runs: %#x vs %#x", a.Digest, b.Digest)
+	}
+	if !reflect.DeepEqual(a.Actions, b.Actions) {
+		t.Fatalf("action logs differ:\n%v\nvs\n%v", a.Actions, b.Actions)
+	}
+	if !reflect.DeepEqual(stripWall(a.Intervals), stripWall(b.Intervals)) {
+		t.Fatalf("interval reports differ:\n%v\nvs\n%v", stripWall(a.Intervals), stripWall(b.Intervals))
+	}
+
+	if len(a.Intervals) != cfg.Intervals {
+		t.Fatalf("got %d interval reports, want %d", len(a.Intervals), cfg.Intervals)
+	}
+	if a.ModeChanges() < 1 {
+		t.Errorf("loop applied no mode change; actions: %v", a.Actions)
+	}
+	if a.IndexBuilds() < 1 {
+		t.Errorf("loop started no index build; actions: %v", a.Actions)
+	}
+	predicted := 0
+	for _, rep := range a.Intervals {
+		if rep.PredictedAvgLatencyUS > 0 {
+			predicted++
+			if rep.ObservedAvgLatencyUS <= 0 {
+				t.Errorf("interval %d: predicted %.1fus but observed %.1fus",
+					rep.Interval, rep.PredictedAvgLatencyUS, rep.ObservedAvgLatencyUS)
+			}
+		}
+	}
+	if predicted == 0 {
+		t.Error("no interval carried a predicted latency")
+	}
+	if math.IsNaN(a.MAPE) || math.IsInf(a.MAPE, 0) {
+		t.Errorf("MAPE not finite: %v", a.MAPE)
+	}
+	if a.CacheHitRate <= 0 {
+		t.Errorf("prediction cache never hit: hits=%d misses=%d", a.CacheHits, a.CacheMisses)
+	}
+}
+
+// TestDriveLoopJobsInvariance checks the serial-order reduction: the digest
+// is identical whether sessions run serially or on a parallel worker pool.
+func TestDriveLoopJobsInvariance(t *testing.T) {
+	ms := sharedModels(t)
+	cfg := DefaultConfig()
+	cfg.Intervals = 6
+
+	serial := cfg
+	serial.Jobs = 1
+	par4 := cfg
+	par4.Jobs = 4
+
+	a, err := Run(serial, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(par4, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("digest differs across worker counts: %#x (serial) vs %#x (jobs=4)", a.Digest, b.Digest)
+	}
+	if !reflect.DeepEqual(a.Actions, b.Actions) {
+		t.Fatalf("action logs differ across worker counts:\n%v\nvs\n%v", a.Actions, b.Actions)
+	}
+}
+
+// TestDriveLoopPublishesIndex runs long enough for a started build to
+// finish and verifies the published index then serves the customer lookups
+// (the interval reports flip IndexLive).
+func TestDriveLoopPublishesIndex(t *testing.T) {
+	ms := sharedModels(t)
+	cfg := DefaultConfig()
+	cfg.Intervals = 16
+
+	res, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IndexBuilds() < 1 {
+		t.Skipf("planner chose no index build in this configuration; actions: %v", res.Actions)
+	}
+	if res.IndexPublishes() < 1 {
+		t.Fatalf("build never published within %d intervals; actions: %v", cfg.Intervals, res.Actions)
+	}
+	live := false
+	for _, rep := range res.Intervals {
+		live = live || rep.IndexLive
+	}
+	if !live {
+		t.Error("no interval reported a live index")
+	}
+}

@@ -1,0 +1,150 @@
+package selfdrive
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"mb2/internal/plan"
+	"mb2/internal/planner"
+	"mb2/internal/storage"
+)
+
+// Drive workload template names. The mix is TPC-C's read side: order point
+// lookups, the stock-level range aggregate, and the index-sensitive
+// customer-by-last-name lookup whose share ramps over the run (the drift
+// the forecaster picks up and the planner's index action exploits).
+const (
+	tmplOrdersPoint    = "orders_point"
+	tmplStockLevel     = "stock_level"
+	tmplCustomerByLast = "customer_by_last"
+)
+
+// tpccLastNames mirrors workload.TPCC's distinct C_LAST values.
+const tpccLastNames = 100
+
+// liveQuery is one query instance a session executes.
+type liveQuery struct {
+	name string
+	fp   uint64
+	node plan.Node
+}
+
+// unitSeed derives a unit's private seed from the run seed and the unit's
+// identity (the PR 1 scheme: stable under any execution interleaving).
+func unitSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ int64(h.Sum64())
+}
+
+func est(rows, distinct float64) plan.Estimates {
+	return plan.Estimates{Rows: rows, Distinct: distinct}
+}
+
+func ints(vals ...int64) []storage.Value {
+	out := make([]storage.Value, len(vals))
+	for i, v := range vals {
+		out[i] = storage.NewInt(v)
+	}
+	return out
+}
+
+// ordersPoint looks one order up through its primary key.
+func ordersPoint(w, d, o int64) plan.Node {
+	return &plan.IdxScanNode{Table: "orders", Index: "orders_pk",
+		Eq: ints(w, d, o), Rows: est(1, 1)}
+}
+
+// stockLevel aggregates recent order lines of a district (TPC-C
+// StockLevel's shape).
+func stockLevel(w, d, lo int64) plan.Node {
+	return &plan.AggNode{
+		Child: &plan.IdxScanNode{Table: "orderline", Index: "orderline_pk",
+			Lo: ints(w, d, lo), Hi: ints(w, d, lo+20),
+			Rows: est(200, 20)},
+		GroupBy: []int{4},
+		Aggs:    []plan.AggSpec{{Fn: plan.Count, Arg: plan.Col(4)}},
+		Rows:    est(100, 100),
+	}
+}
+
+// customerByLast scans customers by (warehouse, district, last name). It
+// deliberately emits the sequential-scan form: the planner discovers the
+// hot equality columns itself and its published index rewrites the plan.
+func customerByLast(w, d, last int64, matches float64) plan.Node {
+	return &plan.SeqScanNode{
+		Table: "customer",
+		Filter: plan.And{
+			L: plan.Cmp{Op: plan.EQ, L: plan.Col(2), R: plan.IntConst(w)},
+			R: plan.And{
+				L: plan.Cmp{Op: plan.EQ, L: plan.Col(1), R: plan.IntConst(d)},
+				R: plan.Cmp{Op: plan.EQ, L: plan.Col(3), R: plan.IntConst(last)},
+			},
+		},
+		Rows: est(matches, matches),
+	}
+}
+
+// rewritePublished rewrites a plan through every published index (no-op
+// when none cover it).
+func rewritePublished(n plan.Node, published []planner.IndexCandidate) plan.Node {
+	for _, c := range published {
+		n = c.Rewrite(n)
+	}
+	return n
+}
+
+// sessionQueries builds one session's deterministic query list for an
+// interval: nCustomer ramping customer lookups and the remainder split
+// between order points and stock levels, interleaved.
+func sessionQueries(rng *rand.Rand, cfg Config, nCustomer int, published []planner.IndexCandidate) []liveQuery {
+	cpd := cfg.CustomersPerDistrict
+	matches := float64(cpd) / tpccLastNames
+	var out []liveQuery
+	add := func(name string, node plan.Node) {
+		node = rewritePublished(node, published)
+		out = append(out, liveQuery{name: name, fp: plan.Fingerprint(node), node: node})
+	}
+	for i := 0; i < cfg.QueriesPerSession; i++ {
+		d := rng.Int63n(10)
+		switch {
+		case i < nCustomer:
+			add(tmplCustomerByLast, customerByLast(0, d, rng.Int63n(tpccLastNames), matches))
+		case i%2 == 0:
+			add(tmplOrdersPoint, ordersPoint(0, d, rng.Int63n(int64(cpd))))
+		default:
+			add(tmplStockLevel, stockLevel(0, d, rng.Int63n(int64(cpd*3/4))))
+		}
+	}
+	return out
+}
+
+// representatives returns one canonical plan per template (fixed
+// constants), rewritten through the published indexes: the plans the
+// forecast-driven inference predicts with. Fixed constants keep each
+// template's fingerprint stable across intervals, which is what makes the
+// prediction cache effective; predictions depend on the cardinality
+// estimates, not the literal values.
+func representatives(cfg Config, published []planner.IndexCandidate) map[string]plan.Node {
+	matches := float64(cfg.CustomersPerDistrict) / tpccLastNames
+	reps := map[string]plan.Node{
+		tmplOrdersPoint:    ordersPoint(0, 0, 0),
+		tmplStockLevel:     stockLevel(0, 0, 0),
+		tmplCustomerByLast: customerByLast(0, 0, 0, matches),
+	}
+	for name, n := range reps {
+		reps[name] = rewritePublished(n, published)
+	}
+	return reps
+}
+
+// sortedTemplates returns the template names of a count map, sorted.
+func sortedTemplates(counts map[string]float64) []string {
+	out := make([]string, 0, len(counts))
+	for name := range counts {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
