@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: tier1 build test race stress fuzz vet bench-train bench-drive
+.PHONY: tier1 build test race stress fuzz vet bench-smoke bench-train bench-drive bench-exec
 
 # tier1 is the full pre-merge gate: static checks, build, the whole test
 # suite under the race detector (including the internal/check concurrency
-# harness matrix), and a short parser fuzz pass.
-tier1: vet build race fuzz
+# harness matrix), a short parser fuzz pass, and a one-iteration run of the
+# execution-pipeline benchmarks so they cannot rot between bench-exec runs.
+tier1: vet build race fuzz bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +27,11 @@ stress:
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/sql
 
+# bench-smoke executes every (pipeline, variant) benchmark once — a
+# correctness smoke, not a measurement.
+bench-smoke:
+	$(GO) test -run=NONE -bench=BenchmarkPipelines -benchtime=1x ./internal/exec
+
 # bench-train times the offline training pipeline serially and at
 # increasing -j, verifies the runs digest identically, and records the
 # measurements (wall clock, speedup, records/sec) as JSON.
@@ -38,3 +44,10 @@ bench-train:
 # MAPE as JSON.
 bench-drive:
 	$(GO) run ./cmd/mb2-drive -verify -bench BENCH_drive.json
+
+# bench-exec measures the hot execution pipelines (seq-scan→filter→project,
+# hash join, index join) as interpreted / compiled-unfused / compiled-fused
+# and records ns/op, B/op, and allocs/op per (pipeline, variant) plus the
+# fused-path alloc reduction and wall-clock speedup as JSON.
+bench-exec:
+	$(GO) run ./cmd/mb2-execbench -out BENCH_exec.json

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	mb2-bench [-full] [-seed N] [-j N] -exp tab1|tab2|fig1|fig5|fig6|fig7a|
-//	          fig7b|fig8a|fig8b|fig9a|fig9b|fig10|fig11|fig11c|ablations|all
+//	mb2-bench [-full] [-seed N] [-j N] [-cpuprofile FILE] [-memprofile FILE]
+//	          -exp tab1|tab2|fig1|fig5|fig6|fig7a|fig7b|fig8a|fig8b|fig9a|
+//	          fig9b|fig10|fig11|fig11c|ablations|all
 //
 // Each experiment prints the same rows/series the paper reports; shapes
 // (who wins, by roughly what factor, where crossovers fall) are the
@@ -17,6 +18,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mb2/internal/experiments"
@@ -33,7 +35,34 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	exp := flag.String("exp", "all", "experiment id or 'all': "+strings.Join(experimentOrder, "|"))
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker-pool size for pipeline building (1 = serial; results are identical at any value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("mb2-bench: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("mb2-bench: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("mb2-bench: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("mb2-bench: %v", err)
+		}
+		f.Close()
+	}()
 
 	cfg := experiments.Quick()
 	if *full {

@@ -9,6 +9,7 @@
 //
 //	mb2-drive [-seed N] [-intervals N] [-sessions N] [-j N]
 //	          [-data FILE] [-bench FILE] [-verify]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -data, the behavior models train from a repository previously
 // written by `mb2-train -data-out FILE`; otherwise a quick training sweep
@@ -25,6 +26,8 @@ import (
 	"log"
 	"os"
 	"reflect"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"mb2/internal/metrics"
@@ -41,7 +44,34 @@ func main() {
 	dataPath := flag.String("data", "", "train models from this mb2-train -data-out repository instead of sweeping in-process")
 	benchPath := flag.String("bench", "", "write loop benchmark results as JSON to this file")
 	verify := flag.Bool("verify", false, "replay the run and fail unless it reproduces bit for bit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("mb2-drive: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("mb2-drive: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("mb2-drive: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("mb2-drive: %v", err)
+		}
+		f.Close()
+	}()
 
 	ms, err := trainModels(*dataPath, *seed)
 	if err != nil {
@@ -141,6 +171,7 @@ func printRun(res *selfdrive.Result) {
 	fmt.Printf("\npredicted-vs-observed MAPE: %.3f\n", res.MAPE)
 	fmt.Printf("prediction cache: %d hits, %d misses (hit rate %.2f)\n",
 		res.CacheHits, res.CacheMisses, res.CacheHitRate)
+	fmt.Printf("fused pipelines executed: %d\n", res.FusedPipelines)
 	fmt.Printf("run digest: %#x\n", res.Digest)
 }
 
@@ -158,6 +189,7 @@ type benchReport struct {
 	ModeChanges       int     `json:"mode_changes"`
 	IndexBuilds       int     `json:"index_builds"`
 	IndexPublishes    int     `json:"index_publishes"`
+	FusedPipelines    int     `json:"fused_pipelines"`
 	Digest            string  `json:"digest"`
 }
 
@@ -179,6 +211,7 @@ func writeBench(path string, cfg selfdrive.Config, res *selfdrive.Result) error 
 		ModeChanges:       res.ModeChanges(),
 		IndexBuilds:       res.IndexBuilds(),
 		IndexPublishes:    res.IndexPublishes(),
+		FusedPipelines:    res.FusedPipelines,
 		Digest:            fmt.Sprintf("%#x", res.Digest),
 	}
 	f, err := os.Create(path)

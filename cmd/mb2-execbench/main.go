@@ -1,0 +1,141 @@
+// Command mb2-execbench measures the execution engine's hot pipelines
+// (seq-scan→filter→project, hash join, index join) under the three
+// execution configurations — interpreted, compiled with fusion disabled,
+// and compiled fused — and writes ns/op, B/op, and allocs/op per
+// (pipeline, variant) to a JSON report. `make bench-exec` runs it to
+// produce BENCH_exec.json; the same scenarios back the `go test -bench`
+// suite in internal/exec.
+//
+// Usage:
+//
+//	mb2-execbench [-rows N] [-out FILE] [-cpuprofile FILE] [-memprofile FILE]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+
+	"mb2/internal/exec"
+	"mb2/internal/exec/execbench"
+)
+
+type variantResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type pipelineResult struct {
+	Name string `json:"name"`
+	// Variants: interpreted, compiled_unfused, compiled_fused.
+	Variants map[string]variantResult `json:"variants"`
+	// AllocReduction is compiled_unfused allocs/op over compiled_fused
+	// allocs/op: what fusing buys at identical modeled semantics.
+	AllocReduction float64 `json:"alloc_reduction"`
+	// Speedup is interpreted ns/op over compiled_fused ns/op: the real
+	// wall-clock gain of flipping the execution-mode knob.
+	Speedup float64 `json:"speedup"`
+}
+
+type report struct {
+	Rows      int              `json:"rows"`
+	Pipelines []pipelineResult `json:"pipelines"`
+}
+
+func main() {
+	rows := flag.Int("rows", 20000, "benchmark table size")
+	out := flag.String("out", "BENCH_exec.json", "output JSON path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("mb2-execbench: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("mb2-execbench: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	db, err := execbench.NewDB(*rows)
+	if err != nil {
+		log.Fatalf("mb2-execbench: %v", err)
+	}
+	if err := execbench.Check(db, *rows); err != nil {
+		log.Fatalf("mb2-execbench: cross-variant check: %v", err)
+	}
+
+	rep := report{Rows: *rows}
+	fmt.Printf("== exec pipeline microbenchmarks (%d rows) ==\n", *rows)
+	for _, sc := range execbench.Scenarios(*rows) {
+		pr := pipelineResult{Name: sc.Name, Variants: map[string]variantResult{}}
+		for _, v := range execbench.Variants() {
+			sc, v := sc, v
+			r := testing.Benchmark(func(b *testing.B) {
+				ctx := execbench.NewCtx(db, v)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := exec.Execute(ctx, sc.Plan); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			vr := variantResult{
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+			pr.Variants[v.Name] = vr
+			fmt.Printf("  %-24s %-17s %12.0f ns/op %12d B/op %8d allocs/op\n",
+				sc.Name, v.Name, vr.NsPerOp, vr.BytesPerOp, vr.AllocsPerOp)
+		}
+		fused := pr.Variants["compiled_fused"]
+		unfused := pr.Variants["compiled_unfused"]
+		interp := pr.Variants["interpreted"]
+		if fused.AllocsPerOp > 0 {
+			pr.AllocReduction = float64(unfused.AllocsPerOp) / float64(fused.AllocsPerOp)
+		}
+		if fused.NsPerOp > 0 {
+			pr.Speedup = interp.NsPerOp / fused.NsPerOp
+		}
+		fmt.Printf("  %-24s alloc reduction %.1fx, wall speedup %.2fx\n", sc.Name, pr.AllocReduction, pr.Speedup)
+		rep.Pipelines = append(rep.Pipelines, pr)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("mb2-execbench: %v", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		log.Fatalf("mb2-execbench: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("mb2-execbench: %v", err)
+	}
+	fmt.Printf("results written to %s\n", *out)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("mb2-execbench: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("mb2-execbench: %v", err)
+		}
+		f.Close()
+	}
+}

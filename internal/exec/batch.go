@@ -33,3 +33,20 @@ func (b *Batch) AvgWidth() float64 {
 	}
 	return float64(total) / float64(n)
 }
+
+// sampledWidth computes AvgWidth's statistic over a pre-extracted width
+// list. Fused pipelines record per-row widths while streaming (tuples are
+// never materialized) and replay the exact charge the operator-at-a-time
+// path would have made.
+func sampledWidth(widths []int) float64 {
+	if len(widths) == 0 {
+		return 0
+	}
+	step := len(widths)/64 + 1
+	total, n := 0, 0
+	for i := 0; i < len(widths); i += step {
+		total += widths[i]
+		n++
+	}
+	return float64(total) / float64(n)
+}

@@ -1,0 +1,38 @@
+package exec_test
+
+// Microbenchmarks for the hot execution pipelines, one sub-benchmark per
+// (scenario, variant). `make bench-exec` records these into BENCH_exec.json
+// via cmd/mb2-execbench; tier-1 CI runs them with -benchtime=1x as a smoke
+// test. The variants of a scenario execute identical plans over identical
+// data, so ns/op and allocs/op differences measure the execution path, not
+// the workload.
+
+import (
+	"testing"
+
+	"mb2/internal/exec"
+	"mb2/internal/exec/execbench"
+)
+
+const benchRows = 20000
+
+func BenchmarkPipelines(b *testing.B) {
+	db, err := execbench.NewDB(benchRows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sc := range execbench.Scenarios(benchRows) {
+		for _, v := range execbench.Variants() {
+			b.Run(sc.Name+"/"+v.Name, func(b *testing.B) {
+				ctx := execbench.NewCtx(db, v)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := exec.Execute(ctx, sc.Plan); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

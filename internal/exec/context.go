@@ -43,6 +43,30 @@ type Ctx struct {
 	// control loop (template counts for forecasting, observed resource
 	// usage for predicted-vs-actual accounting).
 	Observer QueryObserver
+
+	// DisableFusion forces compiled-mode plans through the
+	// operator-at-a-time path. It exists for the fused/unfused equivalence
+	// tests and for isolating regressions; production compiled execution
+	// always fuses.
+	DisableFusion bool
+
+	// FusedPipelines counts pipelines this context executed on the fused
+	// path (one scan chain, hash join, or index join each), for
+	// observability in the control loop and CLIs.
+	FusedPipelines int
+
+	// keyBuf is the worker-private scratch buffer join probes and DML
+	// index maintenance encode transient keys into. A Ctx is single-worker
+	// by contract, so reuse needs no synchronization. Never handed to
+	// anything that retains keys (B+tree inserts get fresh allocations).
+	keyBuf []byte
+
+	// arena backs projected and joined output tuples (see pool.go).
+	arena valueArena
+
+	// jt is the fused hash join's build table, reused build-to-build so
+	// steady-state builds allocate nothing (see pipeline.go).
+	jt joinTable
 }
 
 // NewCtx builds a context with a fresh collector-less tracker on the given
@@ -60,6 +84,9 @@ func NewCtx(db *engine.DB, cpu hw.CPU) *Ctx {
 func (c *Ctx) Thread() *hw.Thread { return c.Tracker.Thread() }
 
 func (c *Ctx) compiled() bool { return c.Mode == catalog.Compile }
+
+// fused reports whether this worker runs compiled plans as fused pipelines.
+func (c *Ctx) fused() bool { return c.compiled() && !c.DisableFusion }
 
 // compute charges operator logic, scaled by the execution mode.
 func (c *Ctx) compute(n float64) {

@@ -24,6 +24,8 @@ func execInsert(ctx *Ctx, n *plan.InsertNode) (*Batch, error) {
 		row := tbl.Insert(ctx.Thread(), ctx.Txn.ID, data)
 		for _, im := range idxMetas {
 			if bt := ctx.DB.Index(im.Name); bt != nil {
+				// Fresh key: the tree retains inserted keys, so the worker
+				// scratch buffer must not be used here.
 				bt.Insert(ctx.Thread(), index.KeyFromTuple(data, im.KeyCols), row, ctx.Contenders)
 			}
 		}
@@ -77,10 +79,13 @@ func execUpdate(ctx *Ctx, n *plan.UpdateNode) (*Batch, error) {
 			if bt == nil {
 				continue
 			}
-			oldKey := index.KeyFromTuple(old, im.KeyCols)
+			// The old key is transient (Delete never retains it) so it uses
+			// the worker scratch buffer; the new key is fresh because the
+			// tree retains inserted keys.
+			ctx.keyBuf = index.AppendKeyFromTuple(ctx.keyBuf[:0], old, im.KeyCols)
 			newKey := index.KeyFromTuple(updated, im.KeyCols)
-			if !oldKey.Equal(newKey) {
-				bt.Delete(ctx.Thread(), oldKey, row, ctx.Contenders)
+			if !index.Key(ctx.keyBuf).Equal(newKey) {
+				bt.Delete(ctx.Thread(), ctx.keyBuf, row, ctx.Contenders)
 				bt.Insert(ctx.Thread(), newKey, row, ctx.Contenders)
 			}
 		}
@@ -125,7 +130,8 @@ func execDelete(ctx *Ctx, n *plan.DeleteNode) (*Batch, error) {
 		}
 		for _, im := range idxMetas {
 			if bt := ctx.DB.Index(im.Name); bt != nil {
-				bt.Delete(ctx.Thread(), index.KeyFromTuple(old, im.KeyCols), row, ctx.Contenders)
+				ctx.keyBuf = index.AppendKeyFromTuple(ctx.keyBuf[:0], old, im.KeyCols)
+				bt.Delete(ctx.Thread(), ctx.keyBuf, row, ctx.Contenders)
 			}
 		}
 		ctx.Txn.RecordWrite(tbl, row, nil)

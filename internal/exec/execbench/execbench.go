@@ -1,0 +1,169 @@
+// Package execbench defines the shared microbenchmark scenarios for the
+// execution engine's hot pipelines. The same scenarios back the `go test
+// -bench` suite (internal/exec/bench_test.go) and the BENCH_exec.json
+// writer (cmd/mb2-execbench), so CI smoke runs and recorded numbers always
+// measure the same plans over the same data.
+package execbench
+
+import (
+	"fmt"
+
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/exec"
+	"mb2/internal/hw"
+	"mb2/internal/metrics"
+	"mb2/internal/plan"
+	"mb2/internal/storage"
+)
+
+// Scenario is one benchmarked pipeline: a cached plan over the standard
+// benchmark table.
+type Scenario struct {
+	Name string
+	Plan plan.Node
+}
+
+// NewDB loads the benchmark database: one "items" table with n rows
+// (id unique, grp = id % 100, val = float(id), name fixed) and a
+// primary-key index on id.
+func NewDB(n int) (*engine.DB, error) {
+	db := engine.Open(catalog.DefaultKnobs())
+	schema := catalog.NewSchema(
+		catalog.Column{Name: "id", Type: catalog.Int64},
+		catalog.Column{Name: "grp", Type: catalog.Int64},
+		catalog.Column{Name: "val", Type: catalog.Float64},
+		catalog.Column{Name: "name", Type: catalog.Varchar, Width: 12},
+	)
+	if _, err := db.CreateTable("items", schema); err != nil {
+		return nil, err
+	}
+	rows := make([]storage.Tuple, n)
+	for i := 0; i < n; i++ {
+		rows[i] = storage.Tuple{
+			storage.NewInt(int64(i)),
+			storage.NewInt(int64(i % 100)),
+			storage.NewFloat(float64(i)),
+			storage.NewString("bench-row"),
+		}
+	}
+	if err := db.BulkLoad("items", rows); err != nil {
+		return nil, err
+	}
+	if _, _, err := db.CreateIndex(nil, hw.DefaultCPU(), "items_id", "items", []string{"id"}, false, 2); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Scenarios returns the benchmarked pipelines for a database of n rows.
+func Scenarios(n int) []Scenario {
+	half := int64(n / 2)
+	build := int64(n / 4)
+	outer := int64(n / 10)
+	est := func(rows float64) plan.Estimates {
+		if rows < 1 {
+			rows = 1
+		}
+		return plan.Estimates{Rows: rows, Distinct: rows}
+	}
+	return []Scenario{
+		{
+			// The tentpole target: scan → filter → project in one pass.
+			Name: "seq_scan_filter_project",
+			Plan: &plan.SeqScanNode{
+				Table:     "items",
+				Filter:    plan.Cmp{Op: plan.LT, L: plan.Col(0), R: plan.IntConst(half)},
+				Project:   []int{0, 2},
+				Rows:      est(float64(half)),
+				TableRows: float64(n),
+			},
+		},
+		{
+			// Unique-key hash join: build n/4 rows, stream-probe the full
+			// table, emit n/4 joined rows.
+			Name: "hash_join",
+			Plan: &plan.HashJoinNode{
+				Left: &plan.SeqScanNode{
+					Table:     "items",
+					Filter:    plan.Cmp{Op: plan.LT, L: plan.Col(0), R: plan.IntConst(build)},
+					Rows:      est(float64(build)),
+					TableRows: float64(n),
+				},
+				Right:     &plan.SeqScanNode{Table: "items", Rows: est(float64(n)), TableRows: float64(n)},
+				LeftKeys:  []int{0},
+				RightKeys: []int{0},
+				Rows:      est(float64(build)),
+			},
+		},
+		{
+			// Index nested-loop join: n/10 outer rows, one point probe each.
+			Name: "index_join",
+			Plan: &plan.IndexJoinNode{
+				Outer: &plan.SeqScanNode{
+					Table:     "items",
+					Filter:    plan.Cmp{Op: plan.LT, L: plan.Col(0), R: plan.IntConst(outer)},
+					Rows:      est(float64(outer)),
+					TableRows: float64(n),
+				},
+				Table:     "items",
+				Index:     "items_id",
+				OuterKeys: []int{0},
+				Rows:      est(float64(outer)),
+			},
+		},
+	}
+}
+
+// Variant is one execution configuration of a scenario.
+type Variant struct {
+	Name          string
+	Mode          catalog.ExecutionMode
+	DisableFusion bool
+}
+
+// Variants returns the three configurations every scenario runs under.
+func Variants() []Variant {
+	return []Variant{
+		{Name: "interpreted", Mode: catalog.Interpret},
+		{Name: "compiled_unfused", Mode: catalog.Compile, DisableFusion: true},
+		{Name: "compiled_fused", Mode: catalog.Compile},
+	}
+}
+
+// NewCtx builds a worker context for one variant. The tracker has no
+// collector: brackets still run (their charges are part of the measured
+// work) but records are dropped, so benchmarks measure execution, not
+// record accumulation.
+func NewCtx(db *engine.DB, v Variant) *exec.Ctx {
+	return &exec.Ctx{
+		DB:            db,
+		Tracker:       metrics.NewTracker(nil, hw.NewThread(hw.DefaultCPU())),
+		Mode:          v.Mode,
+		Contenders:    1,
+		DisableFusion: v.DisableFusion,
+	}
+}
+
+// Check runs every scenario under every variant once and verifies the
+// configurations agree on result cardinality — a cheap smoke guard the
+// JSON writer runs before benchmarking.
+func Check(db *engine.DB, n int) error {
+	for _, sc := range Scenarios(n) {
+		counts := map[string]int{}
+		for _, v := range Variants() {
+			b, err := exec.Execute(NewCtx(db, v), sc.Plan)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", sc.Name, v.Name, err)
+			}
+			counts[v.Name] = len(b.Rows)
+		}
+		for _, v := range Variants() {
+			if counts[v.Name] != counts["interpreted"] {
+				return fmt.Errorf("%s: %s returned %d rows, interpreted %d",
+					sc.Name, v.Name, counts[v.Name], counts["interpreted"])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,486 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+
+	"mb2/internal/index"
+	"mb2/internal/ou"
+	"mb2/internal/plan"
+	"mb2/internal/storage"
+)
+
+// Fused streaming pipelines: the compiled-mode execution path.
+//
+// In compiled mode a scan-rooted chain (scan → filter → project) runs as a
+// single pass: each tuple flows through every stage before the next is
+// produced, with no intermediate Batch materialization, and hash/index
+// join probes stream straight from their source into the join output. The
+// interpreted path keeps the operator-at-a-time shape in relational.go.
+//
+// The modeled-cost contract is strict: a fused pipeline emits exactly the
+// OU records — same kinds, same order, same feature vectors — that the
+// operator-at-a-time path emits for the same plan, so models trained on
+// either path stay valid for both. Real work (predicate evaluation, output
+// construction) happens in the single pass; modeled charges whose
+// operator-at-a-time placement would interleave across OU brackets are
+// replayed afterwards, bracket by bracket, from counts and width samples
+// collected during the pass. Labels therefore agree to float-rounding
+// (bulk n-item charges versus n single-item charges); features agree
+// bit-for-bit. The equivalence property test in equivalence_test.go pins
+// this down across the SmallBank/TATP/TPC-H template matrix.
+
+// execFusedScan runs a fusable scan chain and materializes its output.
+func execFusedScan(ctx *Ctx, p *plan.ScanPipeline) (*Batch, error) {
+	ctx.FusedPipelines++
+	est := capHint(p.Source.Est().Rows)
+	rows := make([]storage.Tuple, 0, est)
+	keepIDs := p.HasRowIDs()
+	var rowIDs []storage.RowID
+	if keepIDs {
+		rowIDs = make([]storage.RowID, 0, est)
+	}
+	err := runScanPipeline(ctx, p, func(r storage.RowID, t storage.Tuple) {
+		rows = append(rows, t)
+		if keepIDs {
+			rowIDs = append(rowIDs, r)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Batch{Rows: rows, RowIDs: rowIDs}, nil
+}
+
+// rowProc is the per-tuple stage machine of one fused pass: it applies the
+// source's own filter/projection and every wrapper stage, recording the
+// per-stage row counts and input widths the OU replay needs.
+type rowProc struct {
+	ctx        *Ctx
+	stages     []plan.PipelineStage
+	srcFilter  plan.Expr
+	srcProject []int
+
+	rows        int     // rows entering the pipeline (source output)
+	srcWidths   *[]int  // widths before the source's own filter (nil if none)
+	stageRows   []int   // input row count per wrapper stage
+	stageWidths []*[]int
+
+	sink func(storage.RowID, storage.Tuple)
+}
+
+func newRowProc(ctx *Ctx, p *plan.ScanPipeline, sink func(storage.RowID, storage.Tuple)) *rowProc {
+	rp := &rowProc{ctx: ctx, stages: p.Stages, sink: sink}
+	switch s := p.Source.(type) {
+	case *plan.SeqScanNode:
+		rp.srcFilter, rp.srcProject = s.Filter, s.Project
+	case *plan.IdxScanNode:
+		rp.srcFilter, rp.srcProject = s.Filter, s.Project
+	}
+	if rp.srcFilter != nil {
+		rp.srcWidths = getIntBuf()
+	}
+	if len(p.Stages) > 0 {
+		rp.stageRows = make([]int, len(p.Stages))
+		rp.stageWidths = make([]*[]int, len(p.Stages))
+		for i := range p.Stages {
+			rp.stageWidths[i] = getIntBuf()
+		}
+	}
+	return rp
+}
+
+// release returns the pooled width buffers.
+func (rp *rowProc) release() {
+	if rp.srcWidths != nil {
+		putIntBuf(rp.srcWidths)
+		rp.srcWidths = nil
+	}
+	for i, w := range rp.stageWidths {
+		if w != nil {
+			putIntBuf(w)
+			rp.stageWidths[i] = nil
+		}
+	}
+}
+
+// process pushes one source row through the fused stages.
+func (rp *rowProc) process(rid storage.RowID, t storage.Tuple) {
+	rp.rows++
+	if rp.srcFilter != nil {
+		*rp.srcWidths = append(*rp.srcWidths, t.Bytes())
+		if !plan.Truthy(rp.srcFilter.Eval(t)) {
+			return
+		}
+	}
+	if rp.srcProject != nil {
+		t = rp.ctx.arena.projectCols(t, rp.srcProject)
+	}
+	for i := range rp.stages {
+		st := &rp.stages[i]
+		rp.stageRows[i]++
+		*rp.stageWidths[i] = append(*rp.stageWidths[i], t.Bytes())
+		if st.Pred != nil {
+			if !plan.Truthy(st.Pred.Eval(t)) {
+				return
+			}
+		} else {
+			out := rp.ctx.arena.alloc(len(st.Exprs))
+			for j, e := range st.Exprs {
+				out[j] = e.Eval(t)
+			}
+			t = out
+		}
+	}
+	rp.sink(rid, t)
+}
+
+// replayStages emits the Arithmetic OU bracket for the source's own filter
+// and for every wrapper stage, charging exactly what applyFilter and
+// execProject would have charged over the materialized intermediates.
+func (rp *rowProc) replayStages() {
+	ctx := rp.ctx
+	if rp.srcFilter != nil {
+		replayFilter(ctx, rp.rows, *rp.srcWidths, rp.srcFilter)
+	}
+	for i := range rp.stages {
+		st := &rp.stages[i]
+		if st.Pred != nil {
+			replayFilter(ctx, rp.stageRows[i], *rp.stageWidths[i], st.Pred)
+		} else {
+			replayProject(ctx, rp.stageRows[i], *rp.stageWidths[i], st.Exprs)
+		}
+	}
+}
+
+// replayFilter mirrors applyFilter's charges and OU record.
+func replayFilter(ctx *Ctx, nrows int, widths []int, pred plan.Expr) {
+	start := ctx.Tracker.Start()
+	ops := float64(nrows) * pred.Ops()
+	ctx.Thread().SeqRead(float64(nrows), sampledWidth(widths))
+	ctx.compute(ops * 2)
+	ctx.Tracker.Stop(ou.Arithmetic, ou.ArithmeticFeatures(ops, ctx.compiled()), start)
+}
+
+// replayProject mirrors execProject's charges and OU record.
+func replayProject(ctx *Ctx, nrows int, widths []int, exprs []plan.Expr) {
+	start := ctx.Tracker.Start()
+	opsPerRow := 0.0
+	for _, e := range exprs {
+		opsPerRow += e.Ops()
+	}
+	ops := float64(nrows) * opsPerRow
+	ctx.Thread().SeqRead(float64(nrows), sampledWidth(widths))
+	ctx.compute(ops * 2)
+	ctx.Tracker.Stop(ou.Arithmetic, ou.ArithmeticFeatures(ops, ctx.compiled()), start)
+}
+
+// runScanPipeline drives one fused pass over the pipeline's source, feeding
+// every surviving row to sink, then emits the pipeline's OU records in
+// operator-at-a-time order.
+func runScanPipeline(ctx *Ctx, p *plan.ScanPipeline, sink func(storage.RowID, storage.Tuple)) error {
+	rp := newRowProc(ctx, p, sink)
+	defer rp.release()
+	var err error
+	switch src := p.Source.(type) {
+	case *plan.SeqScanNode:
+		err = runSeqSource(ctx, rp, src)
+	case *plan.IdxScanNode:
+		err = runIdxSource(ctx, rp, src)
+	default:
+		err = fmt.Errorf("exec: unsupported pipeline source %T", p.Source)
+	}
+	if err != nil {
+		return err
+	}
+	rp.replayStages()
+	return nil
+}
+
+// runSeqSource streams the table through the pipeline inside the SeqScan OU
+// bracket, using a pooled scan-row buffer (zero per-row allocation).
+func runSeqSource(ctx *Ctx, rp *rowProc, n *plan.SeqScanNode) error {
+	tbl := ctx.DB.Table(n.Table)
+	if tbl == nil {
+		return fmt.Errorf("exec: table %q does not exist", n.Table)
+	}
+	id, ts := ctx.snapshot()
+
+	start := ctx.Tracker.Start()
+	buf := getScanBuf()
+	tbl.ScanBatch(ctx.Thread(), id, ts, *buf, func(rows []storage.ScanRow) bool {
+		for i := range rows {
+			rp.process(rows[i].Row, rows[i].Data)
+		}
+		return true
+	})
+	putScanBuf(buf)
+	scanned := float64(rp.rows)
+	ctx.compute(scanned * 6)
+	width := float64(tbl.Meta.Schema.TupleBytes())
+	cols := float64(tbl.Meta.Schema.NumColumns())
+	if n.Filter == nil && n.Project != nil {
+		ctx.compute(scanned * float64(len(n.Project)) * 2)
+	}
+	feats := ou.ExecFeatures(scanned, cols, width, 0, 0, 1, ctx.compiled())
+	ctx.Tracker.Stop(ou.SeqScan, feats, start)
+	return nil
+}
+
+// runIdxSource streams index matches through the pipeline inside the
+// IdxScan OU bracket. Row IDs collect into a pooled buffer (point lookups
+// go through the copy-free SearchEQFunc path) and version reads stream
+// straight into the stage machine.
+func runIdxSource(ctx *Ctx, rp *rowProc, n *plan.IdxScanNode) error {
+	tbl := ctx.DB.Table(n.Table)
+	idx := ctx.DB.Index(n.Index)
+	if tbl == nil || idx == nil {
+		return fmt.Errorf("exec: missing table %q or index %q", n.Table, n.Index)
+	}
+	id, ts := ctx.snapshot()
+	loops := n.Loops
+	if loops < 1 {
+		loops = 1
+	}
+
+	start := ctx.Tracker.Start()
+	rowBuf := getRowIDBuf()
+	ids := *rowBuf
+	if n.Eq != nil {
+		idx.SearchEQFunc(ctx.Thread(), index.EncodeKey(n.Eq...), loops, func(r storage.RowID) bool {
+			ids = append(ids, r)
+			return true
+		})
+	} else {
+		var lo, hi index.Key
+		if n.Lo != nil {
+			lo = index.EncodeKey(n.Lo...)
+		}
+		if n.Hi != nil {
+			hi = index.EncodeKey(n.Hi...)
+		}
+		idx.SearchRange(ctx.Thread(), lo, hi, func(_ index.Key, r storage.RowID) bool {
+			ids = append(ids, r)
+			return true
+		})
+	}
+	for _, r := range ids {
+		t, err := tbl.Read(ctx.Thread(), r, id, ts)
+		if err != nil {
+			continue // version not visible at this snapshot
+		}
+		rp.process(r, t)
+	}
+	*rowBuf = ids
+	putRowIDBuf(rowBuf)
+
+	matched := float64(rp.rows)
+	ctx.compute(matched * 8)
+	width := float64(tbl.Meta.Schema.TupleBytes())
+	cols := float64(tbl.Meta.Schema.NumColumns())
+	if n.Filter == nil && n.Project != nil {
+		ctx.compute(matched * float64(len(n.Project)) * 2)
+	}
+	feats := ou.ExecFeatures(matched, cols, width, float64(idx.NumRows()), 0, loops, ctx.compiled())
+	ctx.Tracker.Stop(ou.IdxScan, feats, start)
+	return nil
+}
+
+// joinTable is the fused hash join's build structure: chained hashing with
+// all entries in one flat slice and all key bytes in one arena, reused
+// build-to-build on the same Ctx. A steady-state build therefore performs
+// zero allocations — the map[string] build of the operator-at-a-time path
+// still pays one string per distinct key. Chains keep insertion order, so
+// probes emit matches in build-row order exactly like the unfused path.
+type joinTable struct {
+	heads    []int32 // bucket → first entry, -1 empty
+	entries  []joinEntry
+	keys     []byte // concatenated key bytes of every entry
+	distinct int
+}
+
+type joinEntry struct {
+	off  int32
+	klen int32
+	row  int32
+	next int32 // next entry in the same bucket, insertion order
+}
+
+// reset prepares the table for a build of n rows.
+func (t *joinTable) reset(n int) {
+	size := 1
+	for size < 2*n {
+		size <<= 1
+	}
+	if cap(t.heads) >= size {
+		t.heads = t.heads[:size]
+	} else {
+		t.heads = make([]int32, size)
+	}
+	for i := range t.heads {
+		t.heads[i] = -1
+	}
+	t.entries = t.entries[:0]
+	t.keys = t.keys[:0]
+	t.distinct = 0
+}
+
+// hashKey is FNV-1a over the key bytes.
+func hashKey(k []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range k {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+func (t *joinTable) key(e *joinEntry) []byte {
+	return t.keys[e.off : e.off+e.klen]
+}
+
+// insert appends a build row under k (copied into the key arena).
+func (t *joinTable) insert(k []byte, row int32) {
+	h := int(hashKey(k)) & (len(t.heads) - 1)
+	idx := int32(len(t.entries))
+	off := int32(len(t.keys))
+	t.keys = append(t.keys, k...)
+	t.entries = append(t.entries, joinEntry{off: off, klen: int32(len(k)), row: row, next: -1})
+	e := t.heads[h]
+	if e < 0 {
+		t.heads[h] = idx
+		t.distinct++
+		return
+	}
+	// Walk to the chain tail; note on the way whether the key repeats.
+	seen := false
+	for {
+		ent := &t.entries[e]
+		if !seen && ent.klen == int32(len(k)) && bytes.Equal(t.key(ent), k) {
+			seen = true
+		}
+		if ent.next < 0 {
+			ent.next = idx
+			break
+		}
+		e = ent.next
+	}
+	if !seen {
+		t.distinct++
+	}
+}
+
+// probe calls fn for every build row stored under k, in insertion order.
+func (t *joinTable) probe(k []byte, fn func(row int32)) {
+	h := int(hashKey(k)) & (len(t.heads) - 1)
+	for e := t.heads[h]; e >= 0; {
+		ent := &t.entries[e]
+		if ent.klen == int32(len(k)) && bytes.Equal(t.key(ent), k) {
+			fn(ent.row)
+		}
+		e = ent.next
+	}
+}
+
+// execHashJoinFused is the compiled-mode hash join: the build side
+// materializes (it must), the probe side streams — when the right child is
+// a fusable scan chain, its rows flow from the storage layer through the
+// probe into the join output in one pass with no intermediate Batch. Keys
+// are encoded into the worker's scratch buffer; the build goes into the
+// Ctx-reused joinTable, so the steady-state hot path allocates nothing per
+// row. Output tuples come from the context arena.
+func execHashJoinFused(ctx *Ctx, n *plan.HashJoinNode) (*Batch, error) {
+	left, err := Execute(ctx, n.Left)
+	if err != nil {
+		return nil, err
+	}
+	ctx.FusedPipelines++
+
+	// Real build, charges replayed in the build bracket below.
+	jt := &ctx.jt
+	jt.reset(len(left.Rows))
+	for i, r := range left.Rows {
+		ctx.keyBuf = index.AppendKeyFromTuple(ctx.keyBuf[:0], r, n.LeftKeys)
+		jt.insert(ctx.keyBuf, int32(i))
+	}
+
+	// Real probe: stream the right side.
+	rightWidths := getIntBuf()
+	defer putIntBuf(rightWidths)
+	rightRows, rightCols := 0, 0
+	out := make([]storage.Tuple, 0, capHint(n.Rows.Rows))
+	var cur storage.Tuple
+	emit := func(row int32) {
+		out = append(out, ctx.arena.join(left.Rows[row], cur))
+	}
+	probe := func(_ storage.RowID, r storage.Tuple) {
+		rightRows++
+		if rightRows == 1 {
+			rightCols = len(r)
+		}
+		*rightWidths = append(*rightWidths, r.Bytes())
+		ctx.keyBuf = index.AppendKeyFromTuple(ctx.keyBuf[:0], r, n.RightKeys)
+		cur = r
+		jt.probe(ctx.keyBuf, emit)
+	}
+	if rp := plan.FuseScan(n.Right); rp != nil {
+		// The probe-side pipeline's OU records (scan + stages) emit here,
+		// before the build/probe brackets — operator-at-a-time order.
+		if err := runScanPipeline(ctx, rp, probe); err != nil {
+			return nil, err
+		}
+	} else {
+		right, err := Execute(ctx, n.Right)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range right.Rows {
+			probe(0, r)
+		}
+	}
+
+	// Build bracket replay.
+	buildRows := float64(len(left.Rows))
+	keyBytes := 8.0 * float64(len(n.LeftKeys))
+	entryBytes := keyBytes + 8 + 16
+	htBytes := buildRows * entryBytes
+
+	start := ctx.Tracker.Start()
+	ctx.Thread().Alloc(htBytes) // join hash tables pre-allocate (Sec 4.3)
+	nb := len(left.Rows)
+	ctx.compute(10 * float64(nb))
+	ctx.Thread().RandWrite(float64(nb), htBytes)
+	if ctx.JHTSleepEvery > 0 && nb > 0 {
+		ctx.Thread().Sleep(float64((nb-1)/ctx.JHTSleepEvery + 1))
+	}
+	card := float64(jt.distinct)
+	leftW := left.AvgWidth()
+	buildFeats := ou.ExecFeatures(buildRows, left.NumCols(), leftW, card, entryBytes, 1, ctx.compiled())
+	ctx.Tracker.Stop(ou.HashJoinBuild, buildFeats, start)
+
+	// Probe bracket replay.
+	start = ctx.Tracker.Start()
+	ctx.compute(10 * float64(rightRows))
+	ctx.Thread().RandRead(float64(rightRows), htBytes, 1)
+	outRows := float64(len(out))
+	rightW := sampledWidth(*rightWidths)
+	ctx.Thread().SeqWrite(outRows, leftW+rightW)
+	probeFeats := ou.ExecFeatures(float64(rightRows)+outRows, float64(rightCols), rightW,
+		card, leftW+rightW, 1, ctx.compiled())
+	ctx.Tracker.Stop(ou.HashJoinProbe, probeFeats, start)
+
+	ctx.Thread().Free(htBytes) // the hash table is query-lifetime scratch
+	return &Batch{Rows: out}, nil
+}
+
+// capHint converts an optimizer row estimate into a sane preallocation
+// capacity.
+func capHint(est float64) int {
+	if est < 16 {
+		return 16
+	}
+	if est > 1<<20 {
+		return 1 << 20
+	}
+	return int(est)
+}

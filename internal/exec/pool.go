@@ -1,0 +1,103 @@
+package exec
+
+import (
+	"sync"
+
+	"mb2/internal/storage"
+)
+
+// Hot-path scratch memory discipline. Fused pipelines draw three kinds of
+// buffers:
+//
+//   - pooled scratch (scan-row buffers, row-ID buffers, width buffers):
+//     returned to a sync.Pool before Execute returns; never escapes.
+//   - per-Ctx scratch (join key buffers): a Ctx is single-worker by
+//     contract, so its key buffer is reused probe-to-probe with no
+//     synchronization.
+//   - arena-backed output tuples: projected/joined tuples are carved out of
+//     chunked []storage.Value blocks owned by the returned Batch. The
+//     caller owns the Batch and everything it references; arena chunks are
+//     NOT pooled, because results legitimately outlive the query.
+//
+// See DESIGN.md "Execution pipelines" for the full retention contract.
+
+const (
+	scanBatchSize  = 256
+	arenaChunkVals = 4096
+)
+
+// Pools hold pointers to slices so Get/Put stay allocation-free.
+var scanBufPool = sync.Pool{
+	New: func() any { b := make([]storage.ScanRow, 0, scanBatchSize); return &b },
+}
+
+var rowIDBufPool = sync.Pool{
+	New: func() any { b := make([]storage.RowID, 0, 1024); return &b },
+}
+
+var intBufPool = sync.Pool{
+	New: func() any { b := make([]int, 0, 1024); return &b },
+}
+
+func getScanBuf() *[]storage.ScanRow { return scanBufPool.Get().(*[]storage.ScanRow) }
+
+func putScanBuf(b *[]storage.ScanRow) {
+	*b = (*b)[:0]
+	scanBufPool.Put(b)
+}
+
+func getRowIDBuf() *[]storage.RowID { return rowIDBufPool.Get().(*[]storage.RowID) }
+
+func putRowIDBuf(b *[]storage.RowID) {
+	*b = (*b)[:0]
+	rowIDBufPool.Put(b)
+}
+
+func getIntBuf() *[]int { return intBufPool.Get().(*[]int) }
+
+func putIntBuf(b *[]int) {
+	*b = (*b)[:0]
+	intBufPool.Put(b)
+}
+
+// valueArena hands out tuple backing storage in large chunks so building k
+// output tuples costs ~k*width/arenaChunkVals allocations instead of k.
+// Tuples are carved with a full slice expression, so appending to one can
+// never bleed into its neighbor. The arena never reclaims: handed-out
+// memory belongs to whoever holds the tuple, and the in-progress chunk is
+// safely reusable across queries on the same Ctx because each region is
+// handed out exactly once.
+type valueArena struct {
+	buf []storage.Value
+}
+
+// alloc returns a zeroed tuple of n values backed by the arena.
+func (a *valueArena) alloc(n int) storage.Tuple {
+	if n > len(a.buf) {
+		size := arenaChunkVals
+		if n > size {
+			size = n
+		}
+		a.buf = make([]storage.Value, size)
+	}
+	t := storage.Tuple(a.buf[:n:n])
+	a.buf = a.buf[n:]
+	return t
+}
+
+// projectCols builds the column projection of r in arena storage.
+func (a *valueArena) projectCols(r storage.Tuple, cols []int) storage.Tuple {
+	t := a.alloc(len(cols))
+	for i, c := range cols {
+		t[i] = r[c]
+	}
+	return t
+}
+
+// join concatenates two tuples in arena storage.
+func (a *valueArena) join(l, r storage.Tuple) storage.Tuple {
+	t := a.alloc(len(l) + len(r))
+	copy(t, l)
+	copy(t[len(l):], r)
+	return t
+}

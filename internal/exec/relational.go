@@ -11,8 +11,22 @@ import (
 	"mb2/internal/storage"
 )
 
-// Execute runs a plan and returns the materialized result.
+// Execute runs a plan and returns the materialized result. In compiled
+// mode, plan fragments the pipeline analyzer recognizes run on the fused
+// single-pass path (pipeline.go); everything else — and all of interpreted
+// mode — takes the operator-at-a-time path below. Both paths emit identical
+// OU record streams.
 func Execute(ctx *Ctx, node plan.Node) (*Batch, error) {
+	if ctx.fused() {
+		switch n := node.(type) {
+		case *plan.HashJoinNode:
+			return execHashJoinFused(ctx, n)
+		default:
+			if p := plan.FuseScan(node); p != nil {
+				return execFusedScan(ctx, p)
+			}
+		}
+	}
 	switch n := node.(type) {
 	case *plan.SeqScanNode:
 		return execSeqScan(ctx, n)
@@ -66,8 +80,9 @@ func execSeqScan(ctx *Ctx, n *plan.SeqScanNode) (*Batch, error) {
 	id, ts := ctx.snapshot()
 
 	start := ctx.Tracker.Start()
-	var rows []storage.Tuple
-	var rowIDs []storage.RowID
+	nslots := tbl.NumRows()
+	rows := make([]storage.Tuple, 0, nslots)
+	rowIDs := make([]storage.RowID, 0, nslots)
 	tbl.Scan(ctx.Thread(), id, ts, func(r storage.RowID, t storage.Tuple) bool {
 		rows = append(rows, t)
 		rowIDs = append(rowIDs, r)
@@ -105,8 +120,11 @@ func applyFilter(ctx *Ctx, b *Batch, pred plan.Expr) *Batch {
 	ops := nrows * pred.Ops()
 	ctx.Thread().SeqRead(nrows, b.AvgWidth())
 	ctx.compute(ops * 2)
-	var rows []storage.Tuple
+	rows := make([]storage.Tuple, 0, len(b.Rows))
 	var rowIDs []storage.RowID
+	if b.RowIDs != nil {
+		rowIDs = make([]storage.RowID, 0, len(b.Rows))
+	}
 	for i, r := range b.Rows {
 		if plan.Truthy(pred.Eval(r)) {
 			rows = append(rows, r)
@@ -151,8 +169,8 @@ func execIdxScan(ctx *Ctx, n *plan.IdxScanNode) (*Batch, error) {
 			return true
 		})
 	}
-	var rows []storage.Tuple
-	var liveIDs []storage.RowID
+	rows := make([]storage.Tuple, 0, len(rowIDs))
+	liveIDs := make([]storage.RowID, 0, len(rowIDs))
 	for _, r := range rowIDs {
 		t, err := tbl.Read(ctx.Thread(), r, id, ts)
 		if err != nil {
@@ -211,10 +229,20 @@ func execHashJoin(ctx *Ctx, n *plan.HashJoinNode) (*Batch, error) {
 
 	start := ctx.Tracker.Start()
 	ctx.Thread().Alloc(htBytes) // join hash tables pre-allocate (Sec 4.3)
-	ht := make(map[string][]int, len(left.Rows))
+	// Keys are encoded into the worker's scratch buffer; the map[string]
+	// index with an in-place []byte→string conversion is allocation-free,
+	// and pointer-valued buckets let repeat keys append without a map write.
+	// Only the first occurrence of a distinct key allocates its string.
+	ht := make(map[string]*[]int32, len(left.Rows))
 	for i, r := range left.Rows {
-		k := keyOf(r, n.LeftKeys)
-		ht[k] = append(ht[k], i)
+		ctx.keyBuf = index.AppendKeyFromTuple(ctx.keyBuf[:0], r, n.LeftKeys)
+		if b, ok := ht[string(ctx.keyBuf)]; ok {
+			*b = append(*b, int32(i))
+		} else {
+			bucket := make([]int32, 1, 4)
+			bucket[0] = int32(i)
+			ht[string(ctx.keyBuf)] = &bucket
+		}
 		ctx.compute(10)
 		ctx.Thread().RandWrite(1, htBytes)
 		if ctx.JHTSleepEvery > 0 && i%ctx.JHTSleepEvery == 0 {
@@ -227,16 +255,18 @@ func execHashJoin(ctx *Ctx, n *plan.HashJoinNode) (*Batch, error) {
 
 	// Probe phase.
 	start = ctx.Tracker.Start()
-	var out []storage.Tuple
+	out := make([]storage.Tuple, 0, capHint(n.Rows.Rows))
 	for _, r := range right.Rows {
-		k := keyOf(r, n.RightKeys)
+		ctx.keyBuf = index.AppendKeyFromTuple(ctx.keyBuf[:0], r, n.RightKeys)
 		ctx.compute(10)
 		ctx.Thread().RandRead(1, htBytes, 1)
-		for _, li := range ht[k] {
-			joined := make(storage.Tuple, 0, len(left.Rows[li])+len(r))
-			joined = append(joined, left.Rows[li]...)
-			joined = append(joined, r...)
-			out = append(out, joined)
+		if b, ok := ht[string(ctx.keyBuf)]; ok {
+			for _, li := range *b {
+				joined := make(storage.Tuple, 0, len(left.Rows[li])+len(r))
+				joined = append(joined, left.Rows[li]...)
+				joined = append(joined, r...)
+				out = append(out, joined)
+			}
 		}
 	}
 	outRows := float64(len(out))
@@ -270,22 +300,34 @@ func execIndexJoin(ctx *Ctx, n *plan.IndexJoinNode) (*Batch, error) {
 		loops = 1
 	}
 
+	if ctx.fused() {
+		ctx.FusedPipelines++ // the probe loop below is itself a fused pass
+	}
 	start := ctx.Tracker.Start()
-	var out []storage.Tuple
+	out := make([]storage.Tuple, 0, capHint(n.Rows.Rows))
+	// Probe keys encode into the worker scratch buffer and postings collect
+	// into a pooled buffer via the copy-free lookup path; matches buffer
+	// outside the tree's read lock so version reads never nest inside it.
+	rowBuf := getRowIDBuf()
+	matches := *rowBuf
 	for _, or := range outer.Rows {
-		k := index.KeyFromTuple(or, n.OuterKeys)
-		for _, r := range idx.SearchEQ(ctx.Thread(), k, loops) {
+		ctx.keyBuf = index.AppendKeyFromTuple(ctx.keyBuf[:0], or, n.OuterKeys)
+		matches = matches[:0]
+		idx.SearchEQFunc(ctx.Thread(), ctx.keyBuf, loops, func(r storage.RowID) bool {
+			matches = append(matches, r)
+			return true
+		})
+		for _, r := range matches {
 			inner, err := tbl.Read(ctx.Thread(), r, id, ts)
 			if err != nil {
 				continue
 			}
-			joined := make(storage.Tuple, 0, len(or)+len(inner))
-			joined = append(joined, or...)
-			joined = append(joined, inner...)
-			out = append(out, joined)
+			out = append(out, ctx.arena.join(or, inner))
 		}
 		ctx.compute(12)
 	}
+	*rowBuf = matches
+	putRowIDBuf(rowBuf)
 	width := float64(tbl.Meta.Schema.TupleBytes())
 	feats := ou.ExecFeatures(float64(len(out)), outer.NumCols(), width, float64(idx.NumRows()), 0, loops, ctx.compiled())
 	ctx.Tracker.Stop(ou.IdxScan, feats, start)

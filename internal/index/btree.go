@@ -120,6 +120,33 @@ func (t *BTree) SearchEQ(th *hw.Thread, k Key, loops float64) []storage.RowID {
 	return nil
 }
 
+// SearchEQFunc calls fn for every row indexed under the key, in posting
+// order, until fn returns false, and reports the number of rows visited.
+// Unlike SearchEQ it does not copy the posting list, so the hot probe path
+// of fused pipelines runs allocation-free. fn must not call back into the
+// tree (the read latch is held) and must not retain k.
+func (t *BTree) SearchEQFunc(th *hw.Thread, k Key, loops float64, fn func(storage.RowID) bool) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.chargeDescent(th, loops)
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n, k)]
+	}
+	i := searchNode(n, k)
+	if i >= len(n.keys) || !n.keys[i].Equal(k) {
+		return 0
+	}
+	visited := 0
+	for _, r := range n.rows[i] {
+		visited++
+		if !fn(r) {
+			break
+		}
+	}
+	return visited
+}
+
 // SearchRange calls fn for every entry with lo <= key <= hi, in key order,
 // until fn returns false. It returns the number of entries visited.
 func (t *BTree) SearchRange(th *hw.Thread, lo, hi Key, fn func(Key, storage.RowID) bool) int {

@@ -15,13 +15,11 @@ type Entry struct {
 	Row storage.RowID
 }
 
-// KeyFromTuple encodes the key columns of a tuple.
+// KeyFromTuple encodes the key columns of a tuple into a fresh key (safe
+// to retain, e.g. by B+tree inserts). Hot paths that only look keys up
+// should use AppendKeyFromTuple with a reusable scratch buffer instead.
 func KeyFromTuple(t storage.Tuple, cols []int) Key {
-	vals := make([]storage.Value, len(cols))
-	for i, c := range cols {
-		vals[i] = t[c]
-	}
-	return EncodeKey(vals...)
+	return AppendKeyFromTuple(make([]byte, 0, 8*len(cols)), t, cols)
 }
 
 // BuildResult describes what a bulk build cost. ElapsedUS is the

@@ -26,6 +26,19 @@ func EncodeKey(vals ...storage.Value) Key {
 	return out
 }
 
+// AppendKeyFromTuple appends the encoding of the tuple's key columns to
+// dst and returns the extended slice. Passing a reusable scratch buffer
+// (dst[:0]) makes per-probe key construction allocation-free once the
+// buffer has grown to its steady-state size — the hot-path idiom the join
+// operators use. Callers must not hand the result to anything that retains
+// it (the B+tree retains inserted keys; lookups and deletes do not).
+func AppendKeyFromTuple(dst []byte, t storage.Tuple, cols []int) Key {
+	for _, c := range cols {
+		dst = appendValue(dst, t[c])
+	}
+	return dst
+}
+
 func appendValue(out []byte, v storage.Value) []byte {
 	switch v.Kind {
 	case catalog.Int64:

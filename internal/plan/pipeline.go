@@ -1,0 +1,151 @@
+package plan
+
+// This file implements pipeline-boundary analysis over plan trees: the
+// decomposition a compiling execution engine performs before fusing
+// operators into single-pass machine code. A pipeline is a maximal chain of
+// streaming operators — each tuple flows through every stage before the
+// next tuple is produced — bounded below by a pipeline driver (a scan or
+// the output side of a blocking operator) and above by a pipeline breaker
+// (sort build, aggregation build, hash-join build, or the plan root).
+//
+// The execution engine consumes ScanPipeline (the scan-rooted fragment it
+// can run as one fused pass); Pipelines is the whole-tree analysis used by
+// tests, tooling, and anything that wants to reason about how many passes a
+// plan costs in compiled mode.
+
+// PipelineStage is one streaming stage applied per tuple after a pipeline's
+// source. Exactly one of Pred and Exprs is set: a FilterNode stage carries
+// its predicate, a ProjectNode stage its expressions.
+type PipelineStage struct {
+	Pred  Expr
+	Exprs []Expr
+}
+
+// ScanPipeline is a fusable scan-rooted operator chain: a SeqScanNode or
+// IdxScanNode source (whose own Filter/Project run inside the source pass)
+// followed by wrapper Filter/Project stages in bottom-up order.
+type ScanPipeline struct {
+	Source Node
+	Stages []PipelineStage
+}
+
+// HasRowIDs reports whether row identities survive the pipeline: they are
+// lost by any projection (the source's own or a ProjectNode stage), exactly
+// as in operator-at-a-time execution.
+func (p *ScanPipeline) HasRowIDs() bool {
+	switch s := p.Source.(type) {
+	case *SeqScanNode:
+		if s.Project != nil {
+			return false
+		}
+	case *IdxScanNode:
+		if s.Project != nil {
+			return false
+		}
+	}
+	for _, st := range p.Stages {
+		if st.Exprs != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// FuseScan recognizes a scan-rooted streaming chain: a SeqScanNode or
+// IdxScanNode optionally wrapped in FilterNode/ProjectNode layers. It
+// returns nil when the tree rooted at n is not such a chain (the caller
+// falls back to operator-at-a-time execution, which will retry fusion on
+// the subtrees).
+func FuseScan(n Node) *ScanPipeline {
+	var stages []PipelineStage
+	for {
+		switch t := n.(type) {
+		case *SeqScanNode, *IdxScanNode:
+			// Stages were collected top-down; execution applies bottom-up.
+			for i, j := 0, len(stages)-1; i < j; i, j = i+1, j-1 {
+				stages[i], stages[j] = stages[j], stages[i]
+			}
+			return &ScanPipeline{Source: n, Stages: stages}
+		case *FilterNode:
+			stages = append(stages, PipelineStage{Pred: t.Pred})
+			n = t.Child
+		case *ProjectNode:
+			stages = append(stages, PipelineStage{Exprs: t.Exprs})
+			n = t.Child
+		default:
+			return nil
+		}
+	}
+}
+
+// Pipeline is one pipeline of the whole-tree decomposition: the streaming
+// operators in bottom-up order. Ops[0] is the driver; the last element is
+// the operator whose parent (or the plan root) breaks the stream.
+type Pipeline struct {
+	Ops []Node
+}
+
+// Pipelines decomposes a plan tree into its pipelines, in execution order
+// (a pipeline appears after every pipeline it consumes). Blocking
+// operators — Sort, Agg, and the build side of a HashJoin — terminate the
+// pipelines below them and drive a new one; streaming operators (scans,
+// Filter, Project, Output, DML sinks, the probe side of joins) extend the
+// current pipeline.
+func Pipelines(root Node) []Pipeline {
+	var out []Pipeline
+	var cur []Node
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, Pipeline{Ops: cur})
+			cur = nil
+		}
+	}
+	var walk func(n Node)
+	walk = func(n Node) {
+		switch t := n.(type) {
+		case *SeqScanNode, *IdxScanNode, *InsertNode:
+			cur = append(cur, n)
+		case *FilterNode:
+			walk(t.Child)
+			cur = append(cur, n)
+		case *ProjectNode:
+			walk(t.Child)
+			cur = append(cur, n)
+		case *OutputNode:
+			walk(t.Child)
+			cur = append(cur, n)
+		case *UpdateNode:
+			walk(t.Child)
+			cur = append(cur, n)
+		case *DeleteNode:
+			walk(t.Child)
+			cur = append(cur, n)
+		case *SortNode:
+			// The sort build consumes its child pipeline; iteration over the
+			// sorted output drives a new pipeline.
+			walk(t.Child)
+			cur = append(cur, n)
+			flush()
+			cur = append(cur, n)
+		case *AggNode:
+			walk(t.Child)
+			cur = append(cur, n)
+			flush()
+			cur = append(cur, n)
+		case *HashJoinNode:
+			// Build side is a breaker; probe side streams through the join.
+			walk(t.Left)
+			flush()
+			walk(t.Right)
+			cur = append(cur, n)
+		case *IndexJoinNode:
+			walk(t.Outer)
+			cur = append(cur, n)
+		default:
+			cur = append(cur, n)
+		}
+	}
+	walk(root)
+	flush()
+	return out
+}

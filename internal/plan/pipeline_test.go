@@ -1,0 +1,87 @@
+package plan
+
+import "testing"
+
+func TestFuseScanRecognizesChains(t *testing.T) {
+	pred := Cmp{Op: LT, L: Col(0), R: IntConst(10)}
+	exprs := []Expr{Col(1)}
+
+	// Bare scans fuse with no stages.
+	p := FuseScan(&SeqScanNode{Table: "t"})
+	if p == nil || len(p.Stages) != 0 {
+		t.Fatalf("bare seq scan: %+v", p)
+	}
+	if !p.HasRowIDs() {
+		t.Fatal("bare scan keeps row identities")
+	}
+
+	// Filter(Project(IdxScan)) fuses with stages in bottom-up order.
+	chain := &FilterNode{
+		Pred: pred,
+		Child: &ProjectNode{
+			Exprs: exprs,
+			Child: &IdxScanNode{Table: "t", Index: "t_pk"},
+		},
+	}
+	p = FuseScan(chain)
+	if p == nil || len(p.Stages) != 2 {
+		t.Fatalf("chain: %+v", p)
+	}
+	if p.Stages[0].Exprs == nil || p.Stages[1].Pred == nil {
+		t.Fatalf("stage order not bottom-up: %+v", p.Stages)
+	}
+	if p.HasRowIDs() {
+		t.Fatal("projection must lose row identities")
+	}
+
+	// A projecting source also loses identities.
+	p = FuseScan(&SeqScanNode{Table: "t", Project: []int{0}})
+	if p == nil || p.HasRowIDs() {
+		t.Fatal("source projection must lose row identities")
+	}
+
+	// Non-chains don't fuse.
+	if FuseScan(&SortNode{Child: scanT()}) != nil {
+		t.Fatal("sort must not fuse as a scan chain")
+	}
+	if FuseScan(&FilterNode{Pred: pred, Child: &AggNode{Child: scanT()}}) != nil {
+		t.Fatal("filter over agg must not fuse")
+	}
+}
+
+func scanT() *SeqScanNode { return &SeqScanNode{Table: "t"} }
+
+func TestPipelinesDecomposition(t *testing.T) {
+	// Output(HashJoin(Agg(SeqScan), Filter(SeqScan))): the agg breaks its
+	// child pipeline and drives a new one into the join build, which breaks
+	// again; the probe side streams through join and output.
+	root := &OutputNode{Child: &HashJoinNode{
+		Left:  &AggNode{Child: scanT()},
+		Right: &FilterNode{Pred: Cmp{Op: LT, L: Col(0), R: IntConst(1)}, Child: scanT()},
+	}}
+	ps := Pipelines(root)
+	if len(ps) != 3 {
+		t.Fatalf("pipelines = %d, want 3", len(ps))
+	}
+	// First: scan → agg build. Second: agg iterate (the join build side
+	// flushes before the probe side starts). Third: scan → filter → join →
+	// output.
+	if len(ps[0].Ops) != 2 {
+		t.Fatalf("pipeline 0 = %d ops", len(ps[0].Ops))
+	}
+	last := ps[2].Ops
+	if len(last) != 4 {
+		t.Fatalf("probe pipeline = %d ops", len(last))
+	}
+	if _, ok := last[0].(*SeqScanNode); !ok {
+		t.Fatalf("probe pipeline driver = %T", last[0])
+	}
+	if _, ok := last[3].(*OutputNode); !ok {
+		t.Fatalf("probe pipeline sink = %T", last[3])
+	}
+
+	// A single scan is a single pipeline.
+	if got := Pipelines(scanT()); len(got) != 1 || len(got[0].Ops) != 1 {
+		t.Fatalf("single scan decomposition: %+v", got)
+	}
+}

@@ -174,6 +174,10 @@ type Result struct {
 	// InferenceUS are the wall-clock durations of the loop's direct
 	// next-interval predictions (for p50/p99 reporting).
 	InferenceUS []float64 `json:"inference_us"`
+	// FusedPipelines counts pipelines the sessions executed on the fused
+	// compiled path across the whole run — observability only, NOT part of
+	// the digest (the digest fingerprints behavior, not implementation).
+	FusedPipelines int `json:"fused_pipelines"`
 }
 
 // ModeChanges counts applied mode changes; IndexBuilds counts started
@@ -235,6 +239,7 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 		stats := make([]*sessionStats, cfg.Sessions)
 		totals := make([]hw.Metrics, cfg.Sessions)
 		queryIso := make([][]hw.Metrics, cfg.Sessions)
+		fusedCounts := make([]int, cfg.Sessions)
 		errs := make([]error, cfg.Sessions)
 		par.Do(cfg.Jobs, cfg.Sessions, func(s int) {
 			st := newSessionStats()
@@ -256,11 +261,15 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 				totals[s].Add(iso)
 				queryIso[s] = append(queryIso[s], iso)
 			}
+			fusedCounts[s] = ctx.FusedPipelines
 		})
 		for _, err := range errs {
 			if err != nil {
 				return nil, err
 			}
+		}
+		for _, n := range fusedCounts {
+			res.FusedPipelines += n
 		}
 
 		// Phase 2: whole-machine contention, including active build threads.
