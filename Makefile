@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: tier1 build test race stress fuzz vet bench-smoke bench-train bench-drive bench-exec
+.PHONY: tier1 build test race stress crash fuzz vet bench-smoke bench-train bench-drive bench-exec
 
 # tier1 is the full pre-merge gate: static checks, build, the whole test
 # suite under the race detector (including the internal/check concurrency
-# harness matrix), a short parser fuzz pass, and a one-iteration run of the
-# execution-pipeline benchmarks so they cannot rot between bench-exec runs.
+# and crash-recovery harness matrices), short parser and WAL-deserializer
+# fuzz passes, and a one-iteration run of the execution-pipeline benchmarks
+# so they cannot rot between bench-exec runs.
 tier1: vet build race fuzz bench-smoke
 
 vet:
@@ -24,8 +25,13 @@ race:
 stress:
 	$(GO) test -race -v -run TestStress ./internal/check
 
+# crash runs only the crash-at-every-point recovery harness, race-checked.
+crash:
+	$(GO) test -race -v -run TestCrash ./internal/check
+
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/sql
+	$(GO) test -run=NONE -fuzz=FuzzWALDeserialize -fuzztime=5s ./internal/wal
 
 # bench-smoke executes every (pipeline, variant) benchmark once — a
 # correctness smoke, not a measurement.

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	mb2-drive [-seed N] [-intervals N] [-sessions N] [-j N]
-//	          [-data FILE] [-bench FILE] [-verify]
+//	          [-crash-every N] [-data FILE] [-bench FILE] [-verify]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -data, the behavior models train from a repository previously
@@ -17,6 +17,10 @@
 // reproducible: -verify replays the run and fails unless the action logs
 // and interval digests match exactly. -bench writes loop timing, inference
 // latency percentiles, cache hit rate, and forecast error as JSON.
+// -crash-every N rehearses crash recovery after every Nth interval: a
+// sandboxed engine runs a seeded workload on a simulated block device, the
+// durable log is cut at strided crash offsets, and recovery from each cut
+// is verified against an oracle; drill outcomes fold into the run digest.
 package main
 
 import (
@@ -41,6 +45,7 @@ func main() {
 	intervals := flag.Int("intervals", selfdrive.DefaultConfig().Intervals, "planning intervals to run")
 	sessions := flag.Int("sessions", selfdrive.DefaultConfig().Sessions, "concurrent workload sessions")
 	jobs := flag.Int("j", 0, "session worker-pool size (0 = GOMAXPROCS, 1 = serial; results are identical at any value)")
+	crashEvery := flag.Int("crash-every", 0, "run a crash-recovery drill after every Nth interval (0 = off)")
 	dataPath := flag.String("data", "", "train models from this mb2-train -data-out repository instead of sweeping in-process")
 	benchPath := flag.String("bench", "", "write loop benchmark results as JSON to this file")
 	verify := flag.Bool("verify", false, "replay the run and fail unless it reproduces bit for bit")
@@ -83,6 +88,7 @@ func main() {
 	cfg.Intervals = *intervals
 	cfg.Sessions = *sessions
 	cfg.Jobs = *jobs
+	cfg.CrashEvery = *crashEvery
 
 	fmt.Printf("== MB2 online control loop (seed %d, %d intervals, %d sessions) ==\n",
 		cfg.Seed, cfg.Intervals, cfg.Sessions)
@@ -168,6 +174,17 @@ func printRun(res *selfdrive.Result) {
 		}
 		fmt.Println()
 	}
+	if len(res.CrashDrills) > 0 {
+		fmt.Println("\ncrash drills:")
+		for _, d := range res.CrashDrills {
+			state := ""
+			if d.Checkpointed {
+				state = "  (checkpointed)"
+			}
+			fmt.Printf("  interval %2d  %-9s  %3d commits, %3d offsets verified, %3d torn tails%s\n",
+				d.Interval, d.Workload, d.Commits, d.Offsets, d.TornOffsets, state)
+		}
+	}
 	fmt.Printf("\npredicted-vs-observed MAPE: %.3f\n", res.MAPE)
 	fmt.Printf("prediction cache: %d hits, %d misses (hit rate %.2f)\n",
 		res.CacheHits, res.CacheMisses, res.CacheHitRate)
@@ -190,6 +207,7 @@ type benchReport struct {
 	IndexBuilds       int     `json:"index_builds"`
 	IndexPublishes    int     `json:"index_publishes"`
 	FusedPipelines    int     `json:"fused_pipelines"`
+	CrashDrills       int     `json:"crash_drills"`
 	Digest            string  `json:"digest"`
 }
 
@@ -212,6 +230,7 @@ func writeBench(path string, cfg selfdrive.Config, res *selfdrive.Result) error 
 		IndexBuilds:       res.IndexBuilds(),
 		IndexPublishes:    res.IndexPublishes(),
 		FusedPipelines:    res.FusedPipelines,
+		CrashDrills:       len(res.CrashDrills),
 		Digest:            fmt.Sprintf("%#x", res.Digest),
 	}
 	f, err := os.Create(path)

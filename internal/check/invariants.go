@@ -167,9 +167,15 @@ func (h *harness) checkGC() error {
 func (h *harness) checkWALReplay() error {
 	h.checks.Add(1)
 	h.db.WAL.Serialize(nil)
-	h.db.WAL.Flush(nil)
+	if _, err := h.db.WAL.Flush(nil); err != nil {
+		return fmt.Errorf("flush: %w", err)
+	}
 	h.flushes.Add(1)
-	records, err := wal.Deserialize(h.db.WAL.Durable())
+	_, body, torn, err := wal.ParseSegment(h.db.WAL.Durable())
+	if err != nil || torn {
+		return fmt.Errorf("durable log segment corrupt (torn=%v): %w", torn, err)
+	}
+	records, err := wal.Deserialize(body)
 	if err != nil {
 		return fmt.Errorf("durable log image corrupt: %w", err)
 	}

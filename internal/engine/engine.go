@@ -47,21 +47,39 @@ type DB struct {
 	// Readers snapshot it with ConfigVersion and drop cached predictions
 	// when it moves (the online loop's cache-invalidation signal).
 	configVersion atomic.Uint64
+
+	// ckptDev holds checkpoint images (see Checkpoint); ckptMu serializes
+	// checkpoint attempts against each other.
+	ckptDev hw.BlockDevice
+	ckptMu  sync.Mutex
 }
 
-// Open creates an empty database with the given knob configuration.
+// Open creates an empty database with the given knob configuration on
+// fault-free in-memory devices.
 func Open(knobs catalog.Knobs) *DB {
+	return OpenOnDevices(knobs, nil, nil)
+}
+
+// OpenOnDevices creates an empty database whose WAL and checkpoint images
+// live on the given block devices (nil means a fresh fault-free MemDevice).
+// Fault-injection harnesses pass hw.FaultDevice instances here to crash the
+// durability path at chosen byte offsets.
+func OpenOnDevices(knobs catalog.Knobs, logDev, ckptDev hw.BlockDevice) *DB {
 	mgr := txn.NewManager()
+	if ckptDev == nil {
+		ckptDev = hw.NewMemDevice()
+	}
 	return &DB{
 		Catalog: catalog.New(),
 		Txns:    mgr,
-		WAL:     wal.NewManager(knobs.LogBufferBytes),
+		WAL:     wal.NewManagerOn(knobs.LogBufferBytes, logDev),
 		GC:      gc.NewCollector(mgr),
 		Machine: hw.DefaultMachine(),
 		knobs:   knobs,
 		tables:  make(map[string]*storage.Table),
 		indexes: make(map[string]*index.BTree),
 		stats:   make(map[string]float64),
+		ckptDev: ckptDev,
 	}
 }
 
@@ -138,7 +156,13 @@ func (db *DB) CommitLogged(t *txn.Txn, th *hw.Thread) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	db.WAL.Enqueue(th, wal.Record{Type: wal.RecordCommit, TxnID: t.ID})
+	if err := db.WAL.Enqueue(th, wal.Record{Type: wal.RecordCommit, TxnID: t.ID}); err != nil {
+		// The in-memory commit already happened; an unloggable commit
+		// record means the transaction would be lost by recovery, which the
+		// caller must know. (Commit records are tiny, so in practice only a
+		// programming error lands here.)
+		return ts, fmt.Errorf("engine: commit record rejected: %w", err)
+	}
 	return ts, nil
 }
 
@@ -244,36 +268,106 @@ func (db *DB) DropIndex(name string) error {
 	return nil
 }
 
-// Recover rebuilds committed state from a durable WAL image: it replays
-// the log against this database's tables (matched by catalog table ID) and
-// rebuilds every registered index from the recovered data. The schema (DDL)
-// must already exist — as in most systems, catalog recovery is a separate
-// concern. Reading the log image and replaying it is charged to th (block
-// reads plus decode work) when one is provided. It returns the number of
-// redo records applied.
+// RecoveryStats describes what one recovery pass rebuilt.
+type RecoveryStats struct {
+	// Applied is the number of redo records applied from the log tail.
+	Applied int
+	// CheckpointRows is the number of rows restored from the checkpoint.
+	CheckpointRows int
+	// Committed is the number of committed transactions replayed from the
+	// log tail.
+	Committed uint64
+	// TornTail reports whether the log image ended in a torn or corrupt
+	// frame (which recovery tolerates by stopping at the last valid one).
+	TornTail bool
+	// StaleLog reports that the log segment predates the checkpoint epoch
+	// (a crash between checkpoint write and log truncation) and was
+	// therefore skipped: every record in it is covered by the checkpoint.
+	StaleLog bool
+}
+
+// Recover rebuilds committed state from a durable WAL image (no
+// checkpoint): it replays the longest valid committed prefix of the log
+// against this database's tables. See RecoverImages for the full contract.
+// It returns the number of redo records applied.
 func (db *DB) Recover(th *hw.Thread, walImage []byte) (int, error) {
-	if th != nil && len(walImage) > 0 {
-		th.ReadBlocks(float64((len(walImage) + hw.BlockBytes - 1) / hw.BlockBytes))
-		th.SeqRead(float64(len(walImage))/64, 64)
+	st, err := db.RecoverImages(th, nil, walImage)
+	return st.Applied, err
+}
+
+// RecoverImages rebuilds committed state from the durable checkpoint and
+// log images — what Checkpoint and the WAL device held at the crash. The
+// newest valid checkpoint (if any) restores its snapshot; the log tail is
+// replayed on top when its segment epoch matches the checkpoint's,
+// stopping cleanly at the first torn or corrupt frame so a crash mid-flush
+// loses only the unflushed suffix, never the committed prefix. Writes of
+// transactions without a durable commit record are discarded. The schema
+// (DDL) must already exist — as in most systems, catalog recovery is a
+// separate concern. Reading the images, replaying, and rebuilding indexes
+// are all charged to th when one is provided.
+func (db *DB) RecoverImages(th *hw.Thread, ckptImage, logImage []byte) (RecoveryStats, error) {
+	var st RecoveryStats
+	if th != nil {
+		if n := len(ckptImage) + len(logImage); n > 0 {
+			th.ReadBlocks(float64((n + hw.BlockBytes - 1) / hw.BlockBytes))
+			th.SeqRead(float64(n)/64, 64)
+		}
 	}
-	records, err := wal.Deserialize(walImage)
+	ck, haveCk, err := wal.LastValidCheckpoint(ckptImage)
 	if err != nil {
-		return 0, err
+		return st, err
 	}
+	epoch, body, torn, err := wal.ParseSegment(logImage)
+	if err != nil {
+		return st, err
+	}
+	records, consumed, _ := wal.DeserializePrefix(body)
+	st.TornTail = torn || consumed != len(body)
+
 	db.mu.RLock()
 	tables := make(map[int32]*storage.Table, len(db.tables))
 	for _, t := range db.tables {
 		tables[int32(t.Meta.ID)] = t
 	}
 	db.mu.RUnlock()
-	applied, err := wal.Replay(records, tables)
-	if err != nil {
-		return applied, err
+
+	base := uint64(0)
+	if haveCk {
+		for _, r := range ck.Records {
+			t, ok := tables[r.TableID]
+			if !ok {
+				return st, fmt.Errorf("engine: checkpoint references unknown table %d", r.TableID)
+			}
+			t.ReplayWrite(storage.RowID(r.Row), r.Payload, ck.SnapshotTS)
+			st.CheckpointRows++
+		}
+		base = ck.SnapshotTS
+		switch {
+		case torn || epoch == ck.Epoch:
+			// A torn segment header means the post-checkpoint log never
+			// became durable: nothing to replay. A matching epoch means
+			// the log is the checkpoint's tail.
+		case epoch < ck.Epoch:
+			// Crash between checkpoint write and log truncation: the
+			// checkpoint covers the whole old-epoch log.
+			records = nil
+			st.StaleLog = true
+		default:
+			return st, fmt.Errorf("engine: log epoch %d is newer than checkpoint epoch %d", epoch, ck.Epoch)
+		}
 	}
+	applied, err := wal.ReplayFrom(records, tables, base)
+	st.Applied = applied
+	if err != nil {
+		return st, err
+	}
+	st.Committed = wal.NumCommitted(records)
 	// Replay stamps one timestamp per committed transaction, in commit
-	// order; make them all visible to new snapshots.
-	db.Txns.AdvanceTo(wal.NumCommitted(records))
-	// Rebuild indexes over the recovered tables.
+	// order, on top of the checkpoint snapshot timestamp; make them all
+	// visible to new snapshots.
+	db.Txns.AdvanceTo(base + st.Committed)
+	// Rebuild indexes over the recovered tables, charging the build to the
+	// recovering thread like the log reads above.
 	for _, name := range db.Catalog.Tables() {
 		t := db.Table(name)
 		if t == nil {
@@ -282,8 +376,8 @@ func (db *DB) Recover(th *hw.Thread, walImage []byte) (int, error) {
 		for _, im := range db.Catalog.TableIndexes(t.Meta.ID) {
 			bt := index.NewBTree(im)
 			snapshot := db.Txns.LastCommitTS()
-			t.Scan(nil, 0, snapshot, func(row storage.RowID, data storage.Tuple) bool {
-				bt.Insert(nil, index.KeyFromTuple(data, im.KeyCols), row, 1)
+			t.Scan(th, 0, snapshot, func(row storage.RowID, data storage.Tuple) bool {
+				bt.Insert(th, index.KeyFromTuple(data, im.KeyCols), row, 1)
 				return true
 			})
 			db.mu.Lock()
@@ -292,7 +386,7 @@ func (db *DB) Recover(th *hw.Thread, walImage []byte) (int, error) {
 		}
 		db.invalidateStats(name)
 	}
-	return applied, nil
+	return st, nil
 }
 
 // RowCount returns the table's row count (0 for unknown tables).

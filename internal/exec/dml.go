@@ -20,7 +20,7 @@ func execInsert(ctx *Ctx, n *plan.InsertNode) (*Batch, error) {
 	idxMetas := ctx.DB.Catalog.TableIndexes(tbl.Meta.ID)
 
 	start := ctx.Tracker.Start()
-	for _, data := range n.Tuples {
+	for i, data := range n.Tuples {
 		row := tbl.Insert(ctx.Thread(), ctx.Txn.ID, data)
 		for _, im := range idxMetas {
 			if bt := ctx.DB.Index(im.Name); bt != nil {
@@ -30,10 +30,14 @@ func execInsert(ctx *Ctx, n *plan.InsertNode) (*Batch, error) {
 			}
 		}
 		ctx.Txn.RecordWrite(tbl, row, data)
-		ctx.DB.WAL.Enqueue(ctx.Thread(), wal.Record{
+		if err := ctx.DB.WAL.Enqueue(ctx.Thread(), wal.Record{
 			Type: wal.RecordInsert, TxnID: ctx.Txn.ID,
 			TableID: int32(tbl.Meta.ID), Row: int64(row), Payload: data,
-		})
+		}); err != nil {
+			ctx.Tracker.Stop(ou.Insert, ou.ExecFeatures(float64(i), float64(tbl.Meta.Schema.NumColumns()),
+				float64(tbl.Meta.Schema.TupleBytes()), 0, 0, 1, ctx.compiled()), start)
+			return nil, fmt.Errorf("exec: INSERT not loggable: %w", err)
+		}
 		ctx.compute(20)
 	}
 	nrows := float64(len(n.Tuples))
@@ -90,10 +94,14 @@ func execUpdate(ctx *Ctx, n *plan.UpdateNode) (*Batch, error) {
 			}
 		}
 		ctx.Txn.RecordWrite(tbl, row, updated)
-		ctx.DB.WAL.Enqueue(ctx.Thread(), wal.Record{
+		if err := ctx.DB.WAL.Enqueue(ctx.Thread(), wal.Record{
 			Type: wal.RecordUpdate, TxnID: ctx.Txn.ID,
 			TableID: int32(tbl.Meta.ID), Row: int64(row), Payload: updated,
-		})
+		}); err != nil {
+			ctx.Tracker.Stop(ou.Update, ou.ExecFeatures(float64(i), float64(len(old)),
+				float64(tbl.Meta.Schema.TupleBytes()), 0, 0, 1, ctx.compiled()), start)
+			return nil, fmt.Errorf("exec: UPDATE not loggable: %w", err)
+		}
 		ctx.compute(20)
 	}
 	width := float64(tbl.Meta.Schema.TupleBytes())
@@ -135,10 +143,14 @@ func execDelete(ctx *Ctx, n *plan.DeleteNode) (*Batch, error) {
 			}
 		}
 		ctx.Txn.RecordWrite(tbl, row, nil)
-		ctx.DB.WAL.Enqueue(ctx.Thread(), wal.Record{
+		if err := ctx.DB.WAL.Enqueue(ctx.Thread(), wal.Record{
 			Type: wal.RecordDelete, TxnID: ctx.Txn.ID,
 			TableID: int32(tbl.Meta.ID), Row: int64(row),
-		})
+		}); err != nil {
+			ctx.Tracker.Stop(ou.Delete, ou.ExecFeatures(float64(i), float64(len(old)),
+				float64(tbl.Meta.Schema.TupleBytes()), 0, 0, 1, ctx.compiled()), start)
+			return nil, fmt.Errorf("exec: DELETE not loggable: %w", err)
+		}
 		ctx.compute(15)
 	}
 	width := float64(tbl.Meta.Schema.TupleBytes())

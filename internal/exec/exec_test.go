@@ -482,7 +482,10 @@ func TestBackgroundTasks(t *testing.T) {
 	if ser.Records != 51 { // 50 updates + 1 commit record
 		t.Fatalf("serialized %d records", ser.Records)
 	}
-	fl := RunLogFlush(ctx, 10000)
+	fl, err := RunLogFlush(ctx, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if fl.Bytes <= 0 || fl.Blocks <= 0 {
 		t.Fatalf("flush stats: %+v", fl)
 	}

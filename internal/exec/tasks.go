@@ -28,11 +28,12 @@ func RunLogSerialize(ctx *Ctx, intervalUS float64) wal.SerializeStats {
 }
 
 // RunLogFlush writes sealed log buffers to the device as a LOG_FLUSH batch
-// OU.
-func RunLogFlush(ctx *Ctx, intervalUS float64) wal.FlushStats {
+// OU. A device error (crash) is reported alongside the partial stats; the
+// OU record is still emitted for the work performed before the failure.
+func RunLogFlush(ctx *Ctx, intervalUS float64) (wal.FlushStats, error) {
 	start := ctx.Tracker.Start()
-	st := ctx.DB.WAL.Flush(ctx.Thread())
+	st, err := ctx.DB.WAL.Flush(ctx.Thread())
 	feats := ou.LogFlushFeatures(float64(st.Bytes), float64(st.Buffers), intervalUS)
 	ctx.Tracker.Stop(ou.LogFlush, feats, start)
-	return st
+	return st, err
 }

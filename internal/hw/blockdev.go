@@ -1,0 +1,207 @@
+package hw
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrDeviceCrashed is returned by a device that has hit its crash point.
+// Once crashed, every subsequent operation fails: the instance is dead and
+// only its durable image (Contents) survives for recovery.
+var ErrDeviceCrashed = errors.New("hw: block device crashed")
+
+// ErrTransientWrite is a retryable write failure (a busy bus, a controller
+// hiccup). The write landed nowhere; the caller may retry the whole append.
+var ErrTransientWrite = errors.New("hw: transient write failure")
+
+// BlockDevice is the durable byte store WAL segments and checkpoint images
+// live on. It is append-only between Resets; Reset models an atomic segment
+// switch (in a real system: writing a fresh segment file and unlinking the
+// old one, which the filesystem makes atomic per file).
+//
+// Append returns how many bytes became durable before any injected fault, so
+// a crash mid-append leaves a torn tail — exactly the image recovery must
+// tolerate. Implementations are safe for concurrent use.
+type BlockDevice interface {
+	// Append writes p after the current contents. n is the number of bytes
+	// that became durable (n < len(p) only when err != nil).
+	Append(p []byte) (n int, err error)
+	// Contents returns a copy of the durable image.
+	Contents() []byte
+	// Len returns the durable image size in bytes.
+	Len() int
+	// Reset atomically replaces the contents with p (log truncation).
+	Reset(p []byte) error
+}
+
+// MemDevice is a fault-free in-memory block device: the default backing for
+// engines that do not inject failures.
+type MemDevice struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// NewMemDevice returns an empty fault-free device.
+func NewMemDevice() *MemDevice { return &MemDevice{} }
+
+// Append implements BlockDevice.
+func (d *MemDevice) Append(p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.data = append(d.data, p...)
+	return len(p), nil
+}
+
+// Contents implements BlockDevice.
+func (d *MemDevice) Contents() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]byte(nil), d.data...)
+}
+
+// Len implements BlockDevice.
+func (d *MemDevice) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.data)
+}
+
+// Reset implements BlockDevice.
+func (d *MemDevice) Reset(p []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.data = append(d.data[:0:0], p...)
+	return nil
+}
+
+// FaultPlan is a deterministic fault schedule for a FaultDevice. Offsets
+// count cumulative bytes the device was asked to make durable across its
+// lifetime (Resets included), so the same plan against the same write
+// sequence always faults at the same place. Negative offsets and zero
+// counters disable the corresponding fault.
+type FaultPlan struct {
+	// CrashAtByte tears the write stream at this cumulative byte offset:
+	// bytes before it become durable, everything after is lost, and the
+	// device is dead from then on.
+	CrashAtByte int64
+	// TransientEvery fails every Nth Append attempt once with
+	// ErrTransientWrite (nothing written); the retry succeeds.
+	TransientEvery int
+	// DropFromAppend silently discards every append starting with this
+	// 0-based successful-append index: the "lost volatile cache" failure
+	// where writes report success but never reach the platter.
+	DropFromAppend int64
+	// FlipBitAtByte XORs FlipBitMask into the byte written at this
+	// cumulative offset (durable corruption a checksum must catch).
+	FlipBitAtByte int64
+	// FlipBitMask is the XOR mask for FlipBitAtByte; 0 means 0x80.
+	FlipBitMask byte
+}
+
+// NoFaults returns a plan with every fault disabled.
+func NoFaults() FaultPlan {
+	return FaultPlan{CrashAtByte: -1, DropFromAppend: -1, FlipBitAtByte: -1}
+}
+
+// FaultDevice wraps an inner device with the deterministic fault schedule of
+// a FaultPlan.
+type FaultDevice struct {
+	mu       sync.Mutex
+	inner    BlockDevice
+	plan     FaultPlan
+	written  int64 // cumulative bytes made durable (or dropped)
+	attempts int64 // Append attempts, for TransientEvery
+	appends  int64 // successful appends, for DropFromAppend
+	dead     bool
+}
+
+// NewFaultDevice wraps inner with the given plan. A nil inner gets a fresh
+// MemDevice.
+func NewFaultDevice(inner BlockDevice, plan FaultPlan) *FaultDevice {
+	if inner == nil {
+		inner = NewMemDevice()
+	}
+	return &FaultDevice{inner: inner, plan: plan}
+}
+
+// Crashed reports whether the device hit its crash point.
+func (d *FaultDevice) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dead
+}
+
+// corrupt applies the bit-flip fault to the chunk of the write stream that
+// starts at cumulative offset base.
+func (d *FaultDevice) corrupt(p []byte, base int64) []byte {
+	at := d.plan.FlipBitAtByte
+	if at < base || at >= base+int64(len(p)) {
+		return p
+	}
+	mask := d.plan.FlipBitMask
+	if mask == 0 {
+		mask = 0x80
+	}
+	q := append([]byte(nil), p...)
+	q[at-base] ^= mask
+	return q
+}
+
+// Append implements BlockDevice, applying the fault plan in order: crash
+// check, transient failure, silent drop, bit flip, tear.
+func (d *FaultDevice) Append(p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead {
+		return 0, ErrDeviceCrashed
+	}
+	d.attempts++
+	if te := d.plan.TransientEvery; te > 0 && d.attempts%int64(te) == 0 {
+		return 0, ErrTransientWrite
+	}
+	durable := p
+	if at := d.plan.CrashAtByte; at >= 0 && at < d.written+int64(len(p)) {
+		durable = p[:at-d.written]
+		d.dead = true
+	}
+	dropped := d.plan.DropFromAppend >= 0 && d.appends >= d.plan.DropFromAppend
+	if !dropped && len(durable) > 0 {
+		if _, err := d.inner.Append(d.corrupt(durable, d.written)); err != nil {
+			return 0, err
+		}
+	}
+	d.written += int64(len(durable))
+	if d.dead {
+		return len(durable), ErrDeviceCrashed
+	}
+	d.appends++
+	return len(p), nil
+}
+
+// Contents implements BlockDevice; the durable image survives a crash.
+func (d *FaultDevice) Contents() []byte { return d.inner.Contents() }
+
+// Len implements BlockDevice.
+func (d *FaultDevice) Len() int { return d.inner.Len() }
+
+// Reset implements BlockDevice. The replacement image counts against the
+// cumulative fault offsets like any other write, and a crash point inside it
+// kills the device with the old contents intact (the segment switch never
+// happened).
+func (d *FaultDevice) Reset(p []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead {
+		return ErrDeviceCrashed
+	}
+	if at := d.plan.CrashAtByte; at >= 0 && at < d.written+int64(len(p)) {
+		d.dead = true
+		d.written = at
+		return ErrDeviceCrashed
+	}
+	if err := d.inner.Reset(d.corrupt(p, d.written)); err != nil {
+		return err
+	}
+	d.written += int64(len(p))
+	return nil
+}

@@ -1,0 +1,169 @@
+package hw
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestMemDeviceAppendResetContents(t *testing.T) {
+	d := NewMemDevice()
+	if _, err := d.Append([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Append([]byte("def")); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Contents(); !bytes.Equal(got, []byte("abcdef")) {
+		t.Fatalf("contents %q", got)
+	}
+	if d.Len() != 6 {
+		t.Fatalf("len %d", d.Len())
+	}
+	if err := d.Reset([]byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Contents(); !bytes.Equal(got, []byte("xy")) {
+		t.Fatalf("after reset: %q", got)
+	}
+	// Contents must be a copy, not an alias.
+	c := d.Contents()
+	c[0] = 'Z'
+	if d.Contents()[0] != 'x' {
+		t.Fatal("Contents aliases internal buffer")
+	}
+}
+
+func TestFaultDeviceCrashTearsAtByte(t *testing.T) {
+	plan := NoFaults()
+	plan.CrashAtByte = 5
+	d := NewFaultDevice(nil, plan)
+	if _, err := d.Append([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.Append([]byte("defg"))
+	if !errors.Is(err, ErrDeviceCrashed) {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("torn write made %d bytes durable, want 2", n)
+	}
+	if got := d.Contents(); !bytes.Equal(got, []byte("abcde")) {
+		t.Fatalf("durable image %q, want abcde", got)
+	}
+	if !d.Crashed() {
+		t.Fatal("device must report crashed")
+	}
+	// Dead forever.
+	if _, err := d.Append([]byte("z")); !errors.Is(err, ErrDeviceCrashed) {
+		t.Fatalf("post-crash append err = %v", err)
+	}
+	if err := d.Reset(nil); !errors.Is(err, ErrDeviceCrashed) {
+		t.Fatalf("post-crash reset err = %v", err)
+	}
+}
+
+func TestFaultDeviceCrashAtZeroLosesEverything(t *testing.T) {
+	plan := NoFaults()
+	plan.CrashAtByte = 0
+	d := NewFaultDevice(nil, plan)
+	n, err := d.Append([]byte("abc"))
+	if !errors.Is(err, ErrDeviceCrashed) || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if d.Len() != 0 {
+		t.Fatal("nothing may be durable")
+	}
+}
+
+func TestFaultDeviceTransientEvery(t *testing.T) {
+	plan := NoFaults()
+	plan.TransientEvery = 3
+	d := NewFaultDevice(nil, plan)
+	fails := 0
+	for i := 0; i < 9; i++ {
+		if _, err := d.Append([]byte("x")); err != nil {
+			if !errors.Is(err, ErrTransientWrite) {
+				t.Fatalf("attempt %d: %v", i, err)
+			}
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("%d transient failures in 9 attempts, want 3", fails)
+	}
+	// Failed attempts wrote nothing.
+	if d.Len() != 6 {
+		t.Fatalf("durable %d bytes, want 6", d.Len())
+	}
+}
+
+func TestFaultDeviceDropFromAppend(t *testing.T) {
+	plan := NoFaults()
+	plan.DropFromAppend = 2
+	d := NewFaultDevice(nil, plan)
+	for i := 0; i < 4; i++ {
+		if _, err := d.Append([]byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Appends 0 and 1 land; 2 and 3 report success but are lost.
+	if got := d.Contents(); !bytes.Equal(got, []byte("ab")) {
+		t.Fatalf("durable image %q, want ab", got)
+	}
+}
+
+func TestFaultDeviceFlipBit(t *testing.T) {
+	plan := NoFaults()
+	plan.FlipBitAtByte = 3
+	plan.FlipBitMask = 0x01
+	d := NewFaultDevice(nil, plan)
+	if _, err := d.Append([]byte("aa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Append([]byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Contents(); !bytes.Equal(got, []byte("aab"+string(rune('b'^0x01)))) {
+		t.Fatalf("durable image %q", got)
+	}
+}
+
+func TestFaultDeviceResetCrashKeepsOldContents(t *testing.T) {
+	plan := NoFaults()
+	plan.CrashAtByte = 4
+	d := NewFaultDevice(nil, plan)
+	if _, err := d.Append([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	// Reset would write bytes 3..6 of the cumulative stream; the crash at 4
+	// hits inside it, so the atomic segment switch never happens.
+	if err := d.Reset([]byte("XYZ")); !errors.Is(err, ErrDeviceCrashed) {
+		t.Fatalf("reset err = %v", err)
+	}
+	if got := d.Contents(); !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("old contents must survive a torn reset, got %q", got)
+	}
+}
+
+func TestFaultDeviceDeterministicReplay(t *testing.T) {
+	run := func() []byte {
+		plan := NoFaults()
+		plan.CrashAtByte = 10
+		plan.TransientEvery = 2
+		d := NewFaultDevice(nil, plan)
+		for {
+			if _, err := d.Append([]byte("0123")); err != nil && errors.Is(err, ErrDeviceCrashed) {
+				break
+			}
+		}
+		return d.Contents()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same plan, same writes, different images: %q vs %q", a, b)
+	}
+	if len(a) != 10 {
+		t.Fatalf("crash at byte 10 left %d durable bytes", len(a))
+	}
+}

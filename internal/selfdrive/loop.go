@@ -44,6 +44,11 @@ type Config struct {
 	// Jobs bounds the session worker pool (<= 0 selects GOMAXPROCS, 1 is
 	// serial); results are bit-for-bit identical at every setting.
 	Jobs int
+	// CrashEvery runs a crash-recovery drill after every Nth interval (0
+	// disables). Each drill verifies torn-tail recovery on a sandboxed
+	// engine without touching the live one; drill outcomes fold into the
+	// run digest only when enabled, so CrashEvery=0 runs keep their digest.
+	CrashEvery int
 
 	// Workload shape: TPC-C customers per district, and the
 	// customer-lookup share ramp (base + perInterval*i, capped at max) that
@@ -178,6 +183,9 @@ type Result struct {
 	// compiled path across the whole run — observability only, NOT part of
 	// the digest (the digest fingerprints behavior, not implementation).
 	FusedPipelines int `json:"fused_pipelines"`
+	// CrashDrills are the recovery drills the loop ran (empty unless
+	// Config.CrashEvery is set).
+	CrashDrills []CrashDrill `json:"crash_drills,omitempty"`
 }
 
 // ModeChanges counts applied mode changes; IndexBuilds counts started
@@ -336,6 +344,16 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 
 		hashInterval(digest, i, merged.Counts, observed, mode, res.Actions)
 
+		// Phase 4b: rehearse crash recovery on a sandboxed engine.
+		if cfg.CrashEvery > 0 && (i+1)%cfg.CrashEvery == 0 {
+			drill, err := runCrashDrill(cfg, i, len(res.CrashDrills))
+			if err != nil {
+				return nil, fmt.Errorf("selfdrive: crash drill at interval %d: %w", i, err)
+			}
+			res.CrashDrills = append(res.CrashDrills, drill)
+			hashDrill(digest, drill)
+		}
+
 		// Phase 5: forecast, plan, act, and predict the next interval.
 		predictedNext = 0
 		if hist.Len() >= 2 && i < cfg.Intervals-1 {
@@ -450,4 +468,20 @@ func hashInterval(h interface{ Write([]byte) (int, error) }, interval int, count
 		h.Write([]byte(a.Kind))
 		h.Write([]byte(a.Detail))
 	}
+}
+
+// hashDrill folds one crash drill's outcome into the run digest. Only
+// called when drills are enabled, so disabled runs keep their digest.
+func hashDrill(h interface{ Write([]byte) (int, error) }, d CrashDrill) {
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(d.Interval))
+	h.Write([]byte(d.Workload))
+	put(d.Commits)
+	put(uint64(d.Offsets))
+	put(uint64(d.TornOffsets))
+	put(d.StateDigest)
 }

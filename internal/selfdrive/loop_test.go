@@ -136,6 +136,51 @@ func TestDriveLoopJobsInvariance(t *testing.T) {
 	}
 }
 
+// TestDriveLoopCrashDrills enables periodic crash-recovery drills and
+// checks they run, replay deterministically, and fold into the digest —
+// while a drill-free run's digest is unaffected by the feature existing.
+func TestDriveLoopCrashDrills(t *testing.T) {
+	ms := sharedModels(t)
+	cfg := DefaultConfig()
+	cfg.Intervals = 6
+	base, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.CrashDrills) != 0 {
+		t.Fatalf("CrashEvery=0 ran %d drills", len(base.CrashDrills))
+	}
+
+	cfg.CrashEvery = 2
+	a, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.CrashDrills) != 3 {
+		t.Fatalf("got %d drills over %d intervals, want 3", len(a.CrashDrills), cfg.Intervals)
+	}
+	workloads := map[string]bool{}
+	for _, d := range a.CrashDrills {
+		if d.Offsets == 0 || d.Commits == 0 {
+			t.Fatalf("empty drill: %+v", d)
+		}
+		workloads[d.Workload] = true
+	}
+	if !workloads["smallbank"] || !workloads["tatp"] {
+		t.Fatalf("drills did not alternate workloads: %+v", a.CrashDrills)
+	}
+	if a.Digest == base.Digest {
+		t.Fatal("drill outcomes must fold into the run digest")
+	}
+	b, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest || !reflect.DeepEqual(a.CrashDrills, b.CrashDrills) {
+		t.Fatalf("drill-enabled runs do not replay: %#x vs %#x", a.Digest, b.Digest)
+	}
+}
+
 // TestDriveLoopPublishesIndex runs long enough for a started build to
 // finish and verifies the published index then serves the customer lookups
 // (the interval reports flip IndexLive).

@@ -3,47 +3,79 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"mb2/internal/catalog"
 	"mb2/internal/storage"
 )
 
-// Deserialize parses the serialized records in buf (the inverse of
-// Record.Serialize). It fails on truncated or corrupt input.
+// Deserialize parses a frame stream (the inverse of Record.Serialize) and
+// fails on any truncated or corrupt frame. Use it where the input is known
+// to be complete — checkpoint payloads, in-memory round trips, invariant
+// checks. Recovery from a possibly-torn device image uses DeserializePrefix
+// instead.
 func Deserialize(buf []byte) ([]Record, error) {
-	var out []Record
+	records, consumed, reason := DeserializePrefix(buf)
+	if consumed != len(buf) {
+		return nil, fmt.Errorf("wal: %s at offset %d", reason, consumed)
+	}
+	return records, nil
+}
+
+// DeserializePrefix parses the longest valid prefix of a frame stream. It
+// returns the records of every frame that is fully present and passes its
+// CRC, how many bytes that prefix spans, and — when the prefix does not
+// cover the whole input — a short reason (torn frame, CRC mismatch, decode
+// error) for the stop. It never fails: a torn or corrupt tail simply ends
+// the prefix, which is exactly the contract crash recovery needs.
+func DeserializePrefix(buf []byte) (records []Record, consumed int, reason string) {
 	off := 0
 	for off < len(buf) {
-		if off+4 > len(buf) {
-			return nil, fmt.Errorf("wal: truncated length prefix at %d", off)
+		if off+frameOverhead > len(buf) {
+			return records, off, "torn frame header"
 		}
 		n := int(binary.LittleEndian.Uint32(buf[off : off+4]))
-		off += 4
-		if off+n > len(buf) {
-			return nil, fmt.Errorf("wal: truncated record body at %d", off)
+		wantCRC := binary.LittleEndian.Uint32(buf[off+4 : off+8])
+		bodyStart := off + frameOverhead
+		if n < 0 || bodyStart+n > len(buf) {
+			return records, off, "torn frame body"
 		}
-		rec, err := decodeRecord(buf[off : off+n])
+		body := buf[bodyStart : bodyStart+n]
+		if crc32.Checksum(body, crcTable) != wantCRC {
+			return records, off, "frame CRC mismatch"
+		}
+		rec, err := decodeRecord(body)
 		if err != nil {
-			return nil, err
+			return records, off, err.Error()
 		}
-		out = append(out, rec)
-		off += n
+		records = append(records, rec)
+		off = bodyStart + n
 	}
-	return out, nil
+	return records, off, ""
 }
+
+// recordHeaderLen is the fixed-size prefix of a record body:
+// type(1) + txnID(8) + tableID(4) + row(8) + value count(4).
+const recordHeaderLen = 1 + 8 + 4 + 8 + 4
 
 func decodeRecord(b []byte) (Record, error) {
 	var r Record
-	if len(b) < 1+8+4+8+2 {
+	if len(b) < recordHeaderLen {
 		return r, fmt.Errorf("wal: record too short (%d bytes)", len(b))
 	}
 	r.Type = RecordType(b[0])
+	if r.Type < RecordInsert || r.Type > RecordCommit {
+		return r, fmt.Errorf("wal: unknown record type %d", r.Type)
+	}
 	r.TxnID = binary.LittleEndian.Uint64(b[1:9])
 	r.TableID = int32(binary.LittleEndian.Uint32(b[9:13]))
 	r.Row = int64(binary.LittleEndian.Uint64(b[13:21]))
-	nvals := int(binary.LittleEndian.Uint16(b[21:23]))
-	off := 23
+	nvals := int(binary.LittleEndian.Uint32(b[21:25]))
+	if nvals > MaxPayloadValues {
+		return r, fmt.Errorf("wal: payload count %d exceeds limit", nvals)
+	}
+	off := recordHeaderLen
 	for i := 0; i < nvals; i++ {
 		if off >= len(b) {
 			return r, fmt.Errorf("wal: truncated value %d", i)
@@ -52,12 +84,12 @@ func decodeRecord(b []byte) (Record, error) {
 		off++
 		switch kind {
 		case catalog.Varchar:
-			if off+2 > len(b) {
+			if off+4 > len(b) {
 				return r, fmt.Errorf("wal: truncated string length")
 			}
-			sl := int(binary.LittleEndian.Uint16(b[off : off+2]))
-			off += 2
-			if off+sl > len(b) {
+			sl := int(binary.LittleEndian.Uint32(b[off : off+4]))
+			off += 4
+			if sl > MaxVarcharBytes || off+sl > len(b) {
 				return r, fmt.Errorf("wal: truncated string body")
 			}
 			r.Payload = append(r.Payload, storage.NewString(string(b[off:off+sl])))
@@ -78,6 +110,9 @@ func decodeRecord(b []byte) (Record, error) {
 			return r, fmt.Errorf("wal: unknown value kind %d", kind)
 		}
 	}
+	if off != len(b) {
+		return r, fmt.Errorf("wal: %d trailing bytes after record", len(b)-off)
+	}
 	return r, nil
 }
 
@@ -93,6 +128,13 @@ func decodeRecord(b []byte) (Record, error) {
 // written under the engine's commit-order mutex (engine.DB.CommitLogged),
 // which is what guarantees log order matches commit-timestamp order.
 func Replay(records []Record, tables map[int32]*storage.Table) (int, error) {
+	return ReplayFrom(records, tables, 0)
+}
+
+// ReplayFrom is Replay with commit timestamps starting at base+1: the form
+// recovery uses to replay a log tail on top of a checkpoint whose snapshot
+// already owns timestamps 1..base.
+func ReplayFrom(records []Record, tables map[int32]*storage.Table, base uint64) (int, error) {
 	// Pass 1: commit order and per-transaction write lists (in log order).
 	seq := make(map[uint64]uint64)
 	writes := make(map[uint64][]Record)
@@ -100,7 +142,7 @@ func Replay(records []Record, tables map[int32]*storage.Table) (int, error) {
 	for _, r := range records {
 		if r.Type == RecordCommit {
 			if _, ok := seq[r.TxnID]; !ok {
-				seq[r.TxnID] = uint64(len(order) + 1)
+				seq[r.TxnID] = base + uint64(len(order)+1)
 				order = append(order, r.TxnID)
 			}
 			continue

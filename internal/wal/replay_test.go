@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 
 	"mb2/internal/catalog"
@@ -60,9 +62,18 @@ func TestDeserializeCorruptInput(t *testing.T) {
 		}
 	}
 	bad := append([]byte(nil), good...)
-	bad[27] = 99 // value kind byte (4-byte length prefix + 23-byte header)
+	// Value kind byte: 8-byte frame header + 25-byte record header. A CRC
+	// mismatch alone would reject the frame; recompute the CRC so the decode
+	// path itself must catch the bogus kind.
+	bad[frameOverhead+recordHeaderLen] = 99
+	binary.LittleEndian.PutUint32(bad[4:8], crc32.Checksum(bad[frameOverhead:], crcTable))
 	if _, err := Deserialize(bad); err == nil {
 		t.Error("unknown value kind must error")
+	}
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1] ^= 0x01 // CRC must catch silent corruption
+	if _, err := Deserialize(flipped); err == nil {
+		t.Error("bit flip must fail the frame CRC")
 	}
 }
 
@@ -140,9 +151,15 @@ func TestDurableImageRoundTrip(t *testing.T) {
 	}
 	m.Enqueue(nil, Record{Type: RecordCommit, TxnID: 4})
 	m.Serialize(nil)
-	m.Flush(nil)
+	if _, err := m.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
 
-	recs, err := Deserialize(m.Durable())
+	epoch, body, torn, err := ParseSegment(m.Durable())
+	if err != nil || torn || epoch != 0 {
+		t.Fatalf("segment: epoch=%d torn=%v err=%v", epoch, torn, err)
+	}
+	recs, err := Deserialize(body)
 	if err != nil {
 		t.Fatal(err)
 	}

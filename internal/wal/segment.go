@@ -1,0 +1,151 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Log-segment and checkpoint-image headers. Both start with an 8-byte magic
+// so recovery can tell a real image from garbage, carry the checkpoint epoch
+// that pairs a log tail with the snapshot it extends, and are CRC-protected
+// so a torn header reads as "empty", not as an error.
+var (
+	walMagic  = []byte("MB2WAL01")
+	ckptMagic = []byte("MB2CKP01")
+)
+
+// SegmentHeaderLen is the byte size of a log-segment header:
+// magic(8) + epoch(8) + CRC-32C over both (4).
+const SegmentHeaderLen = 20
+
+// checkpointHeaderLen is the byte size of a checkpoint-image header:
+// magic(8) + epoch(8) + snapshotTS(8) + payloadLen(4) + payload CRC-32C (4).
+const checkpointHeaderLen = 32
+
+// appendSegmentHeader appends a log-segment header for the given epoch.
+func appendSegmentHeader(dst []byte, epoch uint64) []byte {
+	start := len(dst)
+	dst = append(dst, walMagic...)
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], epoch)
+	dst = append(dst, scratch[:]...)
+	crc := crc32.Checksum(dst[start:start+16], crcTable)
+	binary.LittleEndian.PutUint32(scratch[:4], crc)
+	return append(dst, scratch[:4]...)
+}
+
+// ParseSegment splits a durable log image into its checkpoint epoch and the
+// record-frame region. A torn or corrupt header — the crash happened inside
+// the very first flush — yields torn=true with an empty body, which recovery
+// treats as "no log survived". Only an image that cannot be a torn MB2 log
+// segment at all (wrong magic) is an error: that means the caller handed
+// recovery something that was never a log.
+func ParseSegment(img []byte) (epoch uint64, body []byte, torn bool, err error) {
+	if len(img) == 0 {
+		return 0, nil, false, nil
+	}
+	n := len(img)
+	if n < len(walMagic) {
+		if bytes.Equal(img, walMagic[:n]) {
+			return 0, nil, true, nil
+		}
+		return 0, nil, false, fmt.Errorf("wal: image is not a log segment (%d bytes, bad magic)", n)
+	}
+	if !bytes.Equal(img[:len(walMagic)], walMagic) {
+		return 0, nil, false, fmt.Errorf("wal: image is not a log segment (bad magic)")
+	}
+	if n < SegmentHeaderLen {
+		return 0, nil, true, nil
+	}
+	want := binary.LittleEndian.Uint32(img[16:20])
+	if crc32.Checksum(img[:16], crcTable) != want {
+		return 0, nil, true, nil
+	}
+	epoch = binary.LittleEndian.Uint64(img[8:16])
+	return epoch, img[SegmentHeaderLen:], false, nil
+}
+
+// Checkpoint is a decoded checkpoint image: a snapshot of all committed rows
+// at SnapshotTS, stored as insert records (one per visible row) plus the
+// epoch the snapshot starts.
+type Checkpoint struct {
+	Epoch      uint64
+	SnapshotTS uint64
+	Records    []Record
+}
+
+// AppendCheckpointImage appends the encoded checkpoint to dst. Checkpoint
+// devices hold a sequence of these images; recovery takes the newest fully
+// valid one (LastValidCheckpoint), so a torn in-progress checkpoint write
+// simply falls back to its predecessor.
+func AppendCheckpointImage(dst []byte, ck Checkpoint) []byte {
+	var payload []byte
+	for _, r := range ck.Records {
+		payload = r.Serialize(payload)
+	}
+	dst = append(dst, ckptMagic...)
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], ck.Epoch)
+	dst = append(dst, scratch[:]...)
+	binary.LittleEndian.PutUint64(scratch[:], ck.SnapshotTS)
+	dst = append(dst, scratch[:]...)
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(payload)))
+	dst = append(dst, scratch[:4]...)
+	binary.LittleEndian.PutUint32(scratch[:4], crc32.Checksum(payload, crcTable))
+	dst = append(dst, scratch[:4]...)
+	return append(dst, payload...)
+}
+
+// LastValidCheckpoint scans a checkpoint-device image and returns the newest
+// checkpoint that is fully durable and passes its CRC. Torn or corrupt data
+// at the tail (an interrupted checkpoint write) is ignored; ok=false means
+// no valid checkpoint exists. An image whose first bytes are not a (possibly
+// torn) checkpoint header is an error — the device holds something that was
+// never a checkpoint.
+func LastValidCheckpoint(img []byte) (ck Checkpoint, ok bool, err error) {
+	off := 0
+	for off < len(img) {
+		rest := img[off:]
+		if len(rest) < len(ckptMagic) {
+			if bytes.Equal(rest, ckptMagic[:len(rest)]) {
+				return ck, ok, nil // torn header at the tail
+			}
+			if off == 0 {
+				return ck, false, fmt.Errorf("wal: image is not a checkpoint (%d bytes, bad magic)", len(rest))
+			}
+			return ck, ok, nil
+		}
+		if !bytes.Equal(rest[:len(ckptMagic)], ckptMagic) {
+			if off == 0 {
+				return ck, false, fmt.Errorf("wal: image is not a checkpoint (bad magic)")
+			}
+			return ck, ok, nil
+		}
+		if len(rest) < checkpointHeaderLen {
+			return ck, ok, nil // torn header
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(rest[24:28]))
+		if len(rest) < checkpointHeaderLen+payloadLen {
+			return ck, ok, nil // torn payload
+		}
+		payload := rest[checkpointHeaderLen : checkpointHeaderLen+payloadLen]
+		wantCRC := binary.LittleEndian.Uint32(rest[28:32])
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			return ck, ok, nil // corrupt payload: stop, keep predecessor
+		}
+		records, derr := Deserialize(payload)
+		if derr != nil {
+			return ck, ok, nil
+		}
+		ck = Checkpoint{
+			Epoch:      binary.LittleEndian.Uint64(rest[8:16]),
+			SnapshotTS: binary.LittleEndian.Uint64(rest[16:24]),
+			Records:    records,
+		}
+		ok = true
+		off += checkpointHeaderLen + payloadLen
+	}
+	return ck, ok, nil
+}

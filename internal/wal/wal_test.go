@@ -2,6 +2,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 	"testing"
 
 	"mb2/internal/hw"
@@ -17,17 +18,21 @@ func rec(txnID uint64, payload storage.Tuple) Record {
 func TestSerializeRoundTripHeader(t *testing.T) {
 	r := rec(7, storage.Tuple{storage.NewInt(5), storage.NewString("abc")})
 	buf := r.Serialize(nil)
-	if len(buf) < 4 {
+	if len(buf) < frameOverhead {
 		t.Fatal("too short")
 	}
 	n := binary.LittleEndian.Uint32(buf[:4])
-	if int(n) != len(buf)-4 {
-		t.Fatalf("length prefix %d != body %d", n, len(buf)-4)
+	if int(n) != len(buf)-frameOverhead {
+		t.Fatalf("length prefix %d != body %d", n, len(buf)-frameOverhead)
 	}
-	if RecordType(buf[4]) != RecordUpdate {
+	body := buf[frameOverhead:]
+	if got, want := binary.LittleEndian.Uint32(buf[4:8]), crc32.Checksum(body, crcTable); got != want {
+		t.Fatalf("frame CRC %#x != %#x", got, want)
+	}
+	if RecordType(body[0]) != RecordUpdate {
 		t.Fatal("type byte wrong")
 	}
-	if binary.LittleEndian.Uint64(buf[5:13]) != 7 {
+	if binary.LittleEndian.Uint64(body[1:9]) != 7 {
 		t.Fatal("txn id wrong")
 	}
 }
@@ -40,11 +45,11 @@ func TestSerializeAppendsMultiple(t *testing.T) {
 	if len(buf) <= l1 {
 		t.Fatal("second record not appended")
 	}
-	// Both records parse out by walking length prefixes.
+	// Both records parse out by walking frame headers.
 	count := 0
 	for off := 0; off < len(buf); {
 		n := int(binary.LittleEndian.Uint32(buf[off : off+4]))
-		off += 4 + n
+		off += frameOverhead + n
 		count++
 	}
 	if count != 2 {
@@ -75,7 +80,10 @@ func TestBufferRotation(t *testing.T) {
 	if m.PendingBytes() == 0 {
 		t.Fatal("pending bytes must accumulate")
 	}
-	st := m.Flush(th())
+	st, err := m.Flush(th())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Blocks <= 0 || st.Bytes != ser.Bytes {
 		t.Fatalf("flush stats wrong: %+v vs %d serialized", st, ser.Bytes)
 	}
@@ -89,7 +97,10 @@ func TestBufferRotation(t *testing.T) {
 
 func TestFlushEmpty(t *testing.T) {
 	m := NewManager(0) // default size kicks in
-	st := m.Flush(th())
+	st, err := m.Flush(th())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Bytes != 0 || st.Buffers != 0 || st.Blocks != 0 {
 		t.Fatalf("empty flush: %+v", st)
 	}
@@ -102,7 +113,10 @@ func TestFlushChargesBlockWrites(t *testing.T) {
 	}
 	m.Serialize(nil)
 	w := th()
-	st := m.Flush(w)
+	st, err := m.Flush(w)
+	if err != nil {
+		t.Fatal(err)
+	}
 	metrics := w.Since(hw.Counters{})
 	if metrics.BlockWrites != float64(st.Blocks) {
 		t.Fatalf("block writes %v != %d", metrics.BlockWrites, st.Blocks)
