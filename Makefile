@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race stress crash fuzz vet bench-smoke bench-train bench-drive bench-exec
+.PHONY: tier1 build test race stress crash fuzz vet bench-smoke bench-train bench-drive bench-exec bench-partition
 
 # tier1 is the full pre-merge gate: static checks, build, the whole test
 # suite under the race detector (including the internal/check concurrency
@@ -32,11 +32,12 @@ crash:
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/sql
 	$(GO) test -run=NONE -fuzz=FuzzWALDeserialize -fuzztime=5s ./internal/wal
+	$(GO) test -run=NONE -fuzz=FuzzPartitionKey -fuzztime=5s ./internal/storage
 
-# bench-smoke executes every (pipeline, variant) benchmark once — a
-# correctness smoke, not a measurement.
+# bench-smoke executes every (pipeline, variant) benchmark and every
+# partition-sweep cell once — a correctness smoke, not a measurement.
 bench-smoke:
-	$(GO) test -run=NONE -bench=BenchmarkPipelines -benchtime=1x ./internal/exec
+	$(GO) test -run=NONE -bench='BenchmarkPipelines|BenchmarkPartitionPipelines' -benchtime=1x ./internal/exec
 
 # bench-train times the offline training pipeline serially and at
 # increasing -j, verifies the runs digest identically, and records the
@@ -57,3 +58,10 @@ bench-drive:
 # fused-path alloc reduction and wall-clock speedup as JSON.
 bench-exec:
 	$(GO) run ./cmd/mb2-execbench -out BENCH_exec.json
+
+# bench-partition sweeps the parallel scan and partition-wise join over a
+# partition-count × DOP grid, checks every cell's cardinalities against the
+# serial baseline, and records ns/op plus speedup-over-serial per cell —
+# alongside GOMAXPROCS/NumCPU so single-CPU recordings are identifiable.
+bench-partition:
+	$(GO) run ./cmd/mb2-execbench -partition -rows 8000 -out BENCH_partition.json

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	mb2-bench [-full] [-seed N] [-j N] [-cpuprofile FILE] [-memprofile FILE]
+//	mb2-bench [-full] [-seed N] [-j N] [-partitions N] [-dop N]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //	          -exp tab1|tab2|fig1|fig5|fig6|fig7a|fig7b|fig8a|fig8b|fig9a|
 //	          fig9b|fig10|fig11|fig11c|ablations|all
 //
@@ -35,6 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	exp := flag.String("exp", "all", "experiment id or 'all': "+strings.Join(experimentOrder, "|"))
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker-pool size for pipeline building (1 = serial; results are identical at any value)")
+	partitions := flag.Int("partitions", 0, "cap the partition-OU sweep's partition-count ladder {2,4,8} (0 = full ladder)")
+	dop := flag.Int("dop", 0, "cap the partition-OU sweep's DOP ladder {1,2,4} (0 = full ladder)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -72,6 +75,8 @@ func main() {
 	cfg.Runner.Seed = *seed
 	cfg.Train.Seed = *seed
 	cfg.Jobs = *jobs
+	cfg.Runner.MaxPartitions = *partitions
+	cfg.Runner.MaxDOP = *dop
 
 	var selected []string
 	if *exp == "all" {

@@ -8,7 +8,8 @@
 // Usage:
 //
 //	mb2-drive [-seed N] [-intervals N] [-sessions N] [-j N]
-//	          [-crash-every N] [-data FILE] [-bench FILE] [-verify]
+//	          [-partitions N] [-dop N] [-crash-every N]
+//	          [-data FILE] [-bench FILE] [-verify]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -data, the behavior models train from a repository previously
@@ -45,6 +46,8 @@ func main() {
 	intervals := flag.Int("intervals", selfdrive.DefaultConfig().Intervals, "planning intervals to run")
 	sessions := flag.Int("sessions", selfdrive.DefaultConfig().Sessions, "concurrent workload sessions")
 	jobs := flag.Int("j", 0, "session worker-pool size (0 = GOMAXPROCS, 1 = serial; results are identical at any value)")
+	partitions := flag.Int("partitions", 4, "initial hash partitions per table (1 = unpartitioned; the planner may repartition)")
+	dop := flag.Int("dop", 1, "initial scan degree of parallelism (the planner may change it via set-dop actions)")
 	crashEvery := flag.Int("crash-every", 0, "run a crash-recovery drill after every Nth interval (0 = off)")
 	dataPath := flag.String("data", "", "train models from this mb2-train -data-out repository instead of sweeping in-process")
 	benchPath := flag.String("bench", "", "write loop benchmark results as JSON to this file")
@@ -88,6 +91,8 @@ func main() {
 	cfg.Intervals = *intervals
 	cfg.Sessions = *sessions
 	cfg.Jobs = *jobs
+	cfg.Partitions = *partitions
+	cfg.DOP = *dop
 	cfg.CrashEvery = *crashEvery
 
 	fmt.Printf("== MB2 online control loop (seed %d, %d intervals, %d sessions) ==\n",
@@ -197,6 +202,10 @@ type benchReport struct {
 	Seed              int64   `json:"seed"`
 	Intervals         int     `json:"intervals"`
 	Sessions          int     `json:"sessions"`
+	Partitions        int     `json:"partitions"`
+	DOP               int     `json:"dop"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	NumCPU            int     `json:"num_cpu"`
 	IntervalWallP50US float64 `json:"interval_wall_p50_us"`
 	IntervalWallP99US float64 `json:"interval_wall_p99_us"`
 	InferenceP50US    float64 `json:"inference_p50_us"`
@@ -206,6 +215,8 @@ type benchReport struct {
 	ModeChanges       int     `json:"mode_changes"`
 	IndexBuilds       int     `json:"index_builds"`
 	IndexPublishes    int     `json:"index_publishes"`
+	Repartitions      int     `json:"repartitions"`
+	DOPChanges        int     `json:"dop_changes"`
 	FusedPipelines    int     `json:"fused_pipelines"`
 	CrashDrills       int     `json:"crash_drills"`
 	Digest            string  `json:"digest"`
@@ -220,6 +231,10 @@ func writeBench(path string, cfg selfdrive.Config, res *selfdrive.Result) error 
 		Seed:              cfg.Seed,
 		Intervals:         cfg.Intervals,
 		Sessions:          cfg.Sessions,
+		Partitions:        cfg.Partitions,
+		DOP:               cfg.DOP,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		NumCPU:            runtime.NumCPU(),
 		IntervalWallP50US: percentile(walls, 0.50),
 		IntervalWallP99US: percentile(walls, 0.99),
 		InferenceP50US:    percentile(res.InferenceUS, 0.50),
@@ -229,6 +244,8 @@ func writeBench(path string, cfg selfdrive.Config, res *selfdrive.Result) error 
 		ModeChanges:       res.ModeChanges(),
 		IndexBuilds:       res.IndexBuilds(),
 		IndexPublishes:    res.IndexPublishes(),
+		Repartitions:      res.Repartitions(),
+		DOPChanges:        res.DOPChanges(),
 		FusedPipelines:    res.FusedPipelines,
 		CrashDrills:       len(res.CrashDrills),
 		Digest:            fmt.Sprintf("%#x", res.Digest),

@@ -6,9 +6,15 @@
 // produce BENCH_exec.json; the same scenarios back the `go test -bench`
 // suite in internal/exec.
 //
+// With -partition it instead sweeps the parallel scan and partition-wise
+// join over a partition-count × DOP grid (dop ≤ parts) and writes
+// throughput per cell plus the speedup of each cell over the serial
+// (parts=1, dop=1) baseline — `make bench-partition` records this into
+// BENCH_partition.json.
+//
 // Usage:
 //
-//	mb2-execbench [-rows N] [-out FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	mb2-execbench [-rows N] [-out FILE] [-partition] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"runtime/pprof"
 	"testing"
 
+	"mb2/internal/engine"
 	"mb2/internal/exec"
 	"mb2/internal/exec/execbench"
 )
@@ -44,13 +51,119 @@ type pipelineResult struct {
 }
 
 type report struct {
-	Rows      int              `json:"rows"`
-	Pipelines []pipelineResult `json:"pipelines"`
+	Rows       int              `json:"rows"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Pipelines  []pipelineResult `json:"pipelines"`
+}
+
+// partitionCell is one (pipeline, partitions, dop) measurement of the
+// partition sweep.
+type partitionCell struct {
+	Pipeline   string  `json:"pipeline"`
+	Partitions int     `json:"partitions"`
+	DOP        int     `json:"dop"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op"`
+	// Speedup is the serial baseline's ns/op (parts=1, dop=1, same
+	// pipeline) over this cell's ns/op. On a single-CPU box values near
+	// or below 1 are expected — record the box shape alongside.
+	Speedup float64 `json:"speedup"`
+}
+
+type partitionReport struct {
+	Rows       int             `json:"rows"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Cells      []partitionCell `json:"cells"`
+}
+
+func benchCell(db *engine.DB, p execbench.Scenario, dop int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		ctx := execbench.NewCtxDOP(db, execbench.Variants()[0], dop)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.Execute(ctx, p.Plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// runPartitionSweep benchmarks every (parts, dop) cell of the grid, using
+// the (1, 1) cell as the per-pipeline serial baseline. Every partitioned
+// cell's result cardinalities are checked against the serial database
+// before timing.
+func runPartitionSweep(rows int, out string) {
+	grid := []struct{ parts, dop int }{
+		{1, 1}, {2, 1}, {2, 2}, {4, 1}, {4, 2}, {4, 4}, {8, 2}, {8, 4},
+	}
+	rep := partitionReport{
+		Rows:       rows,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	baseline := map[string]float64{}
+	var reference map[string]int
+	fmt.Printf("== partition sweep (%d rows, GOMAXPROCS=%d, NumCPU=%d) ==\n",
+		rows, rep.GOMAXPROCS, rep.NumCPU)
+	for _, g := range grid {
+		db, err := execbench.NewPartitionedDB(rows, g.parts, g.dop)
+		if err != nil {
+			log.Fatalf("mb2-execbench: %v", err)
+		}
+		counts, err := execbench.CheckPartitioned(db, rows, g.dop, reference)
+		if err != nil {
+			log.Fatalf("mb2-execbench: parts=%d dop=%d: %v", g.parts, g.dop, err)
+		}
+		if reference == nil {
+			reference = counts
+		}
+		for _, sc := range execbench.PartitionScenarios(rows) {
+			r := benchCell(db, sc, g.dop)
+			cell := partitionCell{
+				Pipeline:   sc.Name,
+				Partitions: g.parts,
+				DOP:        g.dop,
+				NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp: r.AllocedBytesPerOp(),
+			}
+			if g.parts == 1 && g.dop == 1 {
+				baseline[sc.Name] = cell.NsPerOp
+			}
+			if base := baseline[sc.Name]; base > 0 && cell.NsPerOp > 0 {
+				cell.Speedup = base / cell.NsPerOp
+			}
+			fmt.Printf("  %-22s parts=%d dop=%d %12.0f ns/op %12d B/op  %.2fx\n",
+				sc.Name, g.parts, g.dop, cell.NsPerOp, cell.BytesPerOp, cell.Speedup)
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	writeJSON(out, rep)
+}
+
+func writeJSON(path string, v any) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("mb2-execbench: %v", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		log.Fatalf("mb2-execbench: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("mb2-execbench: %v", err)
+	}
+	fmt.Printf("results written to %s\n", path)
 }
 
 func main() {
 	rows := flag.Int("rows", 20000, "benchmark table size")
 	out := flag.String("out", "BENCH_exec.json", "output JSON path")
+	partition := flag.Bool("partition", false, "run the partition-count × DOP sweep instead of the variant benchmarks")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -66,17 +179,41 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	db, err := execbench.NewDB(*rows)
+	if *partition {
+		runPartitionSweep(*rows, *out)
+	} else {
+		runVariantBench(*rows, *out)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("mb2-execbench: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("mb2-execbench: %v", err)
+		}
+		f.Close()
+	}
+}
+
+func runVariantBench(rows int, out string) {
+	db, err := execbench.NewDB(rows)
 	if err != nil {
 		log.Fatalf("mb2-execbench: %v", err)
 	}
-	if err := execbench.Check(db, *rows); err != nil {
+	if err := execbench.Check(db, rows); err != nil {
 		log.Fatalf("mb2-execbench: cross-variant check: %v", err)
 	}
 
-	rep := report{Rows: *rows}
-	fmt.Printf("== exec pipeline microbenchmarks (%d rows) ==\n", *rows)
-	for _, sc := range execbench.Scenarios(*rows) {
+	rep := report{
+		Rows:       rows,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	fmt.Printf("== exec pipeline microbenchmarks (%d rows) ==\n", rows)
+	for _, sc := range execbench.Scenarios(rows) {
 		pr := pipelineResult{Name: sc.Name, Variants: map[string]variantResult{}}
 		for _, v := range execbench.Variants() {
 			sc, v := sc, v
@@ -111,31 +248,5 @@ func main() {
 		fmt.Printf("  %-24s alloc reduction %.1fx, wall speedup %.2fx\n", sc.Name, pr.AllocReduction, pr.Speedup)
 		rep.Pipelines = append(rep.Pipelines, pr)
 	}
-
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatalf("mb2-execbench: %v", err)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		log.Fatalf("mb2-execbench: %v", err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatalf("mb2-execbench: %v", err)
-	}
-	fmt.Printf("results written to %s\n", *out)
-
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
-		if err != nil {
-			log.Fatalf("mb2-execbench: %v", err)
-		}
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			log.Fatalf("mb2-execbench: %v", err)
-		}
-		f.Close()
-	}
+	writeJSON(out, rep)
 }

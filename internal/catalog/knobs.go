@@ -42,6 +42,15 @@ type Knobs struct {
 	IndexBuildThreads int
 	// WorkMemBytes caps per-query working memory (resource knob).
 	WorkMemBytes float64
+	// PartitionCount is the number of hash partitions tables are created
+	// with (and repartitioned to when the knob changes). 1 means
+	// unpartitioned storage; the "repartition" self-driving action moves it.
+	PartitionCount int
+	// ScanDOP is the degree of parallelism for partitioned scans and
+	// partition-wise joins: how many worker chains partitions fan out over.
+	// 1 runs partitions serially; the "set DOP" self-driving action moves
+	// it. It has no effect on unpartitioned tables.
+	ScanDOP int
 }
 
 // DefaultKnobs returns the configuration used unless an experiment says
@@ -54,5 +63,7 @@ func DefaultKnobs() Knobs {
 		GCIntervalUS:       50_000,
 		IndexBuildThreads:  4,
 		WorkMemBytes:       1 << 30,
+		PartitionCount:     1,
+		ScanDOP:            1,
 	}
 }

@@ -45,12 +45,18 @@ type CrashConfig struct {
 	// transactions have committed; crash offsets then sweep the
 	// post-checkpoint log and recovery starts from the checkpoint image.
 	CheckpointAfter int
+	// Partitions hash-partitions every workload table (<= 1 keeps them
+	// unpartitioned). Each recovered instance is partitioned identically
+	// and must re-route every replayed row correctly at every crash
+	// offset.
+	Partitions int
 }
 
 // CrashReport summarizes a successful crash sweep.
 type CrashReport struct {
 	Seed          int64
 	Workload      string
+	Partitions    int    // hash partitions per table (1 = unpartitioned)
 	Txns          int    // transactions executed (committed + aborted)
 	Commits       uint64 // committed transactions
 	Offsets       int    // crash offsets recovered and verified
@@ -313,9 +319,14 @@ func genTATP(seed int64, txns int) crashWorkload {
 
 // --- execution ---------------------------------------------------------------
 
-// newCrashDB materializes the workload's DDL on the given devices.
-func newCrashDB(w crashWorkload, logDev, ckptDev hw.BlockDevice) (*engine.DB, []*storage.Table, error) {
-	db := engine.OpenOnDevices(catalog.DefaultKnobs(), logDev, ckptDev)
+// newCrashDB materializes the workload's DDL on the given devices,
+// hash-partitioning every table when the config asks for it.
+func newCrashDB(cfg CrashConfig, w crashWorkload, logDev, ckptDev hw.BlockDevice) (*engine.DB, []*storage.Table, error) {
+	knobs := catalog.DefaultKnobs()
+	if cfg.Partitions > 1 {
+		knobs.PartitionCount = cfg.Partitions
+	}
+	db := engine.OpenOnDevices(knobs, logDev, ckptDev)
 	tables := make([]*storage.Table, len(w.tables))
 	for i, name := range w.tables {
 		t, err := db.CreateTable(name, w.schemas[i])
@@ -386,7 +397,7 @@ func applyCrashTxn(db *engine.DB, tables []*storage.Table, ct crashTxn) error {
 // returns the live database and how many transactions committed durably
 // before any device crash.
 func runCrashWorkload(cfg CrashConfig, w crashWorkload, logDev, ckptDev hw.BlockDevice) (*engine.DB, []*storage.Table, uint64, error) {
-	db, tables, err := newCrashDB(w, logDev, ckptDev)
+	db, tables, err := newCrashDB(cfg, w, logDev, ckptDev)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -477,6 +488,23 @@ func captureState(tables []*storage.Table, readTS uint64) map[string]string {
 			out[fmt.Sprintf("%s/%d", tbl.Meta.Name, row)] = renderTuple(data)
 			return true
 		})
+	}
+	return out
+}
+
+// capturePartitioned snapshots every visible tuple at readTS by merging
+// each table's per-partition scan streams in partition order — the same
+// rendering captureState produces from the global scan, so the two must
+// expose identical states.
+func capturePartitioned(tables []*storage.Table, readTS uint64) map[string]string {
+	out := make(map[string]string)
+	for _, tbl := range tables {
+		for p := 0; p < tbl.PartitionCount(); p++ {
+			tbl.ScanPartition(nil, p, 0, readTS, func(row storage.RowID, data storage.Tuple) bool {
+				out[fmt.Sprintf("%s/%d", tbl.Meta.Name, row)] = renderTuple(data)
+				return true
+			})
+		}
 	}
 	return out
 }
@@ -572,8 +600,17 @@ func RunCrash(cfg CrashConfig) (*CrashReport, error) {
 		ckptCommits = ck.SnapshotTS
 	}
 
+	// The golden run's partitioning must itself be sound before any
+	// recovered instance is compared against it.
+	for _, tbl := range goldenTables {
+		if err := tbl.CheckPartitionInvariants(); err != nil {
+			return nil, fail(-1, err)
+		}
+	}
+
 	report := &CrashReport{
 		Seed: cfg.Seed, Workload: w.name, Txns: len(w.txns), Commits: commits,
+		Partitions: goldenTables[0].PartitionCount(),
 		Checkpointed: cfg.CheckpointAfter > 0, LogBytes: len(logImage),
 	}
 	retries, _ := golden.WAL.FaultStats()
@@ -592,7 +629,7 @@ func RunCrash(cfg CrashConfig) (*CrashReport, error) {
 		}
 		k := ckptCommits + tailK
 
-		fresh, freshTables, err := newCrashDB(w, nil, nil)
+		fresh, freshTables, err := newCrashDB(cfg, w, nil, nil)
 		if err != nil {
 			return err
 		}
@@ -609,6 +646,17 @@ func RunCrash(cfg CrashConfig) (*CrashReport, error) {
 		}
 		if err := diffStates(captureState(freshTables, k), modelAfter(w, k)); err != nil {
 			return err
+		}
+		// Recovery must re-route every replayed row: the directory
+		// invariants hold at every crash offset, and the merged partition
+		// stripes expose exactly the oracle's committed state.
+		for _, tbl := range freshTables {
+			if err := tbl.CheckPartitionInvariants(); err != nil {
+				return err
+			}
+		}
+		if err := diffStates(capturePartitioned(freshTables, k), modelAfter(w, k)); err != nil {
+			return fmt.Errorf("partition-merged state: %w", err)
 		}
 		// Index rebuild agreement: every unique index holds exactly the
 		// visible rows of its table.

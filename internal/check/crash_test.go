@@ -3,6 +3,7 @@ package check
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"testing"
 
 	"mb2/internal/hw"
@@ -46,6 +47,58 @@ func TestCrashMatrixStrided(t *testing.T) {
 			}); err != nil {
 				t.Fatal(err)
 			}
+		}
+	}
+}
+
+// Partitioned crash matrix: partition-count × workload × seed, with every
+// recovered instance re-routing its replayed rows and the merged partition
+// stripes matching the commit oracle at every swept offset.
+func TestCrashPartitionedMatrix(t *testing.T) {
+	for _, parts := range []int{2, 4, 8} {
+		for _, workload := range []string{"smallbank", "tatp"} {
+			for seed := int64(3); seed <= 4; seed++ {
+				parts, workload, seed := parts, workload, seed
+				t.Run(fmt.Sprintf("parts=%d,%s,seed=%d", parts, workload, seed), func(t *testing.T) {
+					t.Parallel()
+					rep, err := RunCrash(CrashConfig{
+						Seed: seed, Workload: workload, Partitions: parts,
+						Txns: 40, Stride: 5,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rep.Partitions != parts {
+						t.Fatalf("report says %d partitions, want %d", rep.Partitions, parts)
+					}
+					if rep.Commits == 0 || rep.Offsets == 0 {
+						t.Fatalf("empty sweep: %+v", rep)
+					}
+				})
+			}
+		}
+	}
+}
+
+// A partitioned sweep recovers exactly the same committed state as the
+// unpartitioned sweep of the identical workload: partitioning is pure
+// routing and must never change recovery semantics.
+func TestCrashPartitionedRecoveryEquivalence(t *testing.T) {
+	for _, workload := range []string{"smallbank", "tatp"} {
+		plain, err := RunCrash(CrashConfig{Seed: 37, Workload: workload, Stride: 97})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parted, err := RunCrash(CrashConfig{Seed: 37, Workload: workload, Stride: 97, Partitions: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.FinalDigest != parted.FinalDigest {
+			t.Fatalf("%s: partitioned recovery digest %x, unpartitioned %x",
+				workload, parted.FinalDigest, plain.FinalDigest)
+		}
+		if plain.LastCommitTS != parted.LastCommitTS || plain.Commits != parted.Commits {
+			t.Fatalf("%s: commit accounting diverged: %+v vs %+v", workload, parted, plain)
 		}
 	}
 }
@@ -135,7 +188,7 @@ func TestCrashDropTailRecovers(t *testing.T) {
 	}
 	img := dev.Contents()
 
-	fresh, tables, err := newCrashDB(w, nil, nil)
+	fresh, tables, err := newCrashDB(cfg, w, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +227,7 @@ func TestCrashBitFlipStopsReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	fresh, tables, err := newCrashDB(w, nil, nil)
+	fresh, tables, err := newCrashDB(cfg, w, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"mb2/internal/catalog"
 	"mb2/internal/engine"
 	"mb2/internal/index"
+	"mb2/internal/par"
 	"mb2/internal/storage"
 	"mb2/internal/txn"
 	"mb2/internal/wal"
@@ -41,6 +42,14 @@ type Config struct {
 	// BuildThreads is the parallelism of the phase-boundary index build
 	// (default max(2, Workers)).
 	BuildThreads int
+	// Partitions hash-partitions all three tables on custid (<= 1 keeps
+	// them unpartitioned). The partition invariant family then verifies
+	// routing and per-partition scan-merge consistency at every phase.
+	Partitions int
+	// DOP fans the audit and conservation balance scans over this many
+	// goroutines, one partition stripe at a time, merged in partition
+	// order (<= 1 scans serially). Only meaningful with Partitions > 1.
+	DOP int
 	// Corrupt, when set, is invoked on the database right before the final
 	// phase's invariant pass. Tests use it to prove the checkers detect
 	// injected damage and report the seed.
@@ -51,6 +60,7 @@ type Config struct {
 type Report struct {
 	Seed         int64
 	Workers      int
+	Partitions   int // hash partitions per table (1 = unpartitioned)
 	Commits      uint64 // committed transactions (including read-only)
 	Aborts       uint64 // rolled-back transactions (deliberate + conflict)
 	Conflicts    uint64 // first-updater-wins write-write conflicts hit
@@ -122,7 +132,14 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	h := &harness{cfg: cfg, db: engine.Open(catalog.DefaultKnobs())}
+	knobs := catalog.DefaultKnobs()
+	if cfg.Partitions > 1 {
+		knobs.PartitionCount = cfg.Partitions
+	}
+	if cfg.DOP > 1 {
+		knobs.ScanDOP = cfg.DOP
+	}
+	h := &harness{cfg: cfg, db: engine.Open(knobs)}
 	if err := h.setup(); err != nil {
 		return nil, h.fail(-1, "setup", err)
 	}
@@ -666,12 +683,47 @@ func (h *harness) opAudit() error {
 }
 
 func (h *harness) balanceSum(txnID, readTS uint64) float64 {
+	tables := []*storage.Table{h.savT, h.chkT}
+	if h.cfg.DOP > 1 {
+		return h.balanceSumParallel(tables, txnID, readTS)
+	}
 	total := 0.0
-	for _, tbl := range []*storage.Table{h.savT, h.chkT} {
+	for _, tbl := range tables {
 		tbl.Scan(nil, txnID, readTS, func(_ storage.RowID, data storage.Tuple) bool {
 			total += data[1].F
 			return true
 		})
+	}
+	return total
+}
+
+// balanceSumParallel computes the committed balance total by fanning the
+// per-partition scans of both balance tables over DOP goroutines. Each
+// (table, partition) cell accumulates into its own sum and the cells are
+// merged in enumeration order, so the total is independent of which
+// goroutine scanned which partition.
+func (h *harness) balanceSumParallel(tables []*storage.Table, txnID, readTS uint64) float64 {
+	type cell struct {
+		tbl *storage.Table
+		p   int
+	}
+	var cells []cell
+	for _, tbl := range tables {
+		for p := 0; p < tbl.PartitionCount(); p++ {
+			cells = append(cells, cell{tbl, p})
+		}
+	}
+	sums := make([]float64, len(cells))
+	par.Do(h.cfg.DOP, len(cells), func(i int) {
+		c := cells[i]
+		c.tbl.ScanPartition(nil, c.p, txnID, readTS, func(_ storage.RowID, data storage.Tuple) bool {
+			sums[i] += data[1].F
+			return true
+		})
+	})
+	total := 0.0
+	for _, s := range sums {
+		total += s
 	}
 	return total
 }
@@ -701,6 +753,7 @@ func (h *harness) report() *Report {
 	return &Report{
 		Seed:         h.cfg.Seed,
 		Workers:      h.cfg.Workers,
+		Partitions:   h.accT.PartitionCount(),
 		Commits:      h.commits.Load(),
 		Aborts:       h.aborts.Load(),
 		Conflicts:    h.conflicts.Load(),

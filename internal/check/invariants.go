@@ -18,6 +18,9 @@ func (h *harness) checkAll(phase int) error {
 	if err := h.checkStorage(); err != nil {
 		return h.fail(phase, "mvcc", err)
 	}
+	if err := h.checkPartitions(); err != nil {
+		return h.fail(phase, "partition", err)
+	}
 	if err := h.checkConservation(); err != nil {
 		return h.fail(phase, "conservation", err)
 	}
@@ -53,6 +56,66 @@ func (h *harness) checkStorage() error {
 	for _, tbl := range h.tables() {
 		if err := tbl.CheckInvariants(nil); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// checkPartitions validates the hash-partitioning layer of every table:
+// the routing directory's structural invariants hold, and the merged
+// per-partition scan streams expose exactly the global scan's visible rows
+// — every row surfacing in precisely the one partition the directory
+// routes it to, with identical tuples. On an unpartitioned table this
+// degenerates to scan self-consistency.
+func (h *harness) checkPartitions() error {
+	h.checks.Add(1)
+	readTS := h.db.Txns.LastCommitTS()
+	for _, tbl := range h.tables() {
+		if err := tbl.CheckPartitionInvariants(); err != nil {
+			return err
+		}
+		parts := tbl.PartitionCount()
+		if want := h.cfg.Partitions; want > 1 && parts != want {
+			return fmt.Errorf("table %s has %d partitions, config wants %d", tbl.Meta.Name, parts, want)
+		}
+		global := make(map[storage.RowID]string)
+		tbl.Scan(nil, 0, readTS, func(row storage.RowID, data storage.Tuple) bool {
+			global[row] = renderTuple(data)
+			return true
+		})
+		merged := make(map[storage.RowID]string, len(global))
+		var perr error
+		for p := 0; p < parts && perr == nil; p++ {
+			tbl.ScanPartition(nil, p, 0, readTS, func(row storage.RowID, data storage.Tuple) bool {
+				if q := tbl.PartitionOfRow(row); q != p {
+					perr = fmt.Errorf("table %s row %d surfaced by partition %d but routed to %d",
+						tbl.Meta.Name, row, p, q)
+					return false
+				}
+				if _, dup := merged[row]; dup {
+					perr = fmt.Errorf("table %s row %d surfaced by two partition scans", tbl.Meta.Name, row)
+					return false
+				}
+				merged[row] = renderTuple(data)
+				return true
+			})
+		}
+		if perr != nil {
+			return perr
+		}
+		for row, want := range global {
+			got, ok := merged[row]
+			if !ok {
+				return fmt.Errorf("table %s row %d visible globally but in no partition stripe", tbl.Meta.Name, row)
+			}
+			if got != want {
+				return fmt.Errorf("table %s row %d: partition scan read %q, global scan %q", tbl.Meta.Name, row, got, want)
+			}
+		}
+		for row := range merged {
+			if _, ok := global[row]; !ok {
+				return fmt.Errorf("table %s row %d visible in a partition stripe but not globally", tbl.Meta.Name, row)
+			}
 		}
 	}
 	return nil
@@ -181,7 +244,9 @@ func (h *harness) checkWALReplay() error {
 	}
 	fresh := make(map[int32]*storage.Table, 3)
 	for _, tbl := range h.tables() {
-		fresh[int32(tbl.Meta.ID)] = storage.NewTable(tbl.Meta)
+		ft := storage.NewTable(tbl.Meta)
+		ft.SetPartitioning(tbl.PartitionKeyCols(), tbl.PartitionCount())
+		fresh[int32(tbl.Meta.ID)] = ft
 	}
 	if _, err := wal.Replay(records, fresh); err != nil {
 		return fmt.Errorf("replay: %w", err)
@@ -192,6 +257,9 @@ func (h *harness) checkWALReplay() error {
 			return err
 		}
 		if err := replayed.CheckInvariants(nil); err != nil {
+			return fmt.Errorf("replayed %s: %w", live.Meta.Name, err)
+		}
+		if err := replayed.CheckPartitionInvariants(); err != nil {
 			return fmt.Errorf("replayed %s: %w", live.Meta.Name, err)
 		}
 	}

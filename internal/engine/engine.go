@@ -90,12 +90,44 @@ func (db *DB) Knobs() catalog.Knobs {
 	return db.knobs
 }
 
-// SetKnobs applies a new configuration (a self-driving knob action).
+// SetKnobs applies a new configuration (a self-driving knob action). A
+// PartitionCount change re-routes every table's partition directory to the
+// new count (uncharged; use Repartition to charge the rebuild to a thread).
 func (db *DB) SetKnobs(k catalog.Knobs) {
 	db.mu.Lock()
+	old := db.knobs.PartitionCount
 	db.knobs = k
 	db.mu.Unlock()
 	db.configVersion.Add(1)
+	if normalizeParts(k.PartitionCount) != normalizeParts(old) {
+		db.Repartition(nil, k.PartitionCount)
+	}
+}
+
+func normalizeParts(p int) int {
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// Repartition re-routes every table into parts hash partitions, in table
+// registration-independent (sorted catalog) order, charging the directory
+// rebuilds to th when one is provided. It returns the total number of rows
+// whose partition assignment changed and advances the configuration
+// version, invalidating prediction caches.
+func (db *DB) Repartition(th *hw.Thread, parts int) int {
+	moved := 0
+	for _, name := range db.Catalog.Tables() {
+		if t := db.Table(name); t != nil {
+			moved += t.Repartition(th, parts)
+		}
+	}
+	db.mu.Lock()
+	db.knobs.PartitionCount = normalizeParts(parts)
+	db.mu.Unlock()
+	db.configVersion.Add(1)
+	return moved
 }
 
 // ConfigVersion returns a counter that advances on every knob change and
@@ -110,6 +142,9 @@ func (db *DB) CreateTable(name string, schema catalog.Schema) (*storage.Table, e
 		return nil, err
 	}
 	t := storage.NewTable(meta)
+	// Tables hash-partition on their leading column (the primary
+	// identifier in every bundled schema) at the configured count.
+	t.SetPartitioning([]int{0}, db.Knobs().PartitionCount)
 	db.mu.Lock()
 	db.tables[name] = t
 	db.mu.Unlock()

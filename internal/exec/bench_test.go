@@ -8,6 +8,7 @@ package exec_test
 // the workload.
 
 import (
+	"fmt"
 	"testing"
 
 	"mb2/internal/exec"
@@ -15,6 +16,10 @@ import (
 )
 
 const benchRows = 20000
+
+// Smaller table for the partition sweep: it benchmarks parts x dop cells,
+// so each cell stays cheap enough for the tier-1 -benchtime=1x smoke run.
+const benchPartRows = 8000
 
 func BenchmarkPipelines(b *testing.B) {
 	db, err := execbench.NewDB(benchRows)
@@ -33,6 +38,37 @@ func BenchmarkPipelines(b *testing.B) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkPartitionPipelines sweeps the parallel scan and partition-wise
+// join over partition-count x DOP cells. `make bench-partition` records the
+// full sweep into BENCH_partition.json; tier-1 smoke runs it at
+// -benchtime=1x to keep the parallel paths exercised on every run.
+func BenchmarkPartitionPipelines(b *testing.B) {
+	for _, parts := range []int{1, 4} {
+		for _, dop := range []int{1, 4} {
+			if dop > parts {
+				continue
+			}
+			db, err := execbench.NewPartitionedDB(benchPartRows, parts, dop)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, sc := range execbench.PartitionScenarios(benchPartRows) {
+				name := fmt.Sprintf("%s/parts=%d/dop=%d", sc.Name, parts, dop)
+				b.Run(name, func(b *testing.B) {
+					ctx := execbench.NewCtxDOP(db, execbench.Variants()[0], dop)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := exec.Execute(ctx, sc.Plan); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
 		}
 	}
 }

@@ -29,6 +29,13 @@ type Ctx struct {
 	// Contenders is the number of worker threads concurrently mutating
 	// shared structures (latch-charge scaling).
 	Contenders float64
+
+	// DOP is the degree of parallelism for partitioned operators: the
+	// number of worker chains partition scans and partition-wise joins fan
+	// out over (parallel.go). Values <= 1 run partitions on one chain;
+	// unpartitioned tables ignore it entirely. It is a knob
+	// (catalog.Knobs.ScanDOP) and a self-driving action.
+	DOP int
 	// TxnRate is the transaction arrival rate in the current forecast
 	// interval: the contending txn OUs' feature (Sec 4.2).
 	TxnRate float64

@@ -56,6 +56,90 @@ func NewDB(n int) (*engine.DB, error) {
 	return db, nil
 }
 
+// NewPartitionedDB loads the benchmark database hash-partitioned on id
+// with the scan DOP knob raised: the configuration BENCH_partition.json
+// sweeps. parts/dop <= 1 keep the serial defaults.
+func NewPartitionedDB(n, parts, dop int) (*engine.DB, error) {
+	knobs := catalog.DefaultKnobs()
+	if parts > 1 {
+		knobs.PartitionCount = parts
+	}
+	if dop > 1 {
+		knobs.ScanDOP = dop
+	}
+	db := engine.Open(knobs)
+	schema := catalog.NewSchema(
+		catalog.Column{Name: "id", Type: catalog.Int64},
+		catalog.Column{Name: "grp", Type: catalog.Int64},
+		catalog.Column{Name: "val", Type: catalog.Float64},
+		catalog.Column{Name: "name", Type: catalog.Varchar, Width: 12},
+	)
+	if _, err := db.CreateTable("items", schema); err != nil {
+		return nil, err
+	}
+	rows := make([]storage.Tuple, n)
+	for i := 0; i < n; i++ {
+		rows[i] = storage.Tuple{
+			storage.NewInt(int64(i)),
+			storage.NewInt(int64(i % 100)),
+			storage.NewFloat(float64(i)),
+			storage.NewString("bench-row"),
+		}
+	}
+	if err := db.BulkLoad("items", rows); err != nil {
+		return nil, err
+	}
+	if _, err := db.CreateTable("pairs", catalog.NewSchema(
+		catalog.Column{Name: "id", Type: catalog.Int64},
+		catalog.Column{Name: "w", Type: catalog.Float64},
+	)); err != nil {
+		return nil, err
+	}
+	half := make([]storage.Tuple, n/2)
+	for i := 0; i < n/2; i++ {
+		half[i] = storage.Tuple{storage.NewInt(int64(i)), storage.NewFloat(float64(i) / 2)}
+	}
+	if err := db.BulkLoad("pairs", half); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// PartitionScenarios returns the partitioned-execution pipelines: the
+// exchange-style parallel scan and the partition-wise hash join (bare
+// partition-key scans on both sides, the shape exec.partitionWise fans
+// out). On an unpartitioned database both degrade to the serial paths, so
+// the same scenarios measure every (partitions, dop) cell.
+func PartitionScenarios(n int) []Scenario {
+	est := func(rows float64) plan.Estimates {
+		if rows < 1 {
+			rows = 1
+		}
+		return plan.Estimates{Rows: rows, Distinct: rows}
+	}
+	return []Scenario{
+		{
+			Name: "parallel_scan_filter",
+			Plan: &plan.SeqScanNode{
+				Table:     "items",
+				Filter:    plan.Cmp{Op: plan.LT, L: plan.Col(0), R: plan.IntConst(int64(n / 2))},
+				Rows:      est(float64(n / 2)),
+				TableRows: float64(n),
+			},
+		},
+		{
+			Name: "partition_wise_join",
+			Plan: &plan.HashJoinNode{
+				Left:      &plan.SeqScanNode{Table: "items", Rows: est(float64(n)), TableRows: float64(n)},
+				Right:     &plan.SeqScanNode{Table: "pairs", Rows: est(float64(n / 2)), TableRows: float64(n / 2)},
+				LeftKeys:  []int{0},
+				RightKeys: []int{0},
+				Rows:      est(float64(n / 2)),
+			},
+		},
+	}
+}
+
 // Scenarios returns the benchmarked pipelines for a database of n rows.
 func Scenarios(n int) []Scenario {
 	half := int64(n / 2)
@@ -143,6 +227,41 @@ func NewCtx(db *engine.DB, v Variant) *exec.Ctx {
 		Contenders:    1,
 		DisableFusion: v.DisableFusion,
 	}
+}
+
+// NewCtxDOP builds a worker context for one variant with the parallel
+// operators' degree of parallelism set — the context the partition sweep
+// benchmarks under.
+func NewCtxDOP(db *engine.DB, v Variant, dop int) *exec.Ctx {
+	ctx := NewCtx(db, v)
+	ctx.DOP = dop
+	return ctx
+}
+
+// CheckPartitioned verifies the partition scenarios return the same
+// cardinalities under every variant, and — when cmp is non-nil — the same
+// cardinalities as a reference (normally unpartitioned, DOP 1) database:
+// the smoke guard the partition sweep runs before timing anything.
+func CheckPartitioned(db *engine.DB, n, dop int, cmp map[string]int) (map[string]int, error) {
+	counts := map[string]int{}
+	for _, sc := range PartitionScenarios(n) {
+		for _, v := range Variants() {
+			b, err := exec.Execute(NewCtxDOP(db, v, dop), sc.Plan)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", sc.Name, v.Name, err)
+			}
+			if prev, ok := counts[sc.Name]; ok && prev != len(b.Rows) {
+				return nil, fmt.Errorf("%s: %s returned %d rows, earlier variant %d",
+					sc.Name, v.Name, len(b.Rows), prev)
+			}
+			counts[sc.Name] = len(b.Rows)
+		}
+		if cmp != nil && counts[sc.Name] != cmp[sc.Name] {
+			return nil, fmt.Errorf("%s: partitioned run returned %d rows, reference %d",
+				sc.Name, counts[sc.Name], cmp[sc.Name])
+		}
+	}
+	return counts, nil
 }
 
 // Check runs every scenario under every variant once and verifies the

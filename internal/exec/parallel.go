@@ -1,0 +1,316 @@
+package exec
+
+import (
+	"mb2/internal/hw"
+	"mb2/internal/index"
+	"mb2/internal/ou"
+	"mb2/internal/par"
+	"mb2/internal/plan"
+	"mb2/internal/storage"
+)
+
+// Partitioned intra-query parallelism: exchange-style parallel scans and
+// partition-wise hash joins. Work fans out over min(DOP, partitions) worker
+// chains; partition p always runs on chain p % chains, each chain owns a
+// fresh hardware thread, and per-partition OU records are emitted after the
+// barrier in partition order — so the record stream, the merged result
+// order, and every charge are a pure function of (data, partition count,
+// DOP), independent of goroutine scheduling or the process's -j setting.
+//
+// Elapsed-time accounting follows engine.CreateIndex's concurrent-build
+// pattern: the session thread absorbs only the critical-path chain (the one
+// with the largest derived elapsed time), so a query-level bracket around
+// the operator sees the slowest chain's wall clock, not the sum of all
+// chains. The exchange merge itself runs on the session thread and is
+// recorded as the EXCHANGE_MERGE OU.
+
+// partChains returns the number of worker chains for a partitioned operator.
+func partChains(dop, parts int) int {
+	if dop < 1 {
+		dop = 1
+	}
+	if dop > parts {
+		dop = parts
+	}
+	return dop
+}
+
+// computeOn charges operator logic to a worker thread, scaled by the
+// execution mode (the worker-thread analogue of Ctx.compute).
+func (c *Ctx) computeOn(th *hw.Thread, n float64) {
+	if !c.compiled() {
+		n *= interpretFactor
+	}
+	th.Compute(n)
+}
+
+// absorbCritical folds the critical-path chain's counters into the session
+// thread: the chain with the largest derived elapsed time, ties broken by
+// the lowest chain index so the choice is deterministic.
+func absorbCritical(ctx *Ctx, chains []*hw.Thread) {
+	best, bestElapsed := -1, -1.0
+	for i, th := range chains {
+		e := th.CPU().Derive(th.Counters()).ElapsedUS
+		if e > bestElapsed {
+			best, bestElapsed = i, e
+		}
+	}
+	if best >= 0 {
+		ctx.Thread().Absorb(chains[best].Counters())
+	}
+}
+
+// emitPartitionRecords hands the per-partition records collected by worker
+// chains to the session collector, in partition order.
+func emitPartitionRecords(ctx *Ctx, kind ou.Kind, feats [][]float64, labels []hw.Metrics) {
+	col := ctx.Tracker.Collector()
+	if col == nil {
+		return
+	}
+	for p := range feats {
+		col.Emit(kind, feats[p], labels[p])
+	}
+}
+
+// tryParallelScan runs a sequential scan over a partitioned table as a
+// parallel partition scan. It returns (nil, false) when the node does not
+// qualify (unpartitioned table, or a missing table left for execSeqScan's
+// error path).
+func tryParallelScan(ctx *Ctx, n *plan.SeqScanNode) (*Batch, bool) {
+	tbl := ctx.DB.Table(n.Table)
+	if tbl == nil {
+		return nil, false
+	}
+	parts := tbl.PartitionCount()
+	if parts <= 1 {
+		return nil, false
+	}
+	id, ts := ctx.snapshot()
+	dop := partChains(ctx.DOP, parts)
+	width := float64(tbl.Meta.Schema.TupleBytes())
+	cols := float64(tbl.Meta.Schema.NumColumns())
+	cpu := ctx.Thread().CPU()
+
+	chains := make([]*hw.Thread, dop)
+	partRows := make([][]storage.Tuple, parts)
+	partIDs := make([][]storage.RowID, parts)
+	feats := make([][]float64, parts)
+	labels := make([]hw.Metrics, parts)
+
+	par.Do(dop, dop, func(c int) {
+		th := hw.NewThread(cpu)
+		chains[c] = th
+		for p := c; p < parts; p += dop {
+			th.Compute(300) // per-partition tracker bracket
+			start := th.Counters()
+			var rows []storage.Tuple
+			var rowIDs []storage.RowID
+			tbl.ScanPartition(th, p, id, ts, func(r storage.RowID, t storage.Tuple) bool {
+				rows = append(rows, t)
+				rowIDs = append(rowIDs, r)
+				return true
+			})
+			scanned := float64(len(rows))
+			ctx.computeOn(th, scanned*6)
+			if n.Filter == nil && n.Project != nil {
+				rows = project(rows, n.Project)
+				ctx.computeOn(th, scanned*float64(len(n.Project))*2)
+			}
+			labels[p] = th.Since(start)
+			th.Compute(300)
+			feats[p] = ou.ParallelScanFeatures(scanned, cols, width,
+				float64(parts), float64(dop), ctx.compiled())
+			partRows[p] = rows
+			partIDs[p] = rowIDs
+		}
+	})
+
+	absorbCritical(ctx, chains)
+	emitPartitionRecords(ctx, ou.ParallelScan, feats, labels)
+	if ctx.fused() {
+		ctx.FusedPipelines += parts // each partition ran one fused scan chain
+	}
+
+	// Exchange merge: concatenate the per-partition streams in partition
+	// order on the session thread.
+	start := ctx.Tracker.Start()
+	total := 0
+	for _, rows := range partRows {
+		total += len(rows)
+	}
+	rows := make([]storage.Tuple, 0, total)
+	rowIDs := make([]storage.RowID, 0, total)
+	for p := range partRows {
+		rows = append(rows, partRows[p]...)
+		rowIDs = append(rowIDs, partIDs[p]...)
+	}
+	ctx.Thread().SeqWrite(float64(total), width)
+	ctx.compute(float64(total) * 2)
+	mergeFeats := ou.ExchangeMergeFeatures(float64(total), width,
+		float64(parts), float64(dop), ctx.compiled())
+	ctx.Tracker.Stop(ou.ExchangeMerge, mergeFeats, start)
+
+	b := &Batch{Rows: rows, RowIDs: rowIDs}
+	if n.Filter != nil {
+		b = applyFilter(ctx, b, n.Filter)
+		if n.Project != nil {
+			b.Rows = project(b.Rows, n.Project)
+			b.RowIDs = nil
+		}
+	}
+	if n.Project != nil {
+		b.RowIDs = nil
+	}
+	return b, true
+}
+
+// partitionWise reports whether a hash join qualifies for the
+// partition-wise path: both inputs are bare scans of tables hash-partitioned
+// the same way, joined exactly on their partition keys, so equal keys are
+// guaranteed to be co-located in equal partition numbers.
+func partitionWise(ctx *Ctx, n *plan.HashJoinNode) (left, right *storage.Table, parts int, ok bool) {
+	ls, lok := n.Left.(*plan.SeqScanNode)
+	rs, rok := n.Right.(*plan.SeqScanNode)
+	if !lok || !rok || ls.Filter != nil || rs.Filter != nil || ls.Project != nil || rs.Project != nil {
+		return nil, nil, 0, false
+	}
+	left, right = ctx.DB.Table(ls.Table), ctx.DB.Table(rs.Table)
+	if left == nil || right == nil {
+		return nil, nil, 0, false
+	}
+	parts = left.PartitionCount()
+	if parts <= 1 || right.PartitionCount() != parts {
+		return nil, nil, 0, false
+	}
+	if !equalCols(n.LeftKeys, left.PartitionKeyCols()) || !equalCols(n.RightKeys, right.PartitionKeyCols()) {
+		return nil, nil, 0, false
+	}
+	return left, right, parts, true
+}
+
+func equalCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tryPartitionJoin runs a qualifying hash join partition-wise: every
+// partition builds a private hash table over its stripe of the build side
+// and probes it with the co-located stripe of the probe side, one
+// PARTITION_PROBE OU invocation per partition (build plus probe of that
+// partition), fanned over the worker chains.
+func tryPartitionJoin(ctx *Ctx, n *plan.HashJoinNode) (*Batch, bool) {
+	left, right, parts, ok := partitionWise(ctx, n)
+	if !ok {
+		return nil, false
+	}
+	id, ts := ctx.snapshot()
+	dop := partChains(ctx.DOP, parts)
+	cpu := ctx.Thread().CPU()
+	leftW := float64(left.Meta.Schema.TupleBytes())
+	rightW := float64(right.Meta.Schema.TupleBytes())
+	leftCols := float64(left.Meta.Schema.NumColumns())
+	rightCols := float64(right.Meta.Schema.NumColumns())
+	keyBytes := 8.0 * float64(len(n.LeftKeys))
+	entryBytes := keyBytes + 8 + 16
+
+	chains := make([]*hw.Thread, dop)
+	partOut := make([][]storage.Tuple, parts)
+	feats := make([][]float64, parts)
+	labels := make([]hw.Metrics, parts)
+
+	par.Do(dop, dop, func(c int) {
+		th := hw.NewThread(cpu)
+		chains[c] = th
+		var keyBuf []byte
+		for p := c; p < parts; p += dop {
+			th.Compute(300)
+			start := th.Counters()
+
+			// Build over this partition's stripe of the build side.
+			var buildRows []storage.Tuple
+			left.ScanPartition(th, p, id, ts, func(_ storage.RowID, t storage.Tuple) bool {
+				buildRows = append(buildRows, t)
+				return true
+			})
+			htBytes := float64(len(buildRows)) * entryBytes
+			th.Alloc(htBytes)
+			ht := make(map[string]*[]int32, len(buildRows))
+			for i, r := range buildRows {
+				keyBuf = index.AppendKeyFromTuple(keyBuf[:0], r, n.LeftKeys)
+				if b, ok := ht[string(keyBuf)]; ok {
+					*b = append(*b, int32(i))
+				} else {
+					bucket := make([]int32, 1, 4)
+					bucket[0] = int32(i)
+					ht[string(keyBuf)] = &bucket
+				}
+				ctx.computeOn(th, 10)
+				th.RandWrite(1, htBytes)
+			}
+
+			// Probe with the co-located stripe of the probe side.
+			var out []storage.Tuple
+			probed := 0.0
+			right.ScanPartition(th, p, id, ts, func(_ storage.RowID, r storage.Tuple) bool {
+				probed++
+				keyBuf = index.AppendKeyFromTuple(keyBuf[:0], r, n.RightKeys)
+				ctx.computeOn(th, 10)
+				th.RandRead(1, htBytes, 1)
+				if b, ok := ht[string(keyBuf)]; ok {
+					for _, li := range *b {
+						joined := make(storage.Tuple, 0, len(buildRows[li])+len(r))
+						joined = append(joined, buildRows[li]...)
+						joined = append(joined, r...)
+						out = append(out, joined)
+					}
+				}
+				return true
+			})
+			outRows := float64(len(out))
+			th.SeqWrite(outRows, leftW+rightW)
+			th.Free(htBytes)
+
+			labels[p] = th.Since(start)
+			th.Compute(300)
+			// One invocation covers the whole partition pair: the feature's
+			// tuple count is the total work volume (build + probe + emitted
+			// matches), its cardinality the partition's distinct build keys.
+			feats[p] = ou.PartitionProbeFeatures(
+				float64(len(buildRows))+probed+outRows,
+				leftCols+rightCols, leftW+rightW,
+				float64(len(ht)), entryBytes,
+				float64(dop), ctx.compiled())
+			partOut[p] = out
+		}
+	})
+
+	absorbCritical(ctx, chains)
+	emitPartitionRecords(ctx, ou.PartitionProbe, feats, labels)
+	if ctx.fused() {
+		ctx.FusedPipelines += parts // each partition ran one fused build+probe
+	}
+
+	start := ctx.Tracker.Start()
+	total := 0
+	for _, rows := range partOut {
+		total += len(rows)
+	}
+	out := make([]storage.Tuple, 0, total)
+	for p := range partOut {
+		out = append(out, partOut[p]...)
+	}
+	ctx.Thread().SeqWrite(float64(total), leftW+rightW)
+	ctx.compute(float64(total) * 2)
+	mergeFeats := ou.ExchangeMergeFeatures(float64(total), leftW+rightW,
+		float64(parts), float64(dop), ctx.compiled())
+	ctx.Tracker.Stop(ou.ExchangeMerge, mergeFeats, start)
+
+	return &Batch{Rows: out}, true
+}

@@ -1,0 +1,274 @@
+package exec_test
+
+// Determinism and equivalence tests for partitioned parallel execution: the
+// parallel operators must return the same result multiset as the serial
+// path, must be bit-for-bit reproducible at any DOP, and their OU record
+// streams must differ across DOP only in the dop feature — the contract
+// that makes DOP a safely sweepable knob and a predictable action.
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/exec"
+	"mb2/internal/hw"
+	"mb2/internal/metrics"
+	"mb2/internal/ou"
+	"mb2/internal/plan"
+	"mb2/internal/storage"
+)
+
+func newPartitionedDB(t *testing.T, parts, rows int) *engine.DB {
+	t.Helper()
+	knobs := catalog.DefaultKnobs()
+	knobs.PartitionCount = parts
+	db := engine.Open(knobs)
+	schema := catalog.NewSchema(
+		catalog.Column{Name: "id", Type: catalog.Int64},
+		catalog.Column{Name: "grp", Type: catalog.Int64},
+		catalog.Column{Name: "val", Type: catalog.Float64},
+	)
+	if _, err := db.CreateTable("part_items", schema); err != nil {
+		t.Fatal(err)
+	}
+	dimSchema := catalog.NewSchema(
+		catalog.Column{Name: "id", Type: catalog.Int64},
+		catalog.Column{Name: "name", Type: catalog.Varchar, Width: 12},
+	)
+	if _, err := db.CreateTable("part_dim", dimSchema); err != nil {
+		t.Fatal(err)
+	}
+	tuples := make([]storage.Tuple, rows)
+	for i := range tuples {
+		tuples[i] = storage.Tuple{
+			storage.NewInt(int64(i)),
+			storage.NewInt(int64(i % 16)),
+			storage.NewFloat(float64(i) * 1.5),
+		}
+	}
+	if err := db.BulkLoad("part_items", tuples); err != nil {
+		t.Fatal(err)
+	}
+	dims := make([]storage.Tuple, rows)
+	for i := range dims {
+		dims[i] = storage.Tuple{
+			storage.NewInt(int64(i)),
+			storage.NewString(fmt.Sprintf("d%03d", i%97)),
+		}
+	}
+	if err := db.BulkLoad("part_dim", dims); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func runScan(t *testing.T, db *engine.DB, dop int, mode catalog.ExecutionMode) (*exec.Batch, []metrics.Record) {
+	t.Helper()
+	col := metrics.NewCollector()
+	ctx := &exec.Ctx{
+		DB:      db,
+		Tracker: metrics.NewTracker(col, hw.NewThread(hw.DefaultCPU())),
+		Mode:    mode, Contenders: 1, DOP: dop,
+	}
+	pred := plan.Cmp{Op: plan.LT, L: plan.Col(1), R: plan.IntConst(8)}
+	b, err := exec.Execute(ctx, &plan.SeqScanNode{Table: "part_items", Filter: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, col.Drain()
+}
+
+func runJoin(t *testing.T, db *engine.DB, dop int, mode catalog.ExecutionMode) (*exec.Batch, []metrics.Record) {
+	t.Helper()
+	col := metrics.NewCollector()
+	ctx := &exec.Ctx{
+		DB:      db,
+		Tracker: metrics.NewTracker(col, hw.NewThread(hw.DefaultCPU())),
+		Mode:    mode, Contenders: 1, DOP: dop,
+	}
+	q := &plan.HashJoinNode{
+		Left:      &plan.SeqScanNode{Table: "part_dim"},
+		Right:     &plan.SeqScanNode{Table: "part_items"},
+		LeftKeys:  []int{0},
+		RightKeys: []int{0},
+	}
+	b, err := exec.Execute(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, col.Drain()
+}
+
+func rowStrings(b *exec.Batch) []string {
+	out := make([]string, len(b.Rows))
+	for i, r := range b.Rows {
+		out[i] = fmt.Sprintf("%v", r)
+	}
+	return out
+}
+
+func sortedCopy(xs []string) []string {
+	out := append([]string(nil), xs...)
+	sort.Strings(out)
+	return out
+}
+
+// TestParallelScanMatchesSerial: the partitioned scan must return exactly
+// the rows the unpartitioned scan returns.
+func TestParallelScanMatchesSerial(t *testing.T) {
+	const rows = 3000
+	serialDB := newPartitionedDB(t, 1, rows)
+	partDB := newPartitionedDB(t, 4, rows)
+	want, serialRecs := runScan(t, serialDB, 1, catalog.Interpret)
+	for _, k := range []ou.Kind{ou.SeqScan, ou.Arithmetic} {
+		found := false
+		for _, r := range serialRecs {
+			if r.Kind == k {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("serial path must emit %v", k)
+		}
+	}
+	for _, dop := range []int{1, 2, 4} {
+		got, recs := runScan(t, partDB, dop, catalog.Interpret)
+		if !reflect.DeepEqual(sortedCopy(rowStrings(got)), sortedCopy(rowStrings(want))) {
+			t.Fatalf("dop=%d: result multiset differs from serial scan", dop)
+		}
+		var kinds []ou.Kind
+		for _, r := range recs {
+			kinds = append(kinds, r.Kind)
+		}
+		wantKinds := []ou.Kind{ou.ParallelScan, ou.ParallelScan, ou.ParallelScan, ou.ParallelScan,
+			ou.ExchangeMerge, ou.Arithmetic}
+		if !reflect.DeepEqual(kinds, wantKinds) {
+			t.Fatalf("dop=%d: OU stream %v, want %v", dop, kinds, wantKinds)
+		}
+	}
+}
+
+// TestParallelScanDeterministicAcrossDOPAndRuns: for each DOP the execution
+// must be bit-for-bit reproducible, the merged row ORDER must be invariant
+// across DOP (it depends only on the partition directory), and per-partition
+// records must differ across DOP only in the dop feature.
+func TestParallelScanDeterministicAcrossDOPAndRuns(t *testing.T) {
+	const rows = 2000
+	db := newPartitionedDB(t, 4, rows)
+
+	type run struct {
+		rows []string
+		recs []metrics.Record
+	}
+	byDOP := map[int]run{}
+	for _, dop := range []int{1, 2, 4} {
+		first, firstRecs := runScan(t, db, dop, catalog.Compile)
+		for rep := 0; rep < 5; rep++ {
+			again, againRecs := runScan(t, db, dop, catalog.Compile)
+			if !reflect.DeepEqual(rowStrings(again), rowStrings(first)) {
+				t.Fatalf("dop=%d rep=%d: row order not reproducible", dop, rep)
+			}
+			if !reflect.DeepEqual(againRecs, firstRecs) {
+				t.Fatalf("dop=%d rep=%d: OU records not bit-identical across runs", dop, rep)
+			}
+		}
+		byDOP[dop] = run{rows: rowStrings(first), recs: firstRecs}
+	}
+	base := byDOP[1]
+	dopFeat := -1
+	for i, name := range ou.Get(ou.ParallelScan).FeatureNames {
+		if name == "dop" {
+			dopFeat = i
+		}
+	}
+	for _, dop := range []int{2, 4} {
+		r := byDOP[dop]
+		if !reflect.DeepEqual(r.rows, base.rows) {
+			t.Fatalf("dop=%d: merged row order differs from dop=1", dop)
+		}
+		if len(r.recs) != len(base.recs) {
+			t.Fatalf("dop=%d: %d records vs %d at dop=1", dop, len(r.recs), len(base.recs))
+		}
+		for i, rec := range r.recs {
+			if rec.Kind != base.recs[i].Kind {
+				t.Fatalf("dop=%d: record %d kind %v vs %v", dop, i, rec.Kind, base.recs[i].Kind)
+			}
+			if rec.Kind != ou.ParallelScan {
+				continue
+			}
+			if rec.Labels != base.recs[i].Labels {
+				t.Fatalf("dop=%d: record %d labels differ across DOP", dop, i)
+			}
+			for j, f := range rec.Features {
+				if j == dopFeat {
+					if f != float64(dop) {
+						t.Fatalf("dop=%d: record %d dop feature = %v", dop, i, f)
+					}
+					continue
+				}
+				if f != base.recs[i].Features[j] {
+					t.Fatalf("dop=%d: record %d feature %d differs: %v vs %v",
+						dop, i, j, f, base.recs[i].Features[j])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionJoinMatchesSerial: the partition-wise join must produce the
+// serial hash join's exact result multiset and a deterministic stream of
+// one PARTITION_PROBE per partition plus the exchange merge.
+func TestPartitionJoinMatchesSerial(t *testing.T) {
+	const rows = 1500
+	serialDB := newPartitionedDB(t, 1, rows)
+	partDB := newPartitionedDB(t, 4, rows)
+	want, _ := runJoin(t, serialDB, 1, catalog.Interpret)
+	for _, dop := range []int{1, 2, 4} {
+		got, recs := runJoin(t, partDB, dop, catalog.Interpret)
+		if !reflect.DeepEqual(sortedCopy(rowStrings(got)), sortedCopy(rowStrings(want))) {
+			t.Fatalf("dop=%d: join multiset differs from serial", dop)
+		}
+		var kinds []ou.Kind
+		for _, r := range recs {
+			kinds = append(kinds, r.Kind)
+		}
+		wantKinds := []ou.Kind{ou.PartitionProbe, ou.PartitionProbe, ou.PartitionProbe,
+			ou.PartitionProbe, ou.ExchangeMerge}
+		if !reflect.DeepEqual(kinds, wantKinds) {
+			t.Fatalf("dop=%d: OU stream %v, want %v", dop, kinds, wantKinds)
+		}
+		again, againRecs := runJoin(t, partDB, dop, catalog.Interpret)
+		if !reflect.DeepEqual(rowStrings(again), rowStrings(got)) || !reflect.DeepEqual(againRecs, recs) {
+			t.Fatalf("dop=%d: partition-wise join not reproducible", dop)
+		}
+	}
+}
+
+// TestParallelScanElapsedReflectsCriticalPath: the session thread absorbs
+// only the slowest chain, so the whole-operator elapsed time must shrink
+// when DOP grows (simulated wall clock, not host wall clock).
+func TestParallelScanElapsedReflectsCriticalPath(t *testing.T) {
+	const rows = 4000
+	db := newPartitionedDB(t, 8, rows)
+	elapsed := map[int]float64{}
+	for _, dop := range []int{1, 4} {
+		ctx := exec.NewCtx(db, hw.DefaultCPU())
+		ctx.DOP = dop
+		start := ctx.Thread().Counters()
+		if _, err := exec.Execute(ctx, &plan.SeqScanNode{Table: "part_items"}); err != nil {
+			t.Fatal(err)
+		}
+		elapsed[dop] = ctx.Thread().Since(start).ElapsedUS
+	}
+	if elapsed[4] >= elapsed[1] {
+		t.Fatalf("dop=4 elapsed %.1fus not below dop=1 %.1fus: critical-path absorption broken",
+			elapsed[4], elapsed[1])
+	}
+	if elapsed[4] < elapsed[1]/8 {
+		t.Fatalf("dop=4 elapsed %.1fus implausibly below dop=1 %.1fus", elapsed[4], elapsed[1])
+	}
+}

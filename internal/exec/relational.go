@@ -17,6 +17,19 @@ import (
 // mode — takes the operator-at-a-time path below. Both paths emit identical
 // OU record streams.
 func Execute(ctx *Ctx, node plan.Node) (*Batch, error) {
+	// Partitioned tables route qualifying scans and joins through the
+	// exchange-style parallel operators (parallel.go) in every execution
+	// mode; unpartitioned tables never enter them.
+	switch n := node.(type) {
+	case *plan.SeqScanNode:
+		if b, ok := tryParallelScan(ctx, n); ok {
+			return b, nil
+		}
+	case *plan.HashJoinNode:
+		if b, ok := tryPartitionJoin(ctx, n); ok {
+			return b, nil
+		}
+	}
 	if ctx.fused() {
 		switch n := node.(type) {
 		case *plan.HashJoinNode:

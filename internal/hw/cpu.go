@@ -86,6 +86,19 @@ type Counters struct {
 	IOWaitUS     float64
 }
 
+// Add returns c + o, folding one thread's delta into another's totals.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Instructions: c.Instructions + o.Instructions,
+		CacheRefs:    c.CacheRefs + o.CacheRefs,
+		CacheMisses:  c.CacheMisses + o.CacheMisses,
+		BlockReads:   c.BlockReads + o.BlockReads,
+		BlockWrites:  c.BlockWrites + o.BlockWrites,
+		MemoryBytes:  c.MemoryBytes + o.MemoryBytes,
+		IOWaitUS:     c.IOWaitUS + o.IOWaitUS,
+	}
+}
+
 // Sub returns c - o, the delta between two counter snapshots.
 func (c Counters) Sub(o Counters) Counters {
 	return Counters{

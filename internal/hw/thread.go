@@ -28,6 +28,15 @@ func (t *Thread) Since(start Counters) Metrics {
 	return t.cpu.Derive(t.c.Sub(start))
 }
 
+// Absorb folds another thread's counter delta into this thread: the
+// fan-in of parallel work onto the session thread. Parallel operators
+// absorb only the critical-path worker's delta so derived elapsed time
+// reflects the slowest chain, the same accounting engine.CreateIndex uses
+// for concurrent index builds.
+func (t *Thread) Absorb(d Counters) {
+	t.c = t.c.Add(d)
+}
+
 // SeqRead charges a streaming read of n items of the given size: sequential
 // scans, sort output iteration, buffer copies. The prefetcher covers most of
 // the traffic, so the miss ratio is low and size-independent.

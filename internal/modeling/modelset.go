@@ -66,17 +66,57 @@ func (ms *ModelSet) PredictOU(inv OUInvocation) (hw.Metrics, error) {
 }
 
 // PredictQuery sums the per-OU predictions for a translated query: MB2's
-// query-level estimate (Sec 8.3).
+// query-level estimate (Sec 8.3). Serial invocations (Chain 0) sum
+// directly. Parallel invocations accumulate per worker chain, and only the
+// critical-path chain — the one with the largest predicted elapsed time,
+// ties broken toward the lowest chain ID — is added to the query total,
+// mirroring how exec/parallel.go absorbs just the slowest chain's counters
+// into the session thread.
 func (ms *ModelSet) PredictQuery(invs []OUInvocation) (hw.Metrics, []hw.Metrics, error) {
 	var total hw.Metrics
 	perOU := make([]hw.Metrics, len(invs))
+	chainIDs := []int(nil)
+	chainTotals := map[int]hw.Metrics{}
 	for i, inv := range invs {
 		p, err := ms.PredictOU(inv)
 		if err != nil {
 			return hw.Metrics{}, nil, err
 		}
 		perOU[i] = p
-		total.Add(p)
+		if inv.Chain == 0 {
+			total.Add(p)
+			continue
+		}
+		ct, seen := chainTotals[inv.Chain]
+		if !seen {
+			chainIDs = append(chainIDs, inv.Chain)
+		}
+		ct.Add(p)
+		chainTotals[inv.Chain] = ct
+	}
+	if len(chainIDs) > 0 {
+		sort.Ints(chainIDs)
+		// Chain IDs are allocated per parallel operator (contiguous blocks),
+		// so picking one critical chain per block mirrors the per-operator
+		// barriers. Blocks are separated by gaps in the sorted ID sequence
+		// larger than the operator's fan-out; since each operator allocates
+		// IDs starting past all previous invocations, any two operators'
+		// chain IDs never interleave — a simple scan groups them.
+		for i := 0; i < len(chainIDs); {
+			j := i
+			base := chainIDs[i]
+			for j < len(chainIDs) && chainIDs[j]-base == j-i {
+				j++
+			}
+			best := chainTotals[chainIDs[i]]
+			for _, id := range chainIDs[i+1 : j] {
+				if ct := chainTotals[id]; ct.ElapsedUS > best.ElapsedUS {
+					best = ct
+				}
+			}
+			total.Add(best)
+			i = j
+		}
 	}
 	return total, perOU, nil
 }

@@ -1,0 +1,256 @@
+package modeling
+
+import (
+	"math"
+	"testing"
+
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/exec"
+	"mb2/internal/hw"
+	"mb2/internal/metrics"
+	"mb2/internal/ou"
+	"mb2/internal/plan"
+	"mb2/internal/storage"
+)
+
+// newPartitionedTestDB builds a database whose tables are hash-partitioned
+// on their first column, with the scan DOP knob raised so both the executor
+// and the translator take the parallel paths.
+func newPartitionedTestDB(t *testing.T, n, parts, dop int) *engine.DB {
+	t.Helper()
+	knobs := catalog.DefaultKnobs()
+	knobs.PartitionCount = parts
+	knobs.ScanDOP = dop
+	db := engine.Open(knobs)
+	schema := catalog.NewSchema(
+		catalog.Column{Name: "id", Type: catalog.Int64},
+		catalog.Column{Name: "grp", Type: catalog.Int64},
+		catalog.Column{Name: "val", Type: catalog.Float64},
+	)
+	if _, err := db.CreateTable("items", schema); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]storage.Tuple, n)
+	for i := 0; i < n; i++ {
+		rows[i] = storage.Tuple{
+			storage.NewInt(int64(i)),
+			storage.NewInt(int64(i % 20)),
+			storage.NewFloat(float64(i)),
+		}
+	}
+	if err := db.BulkLoad("items", rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("pairs", catalog.NewSchema(
+		catalog.Column{Name: "id", Type: catalog.Int64},
+		catalog.Column{Name: "w", Type: catalog.Float64},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	half := make([]storage.Tuple, n/2)
+	for i := 0; i < n/2; i++ {
+		half[i] = storage.Tuple{storage.NewInt(int64(i)), storage.NewFloat(float64(i) / 2)}
+	}
+	if err := db.BulkLoad("pairs", half); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// executeRecorded runs the plan and drains the recorded OU stream.
+func executeRecorded(t *testing.T, db *engine.DB, dop int, q plan.Node) []metrics.Record {
+	t.Helper()
+	col := metrics.NewCollector()
+	ctx := &exec.Ctx{
+		DB:      db,
+		Tracker: metrics.NewTracker(col, hw.NewThread(hw.DefaultCPU())),
+		Mode:    catalog.Interpret, Contenders: 1, DOP: dop,
+	}
+	if _, err := exec.Execute(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	return col.Drain()
+}
+
+// comparePartitioned checks the translated stream against the recorded one:
+// identical OU kind sequences, and loosely agreeing features. Per-partition
+// features tolerate hash skew — the executor records each partition's actual
+// stripe while the translator assumes a uniform rows/partitions split — but
+// the totals across a parallel operator's invocations must agree tightly.
+func comparePartitioned(t *testing.T, recorded []metrics.Record, translated []OUInvocation) {
+	t.Helper()
+	if len(recorded) != len(translated) {
+		var rk, tk []ou.Kind
+		for _, r := range recorded {
+			rk = append(rk, r.Kind)
+		}
+		for _, i := range translated {
+			tk = append(tk, i.Kind)
+		}
+		t.Fatalf("OU count mismatch: recorded %v vs translated %v", rk, tk)
+	}
+	recTuples, trTuples := 0.0, 0.0
+	for i := range recorded {
+		if recorded[i].Kind != translated[i].Kind {
+			t.Fatalf("OU %d kind mismatch: %v vs %v", i, recorded[i].Kind, translated[i].Kind)
+		}
+		perPartition := recorded[i].Kind == ou.ParallelScan || recorded[i].Kind == ou.PartitionProbe
+		if perPartition {
+			recTuples += recorded[i].Features[0]
+			trTuples += translated[i].Features[0]
+		}
+		for j := range translated[i].Features {
+			got, want := translated[i].Features[j], recorded[i].Features[j]
+			tol := 0.05*math.Abs(want) + 1e-9
+			if perPartition && j == 0 {
+				tol = 0.5*math.Abs(want) + 8 // uniform estimate vs hash skew
+			}
+			if math.Abs(got-want) > tol && math.Abs(got-want) > 0.2*math.Abs(want)+2 {
+				t.Errorf("OU %d (%v) feature %d: translated %v, recorded %v",
+					i, recorded[i].Kind, j, got, want)
+			}
+		}
+	}
+	if recTuples > 0 {
+		if math.Abs(recTuples-trTuples) > 0.05*recTuples+1 {
+			t.Errorf("per-partition tuple totals diverge: recorded %v, translated %v", recTuples, trTuples)
+		}
+	}
+}
+
+// TestTranslatorMatchesExecutorParallelScan pins the translator's parallel
+// path to the executor's: a filtered scan over a partitioned table must
+// translate to the exact recorded OU sequence (PARALLEL_SCAN per partition,
+// the exchange merge, then the filter's arithmetic).
+func TestTranslatorMatchesExecutorParallelScan(t *testing.T) {
+	const n, parts, dop = 1000, 4, 2
+	db := newPartitionedTestDB(t, n, parts, dop)
+	q := &plan.SeqScanNode{
+		Table:  "items",
+		Filter: plan.Cmp{Op: plan.LT, L: plan.Col(0), R: plan.IntConst(n / 2)},
+		Rows:   plan.Estimates{Rows: n / 2},
+	}
+	recorded := executeRecorded(t, db, dop, q)
+
+	tr := NewTranslator(db, catalog.Interpret)
+	translated := tr.TranslatePlan(q)
+	comparePartitioned(t, recorded, translated)
+
+	// The partition invocations must sit on a contiguous chain block of
+	// width dop, with partition p on chain p % dop; the merge and the
+	// filter run on the session thread (chain 0).
+	for i, inv := range translated {
+		switch inv.Kind {
+		case ou.ParallelScan:
+			if want := 1 + i%dop; inv.Chain != want {
+				t.Errorf("partition %d on chain %d, want %d", i, inv.Chain, want)
+			}
+		default:
+			if inv.Chain != 0 {
+				t.Errorf("%v on chain %d, want session chain 0", inv.Kind, inv.Chain)
+			}
+		}
+	}
+}
+
+// TestTranslatorMatchesExecutorPartitionJoin does the same for the
+// partition-wise hash join: one PARTITION_PROBE per co-located partition
+// pair, then the exchange merge.
+func TestTranslatorMatchesExecutorPartitionJoin(t *testing.T) {
+	const n, parts, dop = 1000, 4, 2
+	db := newPartitionedTestDB(t, n, parts, dop)
+	q := &plan.HashJoinNode{
+		Left:      &plan.SeqScanNode{Table: "items", Rows: plan.Estimates{Rows: n}},
+		Right:     &plan.SeqScanNode{Table: "pairs", Rows: plan.Estimates{Rows: n / 2}},
+		LeftKeys:  []int{0},
+		RightKeys: []int{0},
+		Rows:      plan.Estimates{Rows: n / 2, Distinct: n},
+	}
+	recorded := executeRecorded(t, db, dop, q)
+
+	tr := NewTranslator(db, catalog.Interpret)
+	translated := tr.TranslatePlan(q)
+	comparePartitioned(t, recorded, translated)
+
+	probes := 0
+	for _, inv := range translated {
+		if inv.Kind == ou.PartitionProbe {
+			probes++
+		}
+	}
+	if probes != parts {
+		t.Fatalf("translated %d PARTITION_PROBE invocations, want %d", probes, parts)
+	}
+}
+
+// TestPredictQueryCriticalChain exercises the chain-aware aggregation:
+// serial (chain 0) invocations sum, while each contiguous block of worker
+// chains contributes only its critical path — the chain with the largest
+// predicted elapsed time.
+func TestPredictQueryCriticalChain(t *testing.T) {
+	recs := synthRecords(ou.SeqScan, 240)
+	opts := DefaultTrainOptions()
+	opts.Candidates = []string{"huber"}
+	m, err := TrainOUModel(ou.SeqScan, recs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := &ModelSet{OUModels: map[ou.Kind]*OUModel{ou.SeqScan: m}}
+
+	at := func(rows float64) []float64 {
+		return ou.ExecFeatures(rows, 3, 24, rows/4, 0, 1, false)
+	}
+	pred := func(rows float64) hw.Metrics {
+		p, err := ms.PredictOU(OUInvocation{Kind: ou.SeqScan, Features: at(rows)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	small, large := pred(64), pred(4096)
+	if large.ElapsedUS <= small.ElapsedUS {
+		t.Fatalf("model not monotone in rows: %v vs %v", small.ElapsedUS, large.ElapsedUS)
+	}
+
+	// Two parallel operators: block {1,2} with the critical path on chain 2,
+	// block {4,5} with the critical path on chain 4. Chain 0 always sums.
+	invs := []OUInvocation{
+		{Kind: ou.SeqScan, Features: at(512)},            // serial
+		{Kind: ou.SeqScan, Features: at(64), Chain: 1},   // absorbed
+		{Kind: ou.SeqScan, Features: at(4096), Chain: 2}, // critical
+		{Kind: ou.SeqScan, Features: at(512)},            // serial
+		{Kind: ou.SeqScan, Features: at(4096), Chain: 4}, // critical
+		{Kind: ou.SeqScan, Features: at(64), Chain: 5},   // absorbed
+	}
+	total, perOU, err := ms.PredictQuery(invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perOU) != len(invs) {
+		t.Fatalf("perOU has %d entries, want %d", len(perOU), len(invs))
+	}
+	var want hw.Metrics
+	want.Add(pred(512))
+	want.Add(pred(512))
+	want.Add(pred(4096))
+	want.Add(pred(4096))
+	if math.Abs(total.ElapsedUS-want.ElapsedUS) > 1e-6*(1+want.ElapsedUS) {
+		t.Fatalf("critical-chain total %v, want %v (sum of serial + per-block maxima)",
+			total.ElapsedUS, want.ElapsedUS)
+	}
+	// Chains with identical totals tie toward a single representative: the
+	// block must never be double counted.
+	tied := []OUInvocation{
+		{Kind: ou.SeqScan, Features: at(4096), Chain: 1},
+		{Kind: ou.SeqScan, Features: at(4096), Chain: 2},
+	}
+	tiedTotal, _, err := ms.PredictQuery(tied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tiedTotal.ElapsedUS-large.ElapsedUS) > 1e-6*(1+large.ElapsedUS) {
+		t.Fatalf("tied chains double counted: total %v, want one chain's %v",
+			tiedTotal.ElapsedUS, large.ElapsedUS)
+	}
+}

@@ -8,9 +8,17 @@ import (
 )
 
 // OUInvocation is one translated OU with its model features.
+//
+// Chain identifies the parallel worker chain the invocation runs on: 0 is
+// the session thread (serial OUs), nonzero values group the per-partition
+// invocations of one parallel operator. Invocations sharing a nonzero Chain
+// run sequentially on one worker; different chains run concurrently, and
+// prediction charges only the critical-path chain to the query — mirroring
+// exec/parallel.go's absorb accounting.
 type OUInvocation struct {
 	Kind     ou.Kind
 	Features []float64
+	Chain    int
 }
 
 // Translator extracts OUs from plans and actions and generates their input
@@ -29,8 +37,17 @@ type Translator struct {
 	// forecast queries and planned actions across PredictInterval calls.
 	// It is synced against DB.ConfigVersion() before use, so knob and
 	// index changes invalidate it automatically. Must not be combined
-	// with CardNoise (cached entries would bypass the perturbation).
+	// with CardNoise (cached entries would bypass the perturbation), nor
+	// with the what-if overrides below (fingerprints do not encode them).
 	Cache *PredictionCache
+
+	// PartitionsOverride and DOPOverride, when positive, translate plans as
+	// if tables were hash-partitioned that way and scans ran at that DOP,
+	// regardless of the live knobs — the what-if inputs behind the
+	// "repartition" and "set DOP" planner actions. Zero means read the live
+	// table state and ScanDOP knob.
+	PartitionsOverride int
+	DOPOverride        int
 }
 
 // NewTranslator builds a translator reading schema information from db.
@@ -95,22 +112,168 @@ func (tr *Translator) projectedInfo(name string, project []int, rows float64) su
 	return subtreeInfo{rows: rows, cols: float64(len(project)), width: w}
 }
 
+// partitionsFor returns the effective hash-partition count for a table
+// under the what-if override.
+func (tr *Translator) partitionsFor(table string) int {
+	if tr.PartitionsOverride > 0 {
+		return tr.PartitionsOverride
+	}
+	if t := tr.DB.Table(table); t != nil {
+		return t.PartitionCount()
+	}
+	return 1
+}
+
+// dopFor returns the effective worker-chain count, mirroring
+// exec.partChains: capped by the partition count, floored at 1.
+func (tr *Translator) dopFor(parts int) int {
+	dop := tr.DOPOverride
+	if dop <= 0 {
+		dop = tr.DB.Knobs().ScanDOP
+	}
+	if dop < 1 {
+		dop = 1
+	}
+	if dop > parts {
+		dop = parts
+	}
+	return dop
+}
+
+func sameCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// visitParallelScan translates a scan over a partitioned table: one
+// PARALLEL_SCAN invocation per partition (uniform-hash row estimate) on its
+// worker chain, the exchange merge on the session thread, then the filter.
+// The emission order matches exec.tryParallelScan exactly.
+func (tr *Translator) visitParallelScan(v *plan.SeqScanNode, parts int, out *[]OUInvocation) subtreeInfo {
+	tableRows := v.TableRows
+	if tableRows <= 0 {
+		tableRows = tr.DB.RowCount(v.Table)
+	}
+	tableRows = tr.noisy(tableRows)
+	cols, width := tr.tableInfo(v.Table)
+	dop := tr.dopFor(parts)
+	perPart := tableRows / float64(parts)
+	// Chain IDs start past the invocations emitted so far, so each parallel
+	// operator in the plan gets its own chain group (per-operator barriers,
+	// as executed).
+	base := len(*out) + 1
+	for p := 0; p < parts; p++ {
+		*out = append(*out, OUInvocation{
+			Kind: ou.ParallelScan,
+			Features: ou.ParallelScanFeatures(perPart, cols, width,
+				float64(parts), float64(dop), tr.compiled()),
+			Chain: base + p%dop,
+		})
+	}
+	*out = append(*out, OUInvocation{Kind: ou.ExchangeMerge,
+		Features: ou.ExchangeMergeFeatures(tableRows, width,
+			float64(parts), float64(dop), tr.compiled())})
+	outRows := tr.noisy(v.Rows.Rows)
+	if v.Filter != nil {
+		ops := tableRows * v.Filter.Ops()
+		*out = append(*out, OUInvocation{Kind: ou.Arithmetic,
+			Features: ou.ArithmeticFeatures(ops, tr.compiled())})
+	} else {
+		outRows = tableRows
+	}
+	return tr.projectedInfo(v.Table, v.Project, outRows)
+}
+
+// tryPartitionJoin translates a hash join that the executor would run
+// partition-wise (exec.partitionWise's qualification, evaluated over the
+// what-if partition count): one PARTITION_PROBE per co-located partition
+// pair plus the exchange merge. Children are not visited — their scans fuse
+// into the per-partition build and probe, exactly as executed.
+func (tr *Translator) tryPartitionJoin(v *plan.HashJoinNode, out *[]OUInvocation) (subtreeInfo, bool) {
+	ls, lok := v.Left.(*plan.SeqScanNode)
+	rs, rok := v.Right.(*plan.SeqScanNode)
+	if !lok || !rok || ls.Filter != nil || rs.Filter != nil || ls.Project != nil || rs.Project != nil {
+		return subtreeInfo{}, false
+	}
+	lt, rt := tr.DB.Table(ls.Table), tr.DB.Table(rs.Table)
+	if lt == nil || rt == nil {
+		return subtreeInfo{}, false
+	}
+	parts := tr.partitionsFor(ls.Table)
+	if parts <= 1 || tr.partitionsFor(rs.Table) != parts {
+		return subtreeInfo{}, false
+	}
+	if !sameCols(v.LeftKeys, lt.PartitionKeyCols()) || !sameCols(v.RightKeys, rt.PartitionKeyCols()) {
+		return subtreeInfo{}, false
+	}
+	leftRows := ls.TableRows
+	if leftRows <= 0 {
+		leftRows = tr.DB.RowCount(ls.Table)
+	}
+	rightRows := rs.TableRows
+	if rightRows <= 0 {
+		rightRows = tr.DB.RowCount(rs.Table)
+	}
+	leftRows, rightRows = tr.noisy(leftRows), tr.noisy(rightRows)
+	leftCols, leftW := tr.tableInfo(ls.Table)
+	rightCols, rightW := tr.tableInfo(rs.Table)
+	card := tr.noisy(v.Rows.Distinct)
+	if card <= 0 {
+		card = leftRows
+	}
+	outRows := tr.noisy(v.Rows.Rows)
+	dop := tr.dopFor(parts)
+	keyBytes := 8.0 * float64(len(v.LeftKeys))
+	entryBytes := keyBytes + 8 + 16
+	pf := float64(parts)
+	base := len(*out) + 1
+	for p := 0; p < parts; p++ {
+		*out = append(*out, OUInvocation{
+			Kind: ou.PartitionProbe,
+			Features: ou.PartitionProbeFeatures(
+				(leftRows+rightRows+outRows)/pf,
+				leftCols+rightCols, leftW+rightW,
+				card/pf, entryBytes,
+				float64(dop), tr.compiled()),
+			Chain: base + p%dop,
+		})
+	}
+	*out = append(*out, OUInvocation{Kind: ou.ExchangeMerge,
+		Features: ou.ExchangeMergeFeatures(outRows, leftW+rightW,
+			pf, float64(dop), tr.compiled())})
+	return subtreeInfo{
+		rows:  outRows,
+		cols:  leftCols + rightCols,
+		width: leftW + rightW,
+	}, true
+}
+
 func (tr *Translator) visit(n plan.Node, out *[]OUInvocation) subtreeInfo {
 	switch v := n.(type) {
 	case *plan.SeqScanNode:
+		if parts := tr.partitionsFor(v.Table); parts > 1 {
+			return tr.visitParallelScan(v, parts, out)
+		}
 		tableRows := v.TableRows
 		if tableRows <= 0 {
 			tableRows = tr.DB.RowCount(v.Table)
 		}
 		tableRows = tr.noisy(tableRows)
 		cols, width := tr.tableInfo(v.Table)
-		*out = append(*out, OUInvocation{ou.SeqScan,
-			ou.ExecFeatures(tableRows, cols, width, 0, 0, 1, tr.compiled())})
+		*out = append(*out, OUInvocation{Kind: ou.SeqScan,
+			Features: ou.ExecFeatures(tableRows, cols, width, 0, 0, 1, tr.compiled())})
 		outRows := tr.noisy(v.Rows.Rows)
 		if v.Filter != nil {
 			ops := tableRows * v.Filter.Ops()
-			*out = append(*out, OUInvocation{ou.Arithmetic,
-				ou.ArithmeticFeatures(ops, tr.compiled())})
+			*out = append(*out, OUInvocation{Kind: ou.Arithmetic,
+				Features: ou.ArithmeticFeatures(ops, tr.compiled())})
 		} else {
 			outRows = tableRows
 		}
@@ -123,16 +286,19 @@ func (tr *Translator) visit(n plan.Node, out *[]OUInvocation) subtreeInfo {
 		if loops < 1 {
 			loops = 1
 		}
-		*out = append(*out, OUInvocation{ou.IdxScan,
-			ou.ExecFeatures(rows, cols, width, tr.indexSize(v.Index), 0, loops, tr.compiled())})
+		*out = append(*out, OUInvocation{Kind: ou.IdxScan,
+			Features: ou.ExecFeatures(rows, cols, width, tr.indexSize(v.Index), 0, loops, tr.compiled())})
 		if v.Filter != nil {
 			ops := rows * v.Filter.Ops()
-			*out = append(*out, OUInvocation{ou.Arithmetic,
-				ou.ArithmeticFeatures(ops, tr.compiled())})
+			*out = append(*out, OUInvocation{Kind: ou.Arithmetic,
+				Features: ou.ArithmeticFeatures(ops, tr.compiled())})
 		}
 		return tr.projectedInfo(v.Table, v.Project, rows)
 
 	case *plan.HashJoinNode:
+		if info, ok := tr.tryPartitionJoin(v, out); ok {
+			return info
+		}
 		left := tr.visit(v.Left, out)
 		right := tr.visit(v.Right, out)
 		card := tr.noisy(v.Rows.Distinct)
@@ -141,11 +307,11 @@ func (tr *Translator) visit(n plan.Node, out *[]OUInvocation) subtreeInfo {
 		}
 		keyBytes := 8.0 * float64(len(v.LeftKeys))
 		entryBytes := keyBytes + 8 + 16
-		*out = append(*out, OUInvocation{ou.HashJoinBuild,
-			ou.ExecFeatures(left.rows, left.cols, left.width, card, entryBytes, 1, tr.compiled())})
+		*out = append(*out, OUInvocation{Kind: ou.HashJoinBuild,
+			Features: ou.ExecFeatures(left.rows, left.cols, left.width, card, entryBytes, 1, tr.compiled())})
 		outRows := tr.noisy(v.Rows.Rows)
-		*out = append(*out, OUInvocation{ou.HashJoinProbe,
-			ou.ExecFeatures(right.rows+outRows, right.cols, right.width, card, left.width+right.width, 1, tr.compiled())})
+		*out = append(*out, OUInvocation{Kind: ou.HashJoinProbe,
+			Features: ou.ExecFeatures(right.rows+outRows, right.cols, right.width, card, left.width+right.width, 1, tr.compiled())})
 		return subtreeInfo{
 			rows:  outRows,
 			cols:  left.cols + right.cols,
@@ -160,8 +326,8 @@ func (tr *Translator) visit(n plan.Node, out *[]OUInvocation) subtreeInfo {
 		if loops < 1 {
 			loops = 1
 		}
-		*out = append(*out, OUInvocation{ou.IdxScan,
-			ou.ExecFeatures(rows, outer.cols, width, tr.indexSize(v.Index), 0, loops, tr.compiled())})
+		*out = append(*out, OUInvocation{Kind: ou.IdxScan,
+			Features: ou.ExecFeatures(rows, outer.cols, width, tr.indexSize(v.Index), 0, loops, tr.compiled())})
 		return subtreeInfo{rows: rows, cols: outer.cols + cols, width: outer.width + width}
 
 	case *plan.AggNode:
@@ -171,25 +337,25 @@ func (tr *Translator) visit(n plan.Node, out *[]OUInvocation) subtreeInfo {
 			card = 1
 		}
 		entryBytes := 8.0*float64(len(v.GroupBy)) + 24*float64(len(v.Aggs)) + 16
-		*out = append(*out, OUInvocation{ou.AggBuild,
-			ou.ExecFeatures(child.rows, child.cols, child.width, card, entryBytes, 1, tr.compiled())})
+		*out = append(*out, OUInvocation{Kind: ou.AggBuild,
+			Features: ou.ExecFeatures(child.rows, child.cols, child.width, card, entryBytes, 1, tr.compiled())})
 		outCols := float64(len(v.GroupBy) + len(v.Aggs))
-		*out = append(*out, OUInvocation{ou.AggProbe,
-			ou.ExecFeatures(card, outCols, entryBytes, card, entryBytes, 1, tr.compiled())})
+		*out = append(*out, OUInvocation{Kind: ou.AggProbe,
+			Features: ou.ExecFeatures(card, outCols, entryBytes, card, entryBytes, 1, tr.compiled())})
 		// Downstream operators see the materialized group tuples, not the
 		// hash-table entries.
 		return subtreeInfo{rows: card, cols: outCols, width: 8 * outCols}
 
 	case *plan.SortNode:
 		child := tr.visit(v.Child, out)
-		*out = append(*out, OUInvocation{ou.SortBuild,
-			ou.ExecFeatures(child.rows, child.cols, child.width, float64(len(v.Keys)), 0, 1, tr.compiled())})
+		*out = append(*out, OUInvocation{Kind: ou.SortBuild,
+			Features: ou.ExecFeatures(child.rows, child.cols, child.width, float64(len(v.Keys)), 0, 1, tr.compiled())})
 		outRows := child.rows
 		if v.Limit > 0 && float64(v.Limit) < outRows {
 			outRows = float64(v.Limit)
 		}
-		*out = append(*out, OUInvocation{ou.SortIter,
-			ou.ExecFeatures(outRows, child.cols, child.width, float64(len(v.Keys)), 0, 1, tr.compiled())})
+		*out = append(*out, OUInvocation{Kind: ou.SortIter,
+			Features: ou.ExecFeatures(outRows, child.cols, child.width, float64(len(v.Keys)), 0, 1, tr.compiled())})
 		return subtreeInfo{rows: outRows, cols: child.cols, width: child.width}
 
 	case *plan.ProjectNode:
@@ -198,41 +364,41 @@ func (tr *Translator) visit(n plan.Node, out *[]OUInvocation) subtreeInfo {
 		for _, e := range v.Exprs {
 			opsPerRow += e.Ops()
 		}
-		*out = append(*out, OUInvocation{ou.Arithmetic,
-			ou.ArithmeticFeatures(child.rows*opsPerRow, tr.compiled())})
+		*out = append(*out, OUInvocation{Kind: ou.Arithmetic,
+			Features: ou.ArithmeticFeatures(child.rows*opsPerRow, tr.compiled())})
 		return subtreeInfo{rows: child.rows, cols: float64(len(v.Exprs)), width: 8 * float64(len(v.Exprs))}
 
 	case *plan.FilterNode:
 		child := tr.visit(v.Child, out)
-		*out = append(*out, OUInvocation{ou.Arithmetic,
-			ou.ArithmeticFeatures(child.rows*v.Pred.Ops(), tr.compiled())})
+		*out = append(*out, OUInvocation{Kind: ou.Arithmetic,
+			Features: ou.ArithmeticFeatures(child.rows*v.Pred.Ops(), tr.compiled())})
 		return subtreeInfo{rows: tr.noisy(v.Rows.Rows), cols: child.cols, width: child.width}
 
 	case *plan.InsertNode:
 		cols, width := tr.tableInfo(v.Table)
 		rows := float64(len(v.Tuples))
-		*out = append(*out, OUInvocation{ou.Insert,
-			ou.ExecFeatures(rows, cols, width, 0, 0, 1, tr.compiled())})
+		*out = append(*out, OUInvocation{Kind: ou.Insert,
+			Features: ou.ExecFeatures(rows, cols, width, 0, 0, 1, tr.compiled())})
 		return subtreeInfo{rows: rows, cols: cols, width: width}
 
 	case *plan.UpdateNode:
 		child := tr.visit(v.Child, out)
 		cols, width := tr.tableInfo(v.Table)
-		*out = append(*out, OUInvocation{ou.Update,
-			ou.ExecFeatures(child.rows, cols, width, 0, 0, 1, tr.compiled())})
+		*out = append(*out, OUInvocation{Kind: ou.Update,
+			Features: ou.ExecFeatures(child.rows, cols, width, 0, 0, 1, tr.compiled())})
 		return subtreeInfo{rows: child.rows, cols: cols, width: width}
 
 	case *plan.DeleteNode:
 		child := tr.visit(v.Child, out)
 		cols, width := tr.tableInfo(v.Table)
-		*out = append(*out, OUInvocation{ou.Delete,
-			ou.ExecFeatures(child.rows, cols, width, 0, 0, 1, tr.compiled())})
+		*out = append(*out, OUInvocation{Kind: ou.Delete,
+			Features: ou.ExecFeatures(child.rows, cols, width, 0, 0, 1, tr.compiled())})
 		return subtreeInfo{rows: child.rows, cols: cols, width: width}
 
 	case *plan.OutputNode:
 		child := tr.visit(v.Child, out)
-		*out = append(*out, OUInvocation{ou.Output,
-			ou.ExecFeatures(child.rows, child.cols, child.width, 0, 0, 1, tr.compiled())})
+		*out = append(*out, OUInvocation{Kind: ou.Output,
+			Features: ou.ExecFeatures(child.rows, child.cols, child.width, 0, 0, 1, tr.compiled())})
 		return child
 
 	default:
@@ -278,7 +444,7 @@ func (tr *Translator) TranslateIndexBuild(a IndexBuildAction) []OUInvocation {
 	feats := ou.IndexBuildFeatures(rows, float64(len(a.KeyCols)), keyBytes, card, float64(effective))
 	out := make([]OUInvocation, effective)
 	for i := range out {
-		out[i] = OUInvocation{ou.IndexBuild, feats}
+		out[i] = OUInvocation{Kind: ou.IndexBuild, Features: feats}
 	}
 	return out
 }
@@ -303,9 +469,9 @@ func (tr *Translator) TranslateMaintenance(s MaintenanceStats) []OUInvocation {
 	records := s.Writes + s.Txns // one redo record per write + commit records
 	buffers := s.RedoBytes / s.LogBufBytes
 	return []OUInvocation{
-		{ou.GC, ou.GCFeatures(s.Txns, s.Writes, s.IntervalUS)},
-		{ou.LogSerialize, ou.LogSerializeFeatures(records, s.RedoBytes, buffers, s.IntervalUS)},
-		{ou.LogFlush, ou.LogFlushFeatures(s.RedoBytes, buffers, s.IntervalUS)},
+		{Kind: ou.GC, Features: ou.GCFeatures(s.Txns, s.Writes, s.IntervalUS)},
+		{Kind: ou.LogSerialize, Features: ou.LogSerializeFeatures(records, s.RedoBytes, buffers, s.IntervalUS)},
+		{Kind: ou.LogFlush, Features: ou.LogFlushFeatures(s.RedoBytes, buffers, s.IntervalUS)},
 	}
 }
 
@@ -313,5 +479,5 @@ func (tr *Translator) TranslateMaintenance(s MaintenanceStats) []OUInvocation {
 // executed transactionally at the given arrival rate.
 func (tr *Translator) TranslateTxn(txnRate, activeTxns float64) []OUInvocation {
 	f := ou.TxnFeatures(txnRate, activeTxns)
-	return []OUInvocation{{ou.TxnBegin, f}, {ou.TxnCommit, f}}
+	return []OUInvocation{{Kind: ou.TxnBegin, Features: f}, {Kind: ou.TxnCommit, Features: f}}
 }

@@ -14,7 +14,10 @@ import "math"
 // Kind identifies one operating unit.
 type Kind int
 
-// The 19 operating units of NoisePage (Table 1).
+// The 19 operating units of NoisePage (Table 1), followed by the
+// partitioned-execution OUs this reproduction adds for intra-query
+// parallelism (parallel scans, partition-wise join probes, and the exchange
+// operator that merges per-partition streams).
 const (
 	SeqScan Kind = iota
 	IdxScan
@@ -35,8 +38,15 @@ const (
 	LogFlush
 	TxnBegin
 	TxnCommit
+	ParallelScan
+	PartitionProbe
+	ExchangeMerge
 
-	NumKinds = int(TxnCommit) + 1
+	// PaperKinds counts the OUs of the paper's Table 1; kinds at or beyond
+	// this index are extensions (partitioned execution).
+	PaperKinds = int(TxnCommit) + 1
+
+	NumKinds = int(ExchangeMerge) + 1
 )
 
 // Type categorizes an OU's behavior pattern (Sec 4.2), which determines what
@@ -120,6 +130,15 @@ var specs = [NumKinds]Spec{
 		[]string{"txn_rate", "active_txns"}, 0, -1, false, -1},
 	TxnCommit: {TxnCommit, "TXN_COMMIT", Contending,
 		[]string{"txn_rate", "active_txns"}, 0, -1, false, -1},
+	// Partitioned-execution OUs. The dop and num_partitions features are
+	// knobs (the self-driving actions "set DOP" and "repartition" move them),
+	// mirroring how exec_mode rides along on the execution OUs.
+	ParallelScan: {ParallelScan, "PARALLEL_SCAN", Singular,
+		[]string{"num_rows", "num_cols", "tuple_bytes", "num_partitions", "dop", "exec_mode"}, 3, 0, false, -1},
+	PartitionProbe: {PartitionProbe, "PARTITION_PROBE", Singular,
+		[]string{"num_rows", "num_cols", "tuple_bytes", "cardinality", "payload_bytes", "dop", "exec_mode"}, 2, 0, false, -1},
+	ExchangeMerge: {ExchangeMerge, "EXCHANGE_MERGE", Singular,
+		[]string{"num_rows", "tuple_bytes", "num_partitions", "dop", "exec_mode"}, 3, 0, false, -1},
 }
 
 // Get returns the spec for a kind.
@@ -220,4 +239,48 @@ func LogFlushFeatures(bytes, buffers, intervalUS float64) []float64 {
 // TxnFeatures builds the transaction begin/commit contending OU features.
 func TxnFeatures(txnRate, activeTxns float64) []float64 {
 	return []float64{txnRate, activeTxns}
+}
+
+// ParallelScanFeatures builds the per-partition parallel scan OU features.
+func ParallelScanFeatures(rows, cols, tupleBytes, partitions, dop float64, compiled bool) []float64 {
+	mode := 0.0
+	if compiled {
+		mode = 1
+	}
+	if partitions < 1 {
+		partitions = 1
+	}
+	if dop < 1 {
+		dop = 1
+	}
+	return []float64{rows, cols, tupleBytes, partitions, dop, mode}
+}
+
+// PartitionProbeFeatures builds the partition-wise hash-join OU features
+// (one invocation per partition pair: build plus probe of that partition).
+func PartitionProbeFeatures(rows, cols, tupleBytes, cardinality, payloadBytes, dop float64, compiled bool) []float64 {
+	mode := 0.0
+	if compiled {
+		mode = 1
+	}
+	if dop < 1 {
+		dop = 1
+	}
+	return []float64{rows, cols, tupleBytes, cardinality, payloadBytes, dop, mode}
+}
+
+// ExchangeMergeFeatures builds the exchange-merge OU features (the
+// partition-order concatenation of per-partition result streams).
+func ExchangeMergeFeatures(rows, tupleBytes, partitions, dop float64, compiled bool) []float64 {
+	mode := 0.0
+	if compiled {
+		mode = 1
+	}
+	if partitions < 1 {
+		partitions = 1
+	}
+	if dop < 1 {
+		dop = 1
+	}
+	return []float64{rows, tupleBytes, partitions, dop, mode}
 }

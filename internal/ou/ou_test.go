@@ -6,8 +6,11 @@ import (
 )
 
 func TestTableOneFidelity(t *testing.T) {
-	if NumKinds != 19 {
-		t.Fatalf("paper defines 19 OUs, have %d", NumKinds)
+	if PaperKinds != 19 {
+		t.Fatalf("paper defines 19 OUs, have %d", PaperKinds)
+	}
+	if NumKinds != PaperKinds+3 {
+		t.Fatalf("expected the 19 paper OUs plus 3 partition OUs, have %d", NumKinds)
 	}
 	// Feature counts from Table 1.
 	wantFeatures := map[Kind]int{
@@ -33,11 +36,18 @@ func TestTableOneFidelity(t *testing.T) {
 			t.Errorf("%v: type %v, want %v", k, got, want)
 		}
 	}
-	// Knob counts: txn OUs have none, everything else has one.
+	// Knob counts: txn OUs have none, the partition OUs carry the dop (and,
+	// for scans and merges, partition-count) knobs on top of exec_mode,
+	// everything else has one.
 	for _, s := range All() {
 		want := 1
-		if s.Kind == TxnBegin || s.Kind == TxnCommit {
+		switch s.Kind {
+		case TxnBegin, TxnCommit:
 			want = 0
+		case ParallelScan, ExchangeMerge:
+			want = 3
+		case PartitionProbe:
+			want = 2
 		}
 		if s.KnobCount != want {
 			t.Errorf("%v: %d knobs, want %d", s.Kind, s.KnobCount, want)
@@ -129,6 +139,15 @@ func TestFeatureBuilders(t *testing.T) {
 	}
 	if f7 := TxnFeatures(1, 2); len(f7) != 2 {
 		t.Fatalf("TxnFeatures = %v", f7)
+	}
+	if f8 := ParallelScanFeatures(10, 2, 16, 4, 2, true); len(f8) != 6 || f8[5] != 1 {
+		t.Fatalf("ParallelScanFeatures = %v", f8)
+	}
+	if f9 := PartitionProbeFeatures(10, 2, 16, 5, 32, 2, false); len(f9) != 7 || f9[6] != 0 {
+		t.Fatalf("PartitionProbeFeatures = %v", f9)
+	}
+	if f10 := ExchangeMergeFeatures(10, 16, 0, 0, true); len(f10) != 5 || f10[2] != 1 || f10[3] != 1 {
+		t.Fatalf("ExchangeMergeFeatures = %v", f10)
 	}
 }
 

@@ -23,13 +23,21 @@ type ActionKind int
 const (
 	ActionModeChange ActionKind = iota
 	ActionIndexBuild
+	ActionRepartition
+	ActionSetDOP
 )
 
 func (k ActionKind) String() string {
-	if k == ActionModeChange {
+	switch k {
+	case ActionModeChange:
 		return "mode-change"
+	case ActionIndexBuild:
+		return "index-build"
+	case ActionRepartition:
+		return "repartition"
+	default:
+		return "set-dop"
 	}
-	return "index-build"
 }
 
 // IndexCandidate is one hot predicate column set worth indexing: a table,
@@ -56,6 +64,10 @@ type Action struct {
 	// Index and Threads describe the build (ActionIndexBuild).
 	Index   *IndexCandidate
 	Threads int
+	// Partitions is the target hash-partition count (ActionRepartition).
+	Partitions int
+	// DOP is the target scan degree of parallelism (ActionSetDOP).
+	DOP int
 
 	// PredictedImprovement is the relative reduction in forecast average
 	// query latency the action promises (0 = none; always finite).
@@ -63,6 +75,7 @@ type Action struct {
 
 	ModeDecision  *ModeDecision
 	IndexDecision *IndexDecision
+	KnobDecision  *KnobDecision
 }
 
 // String renders the action for logs.
@@ -70,6 +83,11 @@ func (a Action) String() string {
 	switch a.Kind {
 	case ActionModeChange:
 		return fmt.Sprintf("mode-change to %v (improvement %.1f%%)", a.Mode, a.PredictedImprovement*100)
+	case ActionRepartition:
+		return fmt.Sprintf("repartition to %d partitions (improvement %.1f%%)",
+			a.Partitions, a.PredictedImprovement*100)
+	case ActionSetDOP:
+		return fmt.Sprintf("set-dop to %d (improvement %.1f%%)", a.DOP, a.PredictedImprovement*100)
 	default:
 		return fmt.Sprintf("index-build %s on %s%v threads=%d (improvement %.1f%%)",
 			a.Index.Name, a.Index.Table, a.Index.KeyColNames, a.Threads, a.PredictedImprovement*100)
@@ -86,6 +104,12 @@ type CandidateConfig struct {
 	// MaxIndexCandidates caps how many index candidates are evaluated per
 	// planning step, heaviest first (0 = all).
 	MaxIndexCandidates int
+	// PartitionCandidates are the hash-partition counts to evaluate as
+	// repartition actions (nil = {1, 2, 4, 8}; the live count is skipped).
+	PartitionCandidates []int
+	// DOPCandidates are the scan DOPs to evaluate as set-dop actions
+	// (nil = {1, 2, 4}; the live DOP is skipped).
+	DOPCandidates []int
 }
 
 // eqConsts walks a conjunctive predicate collecting col = const terms into
@@ -314,11 +338,13 @@ func (c IndexCandidate) RewriteForecast(f modeling.IntervalForecast) (modeling.I
 }
 
 // PlanActions generates and ranks candidate actions for the forecasted
-// interval: an execution-mode flip (when the other mode predicts lower
-// latency) and an index build per hot predicate column set, each evaluated
-// at the configured thread counts. Actions come back sorted by predicted
-// improvement, best first, deterministically tie-broken; actions predicting
-// no improvement are dropped.
+// interval across all four families: an execution-mode flip (when the other
+// mode predicts lower latency), an index build per hot predicate column set
+// evaluated at the configured thread counts, a repartition per candidate
+// partition count, and a DOP change per candidate scan DOP — the knob
+// actions evaluated with what-if translator overrides. Actions come back
+// sorted by predicted improvement, best first, deterministically
+// tie-broken; actions predicting no improvement are dropped.
 func (p *Planner) PlanActions(mode catalog.ExecutionMode, f modeling.IntervalForecast, cfg CandidateConfig) ([]Action, error) {
 	var out []Action
 
@@ -369,6 +395,54 @@ func (p *Planner) PlanActions(mode catalog.ExecutionMode, f modeling.IntervalFor
 		})
 	}
 
+	curParts := normalizeKnob(p.DB.Knobs().PartitionCount)
+	partCands := cfg.PartitionCandidates
+	if len(partCands) == 0 {
+		partCands = []int{1, 2, 4, 8}
+	}
+	for _, parts := range partCands {
+		if parts < 1 || parts == curParts {
+			continue
+		}
+		d, err := p.EvaluateKnobShift(mode, f, parts, 0)
+		if err != nil {
+			return nil, err
+		}
+		if d.PredictedReduction <= 0 {
+			continue
+		}
+		kd := d
+		out = append(out, Action{
+			Kind: ActionRepartition, Partitions: parts,
+			PredictedImprovement: d.PredictedReduction,
+			KnobDecision:         &kd,
+		})
+	}
+
+	curDOP := normalizeKnob(p.DB.Knobs().ScanDOP)
+	dopCands := cfg.DOPCandidates
+	if len(dopCands) == 0 {
+		dopCands = []int{1, 2, 4}
+	}
+	for _, dop := range dopCands {
+		if dop < 1 || dop == curDOP {
+			continue
+		}
+		d, err := p.EvaluateKnobShift(mode, f, 0, dop)
+		if err != nil {
+			return nil, err
+		}
+		if d.PredictedReduction <= 0 {
+			continue
+		}
+		kd := d
+		out = append(out, Action{
+			Kind: ActionSetDOP, DOP: dop,
+			PredictedImprovement: d.PredictedReduction,
+			KnobDecision:         &kd,
+		})
+	}
+
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].PredictedImprovement != out[j].PredictedImprovement {
 			return out[i].PredictedImprovement > out[j].PredictedImprovement
@@ -376,9 +450,23 @@ func (p *Planner) PlanActions(mode catalog.ExecutionMode, f modeling.IntervalFor
 		if out[i].Kind != out[j].Kind {
 			return out[i].Kind < out[j].Kind
 		}
-		return out[i].Index != nil && out[j].Index != nil && out[i].Index.Name < out[j].Index.Name
+		if out[i].Index != nil && out[j].Index != nil && out[i].Index.Name != out[j].Index.Name {
+			return out[i].Index.Name < out[j].Index.Name
+		}
+		if out[i].Partitions != out[j].Partitions {
+			return out[i].Partitions < out[j].Partitions
+		}
+		return out[i].DOP < out[j].DOP
 	})
 	return out, nil
+}
+
+// normalizeKnob floors a partition-count or DOP knob at its serial value.
+func normalizeKnob(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
 }
 
 // BuildHandle tracks an in-progress index build applied against the
@@ -396,8 +484,10 @@ type BuildHandle struct {
 	Remaining []float64
 }
 
-// Apply executes the action against the running database. A mode change
-// takes effect immediately (knob write). An index build starts the
+// Apply executes the action against the running database. A mode change,
+// repartition, or DOP change takes effect immediately (knob write; the
+// repartition rebuilds the partition directories in place). An index build
+// starts the
 // physical materialization under a private name and returns a handle the
 // caller advances each interval; the action is not visible to query
 // planning until the handle's Publish. col, when non-nil, receives the
@@ -407,6 +497,20 @@ func (p *Planner) Apply(a Action, col *metrics.Collector) (*BuildHandle, error) 
 	case ActionModeChange:
 		k := p.DB.Knobs()
 		k.ExecutionMode = a.Mode
+		p.DB.SetKnobs(k)
+		return nil, nil
+	case ActionRepartition:
+		if a.Partitions < 1 {
+			return nil, fmt.Errorf("planner: repartition action with %d partitions", a.Partitions)
+		}
+		p.DB.Repartition(nil, a.Partitions)
+		return nil, nil
+	case ActionSetDOP:
+		if a.DOP < 1 {
+			return nil, fmt.Errorf("planner: set-dop action with dop %d", a.DOP)
+		}
+		k := p.DB.Knobs()
+		k.ScanDOP = a.DOP
 		p.DB.SetKnobs(k)
 		return nil, nil
 	case ActionIndexBuild:

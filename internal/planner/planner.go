@@ -1,7 +1,8 @@
 // Package planner implements the self-driving DBMS's decision side: it
 // consumes MB2's behavior-model predictions to evaluate candidate actions —
-// changing the execution-mode knob and building an index with a chosen
-// degree of parallelism — estimating each action's cost, impact on the
+// changing the execution-mode knob, building an index with a chosen degree
+// of parallelism, repartitioning the tables, and raising or lowering the
+// scan DOP — estimating each action's cost, impact on the
 // running workload, and benefit (Secs 2.1, 8.7). It also provides the
 // interval-timeline simulator used by the end-to-end experiments.
 package planner
@@ -89,6 +90,58 @@ func (p *Planner) EvaluateModeChange(f modeling.IntervalForecast) (ModeDecision,
 		}
 	}
 	d.PredictedReduction = finiteOr(d.PredictedReduction, 0)
+	return d, nil
+}
+
+// KnobDecision compares the live partitioning/DOP knobs against a
+// hypothetical setting for a forecasted workload.
+type KnobDecision struct {
+	// Partitions and DOP are the hypothetical knob values; 0 leaves the
+	// corresponding knob at its live value.
+	Partitions int
+	DOP        int
+
+	BaselineLatencyUS float64
+	AfterLatencyUS    float64
+	// PredictedReduction is the relative latency reduction of adopting the
+	// setting (0 when it does not help; always finite).
+	PredictedReduction float64
+}
+
+// String renders the decision for logs.
+func (d KnobDecision) String() string {
+	return fmt.Sprintf("parts=%d dop=%d baseline=%.1fus after=%.1fus (reduction %.1f%%)",
+		d.Partitions, d.DOP, d.BaselineLatencyUS, d.AfterLatencyUS, d.PredictedReduction*100)
+}
+
+// EvaluateKnobShift predicts the forecasted workload's average latency under
+// a hypothetical partition-count/DOP setting, using translator what-if
+// overrides rather than touching the engine. parts or dop <= 0 leaves that
+// knob at its live value. Unlike an index build, adopting the setting is
+// near-instantaneous (a knob write plus a directory rebuild), so the
+// decision has no during-action phase: only baseline versus after.
+//
+// The what-if translator deliberately carries no prediction cache — plan
+// fingerprints do not encode the overrides, so cached entries would alias
+// the live configuration (see Translator.PartitionsOverride).
+func (p *Planner) EvaluateKnobShift(mode catalog.ExecutionMode, f modeling.IntervalForecast, parts, dop int) (KnobDecision, error) {
+	d := KnobDecision{Partitions: parts, DOP: dop}
+	base, err := p.Models.PredictInterval(p.translator(mode), f, nil)
+	if err != nil {
+		return d, err
+	}
+	wtr := modeling.NewTranslator(p.DB, mode)
+	wtr.PartitionsOverride = parts
+	wtr.DOPOverride = dop
+	after, err := p.Models.PredictInterval(wtr, f, nil)
+	if err != nil {
+		return d, err
+	}
+	d.BaselineLatencyUS = finiteOr(base.AvgQueryLatencyUS, 0)
+	d.AfterLatencyUS = finiteOr(after.AvgQueryLatencyUS, 0)
+	if d.BaselineLatencyUS > 0 && d.AfterLatencyUS < d.BaselineLatencyUS {
+		d.PredictedReduction = finiteOr(1-d.AfterLatencyUS/d.BaselineLatencyUS, 0)
+	}
 	return d, nil
 }
 

@@ -164,6 +164,125 @@ func TestChooseIndexThreadsTradeoff(t *testing.T) {
 	}
 }
 
+// partitionedScanDB builds a database whose table is hash-partitioned at
+// the given count (ScanDOP stays at the serial default).
+func partitionedScanDB(t *testing.T, rows, parts int) *engine.DB {
+	t.Helper()
+	knobs := catalog.DefaultKnobs()
+	knobs.PartitionCount = parts
+	db := engine.Open(knobs)
+	schema := catalog.NewSchema(
+		catalog.Column{Name: "id", Type: catalog.Int64},
+		catalog.Column{Name: "grp", Type: catalog.Int64},
+	)
+	if _, err := db.CreateTable("t", schema); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]storage.Tuple, rows)
+	for i := range data {
+		data[i] = storage.Tuple{storage.NewInt(int64(i)), storage.NewInt(int64(i % 50))}
+	}
+	if err := db.BulkLoad("t", data); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestPlanActionsRanksAllFourFamilies: from a live state of 4 partitions at
+// DOP 1, the planner must surface all four action families in one ranked
+// list — the mode flip (compiled beats interpreted for scans), an index
+// build for the hot equality predicate, a DOP raise (parallelism is free
+// win at 4 partitions), and a repartition (at DOP 1 the partition brackets
+// and merge are pure overhead, so fewer partitions predict lower latency).
+func TestPlanActionsRanksAllFourFamilies(t *testing.T) {
+	ms := sharedModels(t)
+	db := partitionedScanDB(t, 4000, 4)
+	p := New(db, ms)
+	f := modeling.IntervalForecast{
+		Queries: []modeling.ForecastQuery{
+			{Plan: &plan.SeqScanNode{Table: "t",
+				Filter: plan.Cmp{Op: plan.LT, L: plan.Col(0), R: plan.IntConst(2000)},
+				Rows:   plan.Estimates{Rows: 2000}}, Count: 10},
+			{Plan: &plan.SeqScanNode{Table: "t",
+				Filter: plan.Cmp{Op: plan.EQ, L: plan.Col(1), R: plan.IntConst(7)},
+				Rows:   plan.Estimates{Rows: 80}}, Count: 10},
+		},
+		IntervalUS: 100000,
+		Threads:    2,
+	}
+	actions, err := p.PlanActions(catalog.Interpret, f, CandidateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[ActionKind]Action{}
+	for _, a := range actions {
+		if a.PredictedImprovement <= 0 {
+			t.Fatalf("action with no predicted improvement survived: %v", a)
+		}
+		if _, ok := seen[a.Kind]; !ok {
+			seen[a.Kind] = a
+		}
+		if a.String() == "" {
+			t.Fatal("action must render")
+		}
+	}
+	for _, k := range []ActionKind{ActionModeChange, ActionIndexBuild, ActionRepartition, ActionSetDOP} {
+		if _, ok := seen[k]; !ok {
+			t.Fatalf("action family %v missing from ranked list %v", k, actions)
+		}
+	}
+	for i := 1; i < len(actions); i++ {
+		if actions[i].PredictedImprovement > actions[i-1].PredictedImprovement {
+			t.Fatalf("actions not sorted by improvement at %d: %v", i, actions)
+		}
+	}
+	if a := seen[ActionSetDOP]; a.DOP < 2 || a.KnobDecision == nil {
+		t.Fatalf("set-dop action malformed: %+v", a)
+	}
+	if a := seen[ActionRepartition]; a.Partitions == 4 || a.Partitions < 1 || a.KnobDecision == nil {
+		t.Fatalf("repartition action malformed: %+v", a)
+	}
+	// The knob decisions must carry consistent latency pairs.
+	for _, k := range []ActionKind{ActionRepartition, ActionSetDOP} {
+		d := seen[k].KnobDecision
+		if d.BaselineLatencyUS <= 0 || d.AfterLatencyUS <= 0 || d.AfterLatencyUS >= d.BaselineLatencyUS {
+			t.Fatalf("%v decision inconsistent: %+v", k, d)
+		}
+	}
+}
+
+// TestApplyKnobActions: applying repartition and set-dop actions must change
+// the engine's live state (knobs and physical partition directories).
+func TestApplyKnobActions(t *testing.T) {
+	ms := sharedModels(t)
+	db := partitionedScanDB(t, 500, 1)
+	p := New(db, ms)
+	if h, err := p.Apply(Action{Kind: ActionRepartition, Partitions: 4}, nil); err != nil || h != nil {
+		t.Fatalf("repartition apply: handle=%v err=%v", h, err)
+	}
+	if got := db.Table("t").PartitionCount(); got != 4 {
+		t.Fatalf("table not repartitioned: %d", got)
+	}
+	if got := db.Knobs().PartitionCount; got != 4 {
+		t.Fatalf("knob not updated: %d", got)
+	}
+	if err := db.Table("t").CheckPartitionInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if h, err := p.Apply(Action{Kind: ActionSetDOP, DOP: 2}, nil); err != nil || h != nil {
+		t.Fatalf("set-dop apply: handle=%v err=%v", h, err)
+	}
+	if got := db.Knobs().ScanDOP; got != 2 {
+		t.Fatalf("scan dop knob = %d", got)
+	}
+	if _, err := p.Apply(Action{Kind: ActionRepartition}, nil); err == nil {
+		t.Fatal("zero-partition repartition must error")
+	}
+	if _, err := p.Apply(Action{Kind: ActionSetDOP}, nil); err == nil {
+		t.Fatal("zero-dop set-dop must error")
+	}
+}
+
 func TestSimulateBuildLifecycle(t *testing.T) {
 	_ = sharedModels(t)
 	db, templates := scanDB(t, 3000)

@@ -30,6 +30,11 @@ type ConcurrentConfig struct {
 	// runtime.GOMAXPROCS(0), 1 is the serial path. Samples are merged in
 	// cell order, so results are identical at every setting.
 	Jobs int
+	// DOP is the per-query scan DOP each worker thread executes with
+	// (<= 1 serial). Partitioned tables fan their scans over DOP chains
+	// inside every worker, so interference samples cover concurrent
+	// partition workers contending for the machine.
+	DOP int
 }
 
 // DefaultConcurrentConfig returns the standard setup: 1-second intervals on
@@ -74,6 +79,7 @@ func ExecuteInterval(db *engine.DB, cfg ConcurrentConfig, templates []QueryTempl
 			Tracker:    metrics.NewTracker(nil, th),
 			Mode:       cfg.Mode,
 			Contenders: float64(len(assignment)),
+			DOP:        cfg.DOP,
 		}
 		var total hw.Metrics
 		for _, ti := range list {

@@ -41,6 +41,12 @@ type Config struct {
 	// measurements (default 0.2 per Sec 6.2; negative selects a plain
 	// mean, used by the robust-statistics ablation).
 	TrimFrac float64
+	// MaxPartitions and MaxDOP cap the partition runner's sweep ladders
+	// (partition counts {2,4,8}, DOP {1,2,4}). <= 0 keeps the full
+	// ladder; lower caps shrink the partition-OU sweep without touching
+	// any other unit, so digests of the surviving cells are unchanged.
+	MaxPartitions int
+	MaxDOP        int
 
 	// noiseBase is the per-unit noise seed base, pre-derived by
 	// SweepUnit.Run as Seed ^ fnv64a(unit name). It makes a unit's noise
@@ -252,7 +258,8 @@ func ouRunner(name string, ous []ou.Kind, units func(cfg Config) []SweepUnit) OU
 	}
 }
 
-// AllRunners returns every OU-runner, covering all 19 OUs.
+// AllRunners returns every OU-runner, covering the 19 paper OUs plus the
+// partitioned-execution extension OUs.
 func AllRunners() []OURunner {
 	return []OURunner{
 		ouRunner("seq_scan", []ou.Kind{ou.SeqScan, ou.Arithmetic}, seqScanUnits),
@@ -266,6 +273,7 @@ func AllRunners() []OURunner {
 		ouRunner("gc", []ou.Kind{ou.GC}, gcUnits),
 		ouRunner("wal", []ou.Kind{ou.LogSerialize, ou.LogFlush}, walUnits),
 		ouRunner("txn", []ou.Kind{ou.TxnBegin, ou.TxnCommit}, txnUnits),
+		ouRunner("partition", []ou.Kind{ou.ParallelScan, ou.PartitionProbe, ou.ExchangeMerge}, partitionUnits),
 	}
 }
 

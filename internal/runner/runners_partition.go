@@ -1,0 +1,85 @@
+package runner
+
+import (
+	"fmt"
+
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/metrics"
+	"mb2/internal/ou"
+	"mb2/internal/plan"
+)
+
+// partitionedScratchDB builds a fresh database whose tables hash-partition
+// on their leading column at the requested count (the PartitionCount knob
+// at CreateTable time).
+func partitionedScratchDB(cfg Config, name string, rows, extraCols, card, parts int) *engine.DB {
+	knobs := catalog.DefaultKnobs()
+	knobs.PartitionCount = parts
+	db := engine.Open(knobs)
+	addScratchTable(db, cfg, name, rows, extraCols, card)
+	return db
+}
+
+// partitionUnits sweeps the intra-query parallelism feature space:
+// partition count x DOP x table shape x execution mode over partitioned
+// scratch tables. Parallel scans train PARALLEL_SCAN and EXCHANGE_MERGE;
+// partition-wise joins (both sides partitioned on the join key) train
+// PARTITION_PROBE. One unit per (rows, parts, cols) cell — each owns its
+// partitioned scratch database, preserving the RunAll determinism contract.
+func partitionUnits(cfg Config) []SweepUnit {
+	capped := func(ladder []int, max int) []int {
+		if max <= 0 {
+			return ladder
+		}
+		out := ladder[:0:0]
+		for _, v := range ladder {
+			if v <= max {
+				out = append(out, v)
+			}
+		}
+		if len(out) == 0 {
+			out = ladder[:1]
+		}
+		return out
+	}
+	partLadder := capped([]int{2, 4, 8}, cfg.MaxPartitions)
+	dopLadder := capped([]int{1, 2, 4}, cfg.MaxDOP)
+	var units []SweepUnit
+	for _, rows := range rowLadder(cfg.MaxRows) {
+		for _, parts := range partLadder {
+			for _, extraCols := range []int{0, 4} {
+				units = append(units, SweepUnit{
+					Name: fmt.Sprintf("partition/rows=%d,parts=%d,cols=%d", rows, parts, extraCols),
+					run: func(repo *metrics.Repository, cfg Config) {
+						db := partitionedScratchDB(cfg, "pt", rows, extraCols, rows/4+1, parts)
+						addScratchTable(db, cfg, "pd", rows/2+1, 1, rows/4+1)
+						join := &plan.HashJoinNode{
+							Left:      &plan.SeqScanNode{Table: "pd"},
+							Right:     &plan.SeqScanNode{Table: "pt"},
+							LeftKeys:  []int{0},
+							RightKeys: []int{0},
+						}
+						for _, mode := range modes {
+							for _, dop := range dopLadder {
+								measure(repo, cfg, func(col *metrics.Collector) {
+									col.EnableOnly(ou.ParallelScan, ou.ExchangeMerge)
+									ctx := ctxFor(db, cfg, col, mode)
+									ctx.DOP = dop
+									mustExec(ctx, &plan.SeqScanNode{Table: "pt"})
+								})
+								measure(repo, cfg, func(col *metrics.Collector) {
+									col.EnableOnly(ou.PartitionProbe, ou.ExchangeMerge)
+									ctx := ctxFor(db, cfg, col, mode)
+									ctx.DOP = dop
+									mustExec(ctx, join)
+								})
+							}
+						}
+					},
+				})
+			}
+		}
+	}
+	return units
+}

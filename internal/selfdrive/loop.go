@@ -50,6 +50,15 @@ type Config struct {
 	// run digest only when enabled, so CrashEvery=0 runs keep their digest.
 	CrashEvery int
 
+	// Partitions and DOP seed the engine's partitioning knobs at open
+	// (<= 1 keeps the serial defaults, preserving historical digests).
+	// PartitionCandidates and DOPCandidates are the repartition / set-dop
+	// action spaces the planner weighs (nil selects the planner defaults).
+	Partitions          int
+	DOP                 int
+	PartitionCandidates []int
+	DOPCandidates       []int
+
 	// Workload shape: TPC-C customers per district, and the
 	// customer-lookup share ramp (base + perInterval*i, capped at max) that
 	// makes the workload drift.
@@ -140,7 +149,7 @@ func (cfg Config) customerCount(i int) int {
 // AppliedAction records one action the loop applied.
 type AppliedAction struct {
 	Interval             int     `json:"interval"`
-	Kind                 string  `json:"kind"` // mode-change | index-build-start | index-publish
+	Kind                 string  `json:"kind"` // mode-change | index-build-start | index-publish | repartition | set-dop
 	Detail               string  `json:"detail"`
 	PredictedImprovement float64 `json:"predicted_improvement"`
 }
@@ -156,7 +165,10 @@ type IntervalReport struct {
 	Mode                  catalog.ExecutionMode `json:"mode"`
 	Building              bool                  `json:"building"`
 	IndexLive             bool                  `json:"index_live"`
-	WallUS                float64               `json:"wall_us"`
+	// DOP and Partitions are the live knob values the interval ran with.
+	DOP        int     `json:"dop"`
+	Partitions int     `json:"partitions"`
+	WallUS     float64 `json:"wall_us"`
 }
 
 // Result is the full run outcome.
@@ -198,6 +210,12 @@ func (r *Result) IndexBuilds() int { return r.countKind("index-build-start") }
 // IndexPublishes counts builds that completed and went live.
 func (r *Result) IndexPublishes() int { return r.countKind("index-publish") }
 
+// Repartitions counts applied repartition actions.
+func (r *Result) Repartitions() int { return r.countKind("repartition") }
+
+// DOPChanges counts applied set-dop actions.
+func (r *Result) DOPChanges() int { return r.countKind("set-dop") }
+
 func (r *Result) countKind(kind string) int {
 	n := 0
 	for _, a := range r.Actions {
@@ -213,7 +231,14 @@ func (r *Result) countKind(kind string) int {
 // determinism scheme.
 func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 	cfg = cfg.withDefaults()
-	db := engine.Open(catalog.DefaultKnobs())
+	knobs := catalog.DefaultKnobs()
+	if cfg.Partitions > 1 {
+		knobs.PartitionCount = cfg.Partitions
+	}
+	if cfg.DOP > 1 {
+		knobs.ScanDOP = cfg.DOP
+	}
+	db := engine.Open(knobs)
 	bench := workload.TPCC{CustomersPerDistrict: cfg.CustomersPerDistrict}
 	if err := bench.Load(db, 1, cfg.Seed); err != nil {
 		return nil, fmt.Errorf("selfdrive: loading workload: %w", err)
@@ -234,7 +259,12 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 
 	for i := 0; i < cfg.Intervals; i++ {
 		ivStart := time.Now()
-		mode := db.Knobs().ExecutionMode
+		liveKnobs := db.Knobs()
+		mode := liveKnobs.ExecutionMode
+		dop := liveKnobs.ScanDOP
+		if dop < 1 {
+			dop = 1
+		}
 
 		// Phase 1: concurrent seeded execution with live observation.
 		sessions := make([][]liveQuery, cfg.Sessions)
@@ -259,6 +289,7 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 				Mode:       mode,
 				Contenders: float64(cfg.Sessions),
 				Observer:   st,
+				DOP:        dop,
 			}
 			for _, q := range sessions[s] {
 				_, iso, err := exec.ExecuteObserved(ctx, q.name, q.fp, q.node)
@@ -336,6 +367,8 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 			Mode:                  mode,
 			Building:              building,
 			IndexLive:             len(published) > 0,
+			DOP:                   dop,
+			Partitions:            normalizedParts(liveKnobs.PartitionCount),
 		}
 		if predictedNext > 0 {
 			predSeries = append(predSeries, predictedNext)
@@ -360,8 +393,10 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 			f := buildForecast(hist, fc, cfg, published)
 			if (i+1)%cfg.PlanEvery == 0 && len(f.Queries) > 0 {
 				actions, err := p.PlanActions(mode, f, planner.CandidateConfig{
-					ThreadCandidates: cfg.ThreadCandidates,
-					MaxImpactRatio:   cfg.MaxImpactRatio,
+					ThreadCandidates:    cfg.ThreadCandidates,
+					MaxImpactRatio:      cfg.MaxImpactRatio,
+					PartitionCandidates: cfg.PartitionCandidates,
+					DOPCandidates:       cfg.DOPCandidates,
 				})
 				if err != nil {
 					return nil, err
@@ -378,10 +413,17 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 						return nil, fmt.Errorf("selfdrive: applying %v: %w", a, err)
 					}
 					kind, detail := "mode-change", a.Mode.String()
-					if a.Kind == planner.ActionIndexBuild {
+					switch a.Kind {
+					case planner.ActionIndexBuild:
 						kind = "index-build-start"
 						detail = fmt.Sprintf("%s threads=%d", a.Index.Name, a.Threads)
 						build = handle
+					case planner.ActionRepartition:
+						kind = "repartition"
+						detail = fmt.Sprintf("parts=%d", a.Partitions)
+					case planner.ActionSetDOP:
+						kind = "set-dop"
+						detail = fmt.Sprintf("dop=%d", a.DOP)
 					}
 					res.Actions = append(res.Actions, AppliedAction{
 						Interval: i, Kind: kind, Detail: detail,
@@ -421,6 +463,14 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 	res.HistoryEvicted = hist.Evicted()
 	res.Digest = digest.Sum64()
 	return res, nil
+}
+
+// normalizedParts floors a partition-count knob at 1 for reporting.
+func normalizedParts(p int) int {
+	if p < 1 {
+		return 1
+	}
+	return p
 }
 
 // buildForecast converts the history's next-interval volume forecasts into

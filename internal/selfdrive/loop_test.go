@@ -136,6 +136,94 @@ func TestDriveLoopJobsInvariance(t *testing.T) {
 	}
 }
 
+// TestDriveLoopSelectsPartitionActions: the acceptance run — a seeded
+// 12-interval loop over a partitioned database must pick a DOP or
+// repartition action through the what-if planner at least once, and the
+// whole run must replay bit for bit.
+func TestDriveLoopSelectsPartitionActions(t *testing.T) {
+	ms := sharedModels(t)
+	cfg := DefaultConfig()
+	cfg.Partitions = 4
+
+	a, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DOPChanges()+a.Repartitions() < 1 {
+		t.Fatalf("no DOP/repartition action selected over %d intervals; actions: %v",
+			cfg.Intervals, a.Actions)
+	}
+	if a.Intervals[0].Partitions != 4 {
+		t.Fatalf("first interval ran with %d partitions, want 4", a.Intervals[0].Partitions)
+	}
+	if a.Intervals[0].DOP != 1 {
+		t.Fatalf("first interval ran with dop %d, want serial start", a.Intervals[0].DOP)
+	}
+	// A set-dop action must be visible in subsequent interval reports.
+	if a.DOPChanges() > 0 {
+		raised := false
+		for _, rep := range a.Intervals {
+			raised = raised || rep.DOP > 1
+		}
+		if !raised {
+			t.Fatalf("set-dop applied but no interval reports dop > 1: %v", a.Intervals)
+		}
+	}
+
+	b, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("partitioned drive digest not reproducible: %#x vs %#x", a.Digest, b.Digest)
+	}
+	if !reflect.DeepEqual(a.Actions, b.Actions) {
+		t.Fatalf("action logs differ:\n%v\nvs\n%v", a.Actions, b.Actions)
+	}
+	if !reflect.DeepEqual(stripWall(a.Intervals), stripWall(b.Intervals)) {
+		t.Fatal("interval reports differ across same-seed partitioned runs")
+	}
+}
+
+// TestDriveLoopDigestInvariantAcrossJobsAndDOP is the determinism
+// regression matrix: for each DOP in {1, 2, 4} over a partitioned database,
+// the run digest and action log must be identical between a serial session
+// pool (-j 1) and a parallel one (-j 8).
+func TestDriveLoopDigestInvariantAcrossJobsAndDOP(t *testing.T) {
+	ms := sharedModels(t)
+	for _, dop := range []int{1, 2, 4} {
+		cfg := DefaultConfig()
+		cfg.Intervals = 6
+		cfg.Partitions = 4
+		cfg.DOP = dop
+
+		serial := cfg
+		serial.Jobs = 1
+		par8 := cfg
+		par8.Jobs = 8
+
+		a, err := Run(serial, ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(par8, ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Digest != b.Digest {
+			t.Fatalf("dop=%d: digest differs across worker counts: %#x (j=1) vs %#x (j=8)",
+				dop, a.Digest, b.Digest)
+		}
+		if !reflect.DeepEqual(a.Actions, b.Actions) {
+			t.Fatalf("dop=%d: action logs differ across worker counts:\n%v\nvs\n%v",
+				dop, a.Actions, b.Actions)
+		}
+		if !reflect.DeepEqual(stripWall(a.Intervals), stripWall(b.Intervals)) {
+			t.Fatalf("dop=%d: interval reports differ across worker counts", dop)
+		}
+	}
+}
+
 // TestDriveLoopCrashDrills enables periodic crash-recovery drills and
 // checks they run, replay deterministically, and fold into the digest —
 // while a drill-free run's digest is unaffected by the feature existing.

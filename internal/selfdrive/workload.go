@@ -18,6 +18,7 @@ const (
 	tmplOrdersPoint    = "orders_point"
 	tmplStockLevel     = "stock_level"
 	tmplCustomerByLast = "customer_by_last"
+	tmplOrderlineScan  = "orderline_scan"
 )
 
 // tpccLastNames mirrors workload.TPCC's distinct C_LAST values.
@@ -86,6 +87,22 @@ func customerByLast(w, d, last int64, matches float64) plan.Node {
 	}
 }
 
+// orderlineScan is the analytic template: sum order-line amounts above a
+// threshold per district. The range predicate means no index ever serves
+// it, so it stays a sequential scan over the run's largest table — on a
+// partitioned database, the standing parallel-scan volume that makes DOP
+// and repartition actions worth weighing.
+func orderlineScan(minAmount float64, rows float64) plan.Node {
+	return &plan.AggNode{
+		Child: &plan.SeqScanNode{Table: "orderline",
+			Filter: plan.Cmp{Op: plan.GT, L: plan.Col(6), R: plan.FloatConst(minAmount)},
+			Rows:   est(rows, rows)},
+		GroupBy: []int{1},
+		Aggs:    []plan.AggSpec{{Fn: plan.Sum, Arg: plan.Col(6)}},
+		Rows:    est(10, 10),
+	}
+}
+
 // rewritePublished rewrites a plan through every published index (no-op
 // when none cover it).
 func rewritePublished(n plan.Node, published []planner.IndexCandidate) plan.Node {
@@ -95,9 +112,15 @@ func rewritePublished(n plan.Node, published []planner.IndexCandidate) plan.Node
 	return n
 }
 
+// orderlineRows estimates the analytic scan's matching rows: half the
+// order-line table (10 districts x cpd*3/4 orders x ~10 lines).
+func orderlineRows(cfg Config) float64 {
+	return float64(cfg.CustomersPerDistrict) * 10 * 3 / 4 * 10 / 2
+}
+
 // sessionQueries builds one session's deterministic query list for an
-// interval: nCustomer ramping customer lookups and the remainder split
-// between order points and stock levels, interleaved.
+// interval: nCustomer ramping customer lookups and the remainder cycling
+// through order points, stock levels, and the analytic order-line scan.
 func sessionQueries(rng *rand.Rand, cfg Config, nCustomer int, published []planner.IndexCandidate) []liveQuery {
 	cpd := cfg.CustomersPerDistrict
 	matches := float64(cpd) / tpccLastNames
@@ -111,10 +134,12 @@ func sessionQueries(rng *rand.Rand, cfg Config, nCustomer int, published []plann
 		switch {
 		case i < nCustomer:
 			add(tmplCustomerByLast, customerByLast(0, d, rng.Int63n(tpccLastNames), matches))
-		case i%2 == 0:
+		case i%3 == 0:
 			add(tmplOrdersPoint, ordersPoint(0, d, rng.Int63n(int64(cpd))))
-		default:
+		case i%3 == 1:
 			add(tmplStockLevel, stockLevel(0, d, rng.Int63n(int64(cpd*3/4))))
+		default:
+			add(tmplOrderlineScan, orderlineScan(5, orderlineRows(cfg)))
 		}
 	}
 	return out
@@ -132,6 +157,7 @@ func representatives(cfg Config, published []planner.IndexCandidate) map[string]
 		tmplOrdersPoint:    ordersPoint(0, 0, 0),
 		tmplStockLevel:     stockLevel(0, 0, 0),
 		tmplCustomerByLast: customerByLast(0, 0, 0, matches),
+		tmplOrderlineScan:  orderlineScan(5, orderlineRows(cfg)),
 	}
 	for name, n := range reps {
 		reps[name] = rewritePublished(n, published)

@@ -37,12 +37,20 @@ type slot struct {
 	head *Version
 }
 
-// Table is an in-memory MVCC table: a slot array of version chains.
+// Table is an in-memory MVCC table: a slot array of version chains,
+// optionally hash-partitioned through a routing directory (partition.go).
 type Table struct {
 	Meta *catalog.TableMeta
 
-	mu    sync.RWMutex
-	slots []*slot
+	mu      sync.RWMutex
+	slots   []*slot
+	parts   int     // hash-partition count; <= 1 means unpartitioned
+	partKey []int   // partition-key column indexes
+	partOf  []int32 // per-slot partition assignment, aligned with slots
+
+	// partScanMu excludes repartitioning (writer) from in-flight partition
+	// scans (readers); plain scans and point operations never take it.
+	partScanMu sync.RWMutex
 }
 
 // NewTable creates an empty table for the catalog entry.
@@ -76,6 +84,7 @@ func (t *Table) Insert(th *hw.Thread, txnID uint64, data Tuple) RowID {
 	v := &Version{Begin: UncommittedBase + txnID, Data: data}
 	t.mu.Lock()
 	t.slots = append(t.slots, &slot{head: v})
+	t.partOf = append(t.partOf, int32(PartitionIndex(data, t.partKey, t.parts)))
 	row := RowID(len(t.slots) - 1)
 	t.mu.Unlock()
 	if th != nil {
@@ -92,6 +101,7 @@ func (t *Table) AppendCommitted(data Tuple, ts uint64) RowID {
 	v := &Version{Begin: ts, Data: data}
 	t.mu.Lock()
 	t.slots = append(t.slots, &slot{head: v})
+	t.partOf = append(t.partOf, int32(PartitionIndex(data, t.partKey, t.parts)))
 	row := RowID(len(t.slots) - 1)
 	t.mu.Unlock()
 	return row
@@ -106,6 +116,11 @@ func (t *Table) ReplayWrite(row RowID, data Tuple, ts uint64) {
 	t.mu.Lock()
 	for int(row) >= len(t.slots) {
 		t.slots = append(t.slots, &slot{})
+		t.partOf = append(t.partOf, partUnassigned)
+	}
+	if data != nil && t.partOf[row] == partUnassigned {
+		// First materialized tuple for a replay placeholder routes the row.
+		t.partOf[row] = int32(PartitionIndex(data, t.partKey, t.parts))
 	}
 	s := t.slots[row]
 	t.mu.Unlock()
