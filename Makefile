@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race stress crash fuzz vet bench-smoke bench-train bench-drive bench-exec bench-partition
+.PHONY: tier1 build test race stress crash fuzz vet bench-smoke check-bench-exec bench-train bench-drive bench-exec bench-partition
 
 # tier1 is the full pre-merge gate: static checks, build, the whole test
 # suite under the race detector (including the internal/check concurrency
@@ -35,9 +35,20 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzPartitionKey -fuzztime=5s ./internal/storage
 
 # bench-smoke executes every (pipeline, variant) benchmark and every
-# partition-sweep cell once — a correctness smoke, not a measurement.
+# partition-sweep cell once — a correctness smoke, not a measurement — and
+# checks the committed BENCH_exec.json still records every execution mode.
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkPipelines|BenchmarkPartitionPipelines' -benchtime=1x ./internal/exec
+	@$(MAKE) --no-print-directory check-bench-exec
+
+# check-bench-exec fails unless BENCH_exec.json covers all three
+# planner-selectable execution modes (plus the unfused compiled ablation),
+# so the artifact cannot silently drop a mode when it is regenerated.
+check-bench-exec:
+	@for m in interpreted compiled_unfused compiled_fused vectorized; do \
+		grep -q "\"$$m\"" BENCH_exec.json || { echo "BENCH_exec.json missing mode: $$m"; exit 1; }; \
+	done
+	@echo "BENCH_exec.json covers all execution modes"
 
 # bench-train times the offline training pipeline serially and at
 # increasing -j, verifies the runs digest identically, and records the
@@ -54,10 +65,13 @@ bench-drive:
 
 # bench-exec measures the hot execution pipelines (seq-scan→filter→project,
 # hash join, index join) as interpreted / compiled-unfused / compiled-fused
-# and records ns/op, B/op, and allocs/op per (pipeline, variant) plus the
-# fused-path alloc reduction and wall-clock speedup as JSON.
+# / vectorized and records ns/op, B/op, and allocs/op per (pipeline,
+# variant) plus the fused-path alloc reduction and the compiled and
+# vectorized wall-clock speedups as JSON, then fails if any mode is
+# missing from the artifact.
 bench-exec:
 	$(GO) run ./cmd/mb2-execbench -out BENCH_exec.json
+	@$(MAKE) --no-print-directory check-bench-exec
 
 # bench-partition sweeps the parallel scan and partition-wise join over a
 # partition-count × DOP grid, checks every cell's cardinalities against the

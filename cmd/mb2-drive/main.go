@@ -25,7 +25,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +34,7 @@ import (
 	"runtime/pprof"
 	"sort"
 
+	"mb2/internal/benchio"
 	"mb2/internal/metrics"
 	"mb2/internal/modeling"
 	"mb2/internal/runner"
@@ -194,18 +194,18 @@ func printRun(res *selfdrive.Result) {
 	fmt.Printf("prediction cache: %d hits, %d misses (hit rate %.2f)\n",
 		res.CacheHits, res.CacheMisses, res.CacheHitRate)
 	fmt.Printf("fused pipelines executed: %d\n", res.FusedPipelines)
+	fmt.Printf("vectorized batches processed: %d\n", res.VecBatches)
 	fmt.Printf("run digest: %#x\n", res.Digest)
 }
 
 // benchReport is the BENCH_drive.json schema.
 type benchReport struct {
-	Seed              int64   `json:"seed"`
-	Intervals         int     `json:"intervals"`
-	Sessions          int     `json:"sessions"`
-	Partitions        int     `json:"partitions"`
-	DOP               int     `json:"dop"`
-	GOMAXPROCS        int     `json:"gomaxprocs"`
-	NumCPU            int     `json:"num_cpu"`
+	Seed       int64 `json:"seed"`
+	Intervals  int   `json:"intervals"`
+	Sessions   int   `json:"sessions"`
+	Partitions int   `json:"partitions"`
+	DOP        int   `json:"dop"`
+	benchio.Host
 	IntervalWallP50US float64 `json:"interval_wall_p50_us"`
 	IntervalWallP99US float64 `json:"interval_wall_p99_us"`
 	InferenceP50US    float64 `json:"inference_p50_us"`
@@ -218,6 +218,7 @@ type benchReport struct {
 	Repartitions      int     `json:"repartitions"`
 	DOPChanges        int     `json:"dop_changes"`
 	FusedPipelines    int     `json:"fused_pipelines"`
+	VecBatches        int     `json:"vec_batches"`
 	CrashDrills       int     `json:"crash_drills"`
 	Digest            string  `json:"digest"`
 }
@@ -233,8 +234,7 @@ func writeBench(path string, cfg selfdrive.Config, res *selfdrive.Result) error 
 		Sessions:          cfg.Sessions,
 		Partitions:        cfg.Partitions,
 		DOP:               cfg.DOP,
-		GOMAXPROCS:        runtime.GOMAXPROCS(0),
-		NumCPU:            runtime.NumCPU(),
+		Host:              benchio.CaptureHost(),
 		IntervalWallP50US: percentile(walls, 0.50),
 		IntervalWallP99US: percentile(walls, 0.99),
 		InferenceP50US:    percentile(res.InferenceUS, 0.50),
@@ -247,20 +247,11 @@ func writeBench(path string, cfg selfdrive.Config, res *selfdrive.Result) error 
 		Repartitions:      res.Repartitions(),
 		DOPChanges:        res.DOPChanges(),
 		FusedPipelines:    res.FusedPipelines,
+		VecBatches:        res.VecBatches,
 		CrashDrills:       len(res.CrashDrills),
 		Digest:            fmt.Sprintf("%#x", res.Digest),
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return benchio.WriteJSON(path, rep)
 }
 
 // percentile returns the pth quantile (nearest-rank) of vs; 0 when empty.

@@ -1,8 +1,8 @@
 // Command mb2-execbench measures the execution engine's hot pipelines
-// (seq-scan→filter→project, hash join, index join) under the three
+// (seq-scan→filter→project, hash join, index join) under the four
 // execution configurations — interpreted, compiled with fusion disabled,
-// and compiled fused — and writes ns/op, B/op, and allocs/op per
-// (pipeline, variant) to a JSON report. `make bench-exec` runs it to
+// compiled fused, and vectorized — and writes ns/op, B/op, and allocs/op
+// per (pipeline, variant) to a JSON report. `make bench-exec` runs it to
 // produce BENCH_exec.json; the same scenarios back the `go test -bench`
 // suite in internal/exec.
 //
@@ -18,7 +18,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +26,7 @@ import (
 	"runtime/pprof"
 	"testing"
 
+	"mb2/internal/benchio"
 	"mb2/internal/engine"
 	"mb2/internal/exec"
 	"mb2/internal/exec/execbench"
@@ -40,21 +40,23 @@ type variantResult struct {
 
 type pipelineResult struct {
 	Name string `json:"name"`
-	// Variants: interpreted, compiled_unfused, compiled_fused.
+	// Variants: interpreted, compiled_unfused, compiled_fused, vectorized.
 	Variants map[string]variantResult `json:"variants"`
 	// AllocReduction is compiled_unfused allocs/op over compiled_fused
 	// allocs/op: what fusing buys at identical modeled semantics.
 	AllocReduction float64 `json:"alloc_reduction"`
 	// Speedup is interpreted ns/op over compiled_fused ns/op: the real
-	// wall-clock gain of flipping the execution-mode knob.
+	// wall-clock gain of flipping the execution-mode knob to compiled.
 	Speedup float64 `json:"speedup"`
+	// VecSpeedup is interpreted ns/op over vectorized ns/op: the same
+	// gain for the third knob value.
+	VecSpeedup float64 `json:"vec_speedup"`
 }
 
 type report struct {
-	Rows       int              `json:"rows"`
-	GOMAXPROCS int              `json:"gomaxprocs"`
-	NumCPU     int              `json:"num_cpu"`
-	Pipelines  []pipelineResult `json:"pipelines"`
+	Rows int `json:"rows"`
+	benchio.Host
+	Pipelines []pipelineResult `json:"pipelines"`
 }
 
 // partitionCell is one (pipeline, partitions, dop) measurement of the
@@ -72,10 +74,9 @@ type partitionCell struct {
 }
 
 type partitionReport struct {
-	Rows       int             `json:"rows"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	NumCPU     int             `json:"num_cpu"`
-	Cells      []partitionCell `json:"cells"`
+	Rows int `json:"rows"`
+	benchio.Host
+	Cells []partitionCell `json:"cells"`
 }
 
 func benchCell(db *engine.DB, p execbench.Scenario, dop int) testing.BenchmarkResult {
@@ -99,11 +100,7 @@ func runPartitionSweep(rows int, out string) {
 	grid := []struct{ parts, dop int }{
 		{1, 1}, {2, 1}, {2, 2}, {4, 1}, {4, 2}, {4, 4}, {8, 2}, {8, 4},
 	}
-	rep := partitionReport{
-		Rows:       rows,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-	}
+	rep := partitionReport{Rows: rows, Host: benchio.CaptureHost()}
 	baseline := map[string]float64{}
 	var reference map[string]int
 	fmt.Printf("== partition sweep (%d rows, GOMAXPROCS=%d, NumCPU=%d) ==\n",
@@ -144,17 +141,7 @@ func runPartitionSweep(rows int, out string) {
 }
 
 func writeJSON(path string, v any) {
-	f, err := os.Create(path)
-	if err != nil {
-		log.Fatalf("mb2-execbench: %v", err)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		f.Close()
-		log.Fatalf("mb2-execbench: %v", err)
-	}
-	if err := f.Close(); err != nil {
+	if err := benchio.WriteJSON(path, v); err != nil {
 		log.Fatalf("mb2-execbench: %v", err)
 	}
 	fmt.Printf("results written to %s\n", path)
@@ -207,11 +194,7 @@ func runVariantBench(rows int, out string) {
 		log.Fatalf("mb2-execbench: cross-variant check: %v", err)
 	}
 
-	rep := report{
-		Rows:       rows,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-	}
+	rep := report{Rows: rows, Host: benchio.CaptureHost()}
 	fmt.Printf("== exec pipeline microbenchmarks (%d rows) ==\n", rows)
 	for _, sc := range execbench.Scenarios(rows) {
 		pr := pipelineResult{Name: sc.Name, Variants: map[string]variantResult{}}
@@ -239,13 +222,18 @@ func runVariantBench(rows int, out string) {
 		fused := pr.Variants["compiled_fused"]
 		unfused := pr.Variants["compiled_unfused"]
 		interp := pr.Variants["interpreted"]
+		vec := pr.Variants["vectorized"]
 		if fused.AllocsPerOp > 0 {
 			pr.AllocReduction = float64(unfused.AllocsPerOp) / float64(fused.AllocsPerOp)
 		}
 		if fused.NsPerOp > 0 {
 			pr.Speedup = interp.NsPerOp / fused.NsPerOp
 		}
-		fmt.Printf("  %-24s alloc reduction %.1fx, wall speedup %.2fx\n", sc.Name, pr.AllocReduction, pr.Speedup)
+		if vec.NsPerOp > 0 {
+			pr.VecSpeedup = interp.NsPerOp / vec.NsPerOp
+		}
+		fmt.Printf("  %-24s alloc reduction %.1fx, compiled speedup %.2fx, vectorized speedup %.2fx\n",
+			sc.Name, pr.AllocReduction, pr.Speedup, pr.VecSpeedup)
 		rep.Pipelines = append(rep.Pipelines, pr)
 	}
 	writeJSON(out, rep)

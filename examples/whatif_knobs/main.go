@@ -1,7 +1,8 @@
 // What-if knob analysis: use MB2's models to predict how the execution-mode
-// knob (bytecode interpreter vs JIT compilation) changes each TPC-H query's
-// runtime, then verify against real execution under both settings — the
-// knob-change action of the paper's Fig 11.
+// knob (bytecode interpreter vs JIT compilation vs vectorized batches)
+// changes each TPC-H query's runtime, then verify against real execution
+// under all three settings — the knob-change action of the paper's Fig 11,
+// extended to the three-way mode space.
 //
 //	go run ./examples/whatif_knobs
 package main
@@ -29,8 +30,10 @@ func main() {
 
 	trI := modeling.NewTranslator(db, catalog.Interpret)
 	trC := modeling.NewTranslator(db, catalog.Compile)
+	trV := modeling.NewTranslator(db, catalog.Vectorize)
 
-	fmt.Printf("\n%-6s %14s %14s %12s\n", "query", "pred-interp", "pred-compile", "pred-gain")
+	fmt.Printf("\n%-6s %14s %14s %14s %12s\n",
+		"query", "pred-interp", "pred-compile", "pred-vector", "best-gain")
 	for _, q := range templates {
 		pi, _, err := p.Models.PredictQuery(trI.TranslatePlan(q.Plan))
 		if err != nil {
@@ -40,11 +43,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-6s %12.1fus %12.1fus %11.0f%%\n",
-			q.Name, pi.ElapsedUS, pc.ElapsedUS, (1-pc.ElapsedUS/pi.ElapsedUS)*100)
+		pv, _, err := p.Models.PredictQuery(trV.TranslatePlan(q.Plan))
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := pc.ElapsedUS
+		if pv.ElapsedUS < best {
+			best = pv.ElapsedUS
+		}
+		fmt.Printf("%-6s %12.1fus %12.1fus %12.1fus %11.0f%%\n",
+			q.Name, pi.ElapsedUS, pc.ElapsedUS, pv.ElapsedUS,
+			(1-best/pi.ElapsedUS)*100)
 	}
 
-	// The planner's aggregate decision over the forecast interval.
+	// The planner's aggregate three-way decision over the forecast interval.
 	forecast := modeling.IntervalForecast{IntervalUS: 1_000_000, Threads: 4}
 	for _, q := range templates {
 		forecast.Queries = append(forecast.Queries, modeling.ForecastQuery{Plan: q.Plan, Count: 10})
@@ -54,11 +66,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nplanner decision: switch to %s (predicted %.0f%% avg latency reduction)\n",
+	fmt.Printf("\nplanner decision: switch to %s (predicted %.0f%% avg latency reduction vs runner-up)\n",
 		d.Best, d.PredictedReduction*100)
 
-	// Verify against real executions in both modes.
-	var actI, actC float64
+	// Verify against real executions in all three modes.
+	var actI, actC, actV float64
 	for _, q := range templates {
 		actI += experiments.MeasureOne(db, q)
 	}
@@ -66,6 +78,10 @@ func main() {
 	for _, q := range templates {
 		actC += experiments.MeasureOneCompiled(db, q)
 	}
-	fmt.Printf("actual: interp=%.1fus compile=%.1fus (%.0f%% reduction)\n",
-		actI, actC, (1-actC/actI)*100)
+	db.SetKnobs(func() catalog.Knobs { k := db.Knobs(); k.ExecutionMode = catalog.Vectorize; return k }())
+	for _, q := range templates {
+		actV += experiments.MeasureOneVectorized(db, q)
+	}
+	fmt.Printf("actual: interp=%.1fus compile=%.1fus (%.0f%% reduction) vector=%.1fus (%.0f%% reduction)\n",
+		actI, actC, (1-actC/actI)*100, actV, (1-actV/actI)*100)
 }

@@ -1,0 +1,48 @@
+// Package benchio is the shared writer for the repo's BENCH_*.json
+// artifacts. Every benchmark CLI (mb2-train -bench-parallel, mb2-drive
+// -bench, mb2-execbench) records the same host shape — GOMAXPROCS and
+// NumCPU, so single-CPU recordings where fan-out overhead dominates are
+// identifiable — and writes indented JSON; this package centralizes both so
+// the schema fragment and the encoding cannot drift between writers.
+package benchio
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+)
+
+// Host records the box shape a benchmark ran on. Embed it in a report
+// struct: the fields flatten into the artifact's top level under the same
+// keys every BENCH_*.json has always used.
+type Host struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+}
+
+// CaptureHost snapshots the current process's host shape.
+func CaptureHost() Host {
+	return Host{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+}
+
+// Encode writes v to w as indented JSON (the BENCH_*.json house style).
+func Encode(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// WriteJSON writes v to path as indented JSON, creating or truncating the
+// file. The file is closed (and its error reported) before returning.
+func WriteJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(f, v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,60 @@
+package benchio
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCaptureHostAndWriteJSON(t *testing.T) {
+	h := CaptureHost()
+	if h.GOMAXPROCS < 1 || h.NumCPU < 1 {
+		t.Fatalf("host shape not captured: %+v", h)
+	}
+
+	// An embedded Host must flatten into the artifact's top level under
+	// the historical keys.
+	type report struct {
+		Host
+		Rows int `json:"rows"`
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteJSON(path, report{Host: h, Rows: 7}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"gomaxprocs", "num_cpu", "rows"} {
+		if _, ok := got[key]; !ok {
+			t.Fatalf("artifact missing %q: %s", key, raw)
+		}
+	}
+	if got["gomaxprocs"].(float64) != float64(h.GOMAXPROCS) {
+		t.Fatalf("gomaxprocs = %v, want %d", got["gomaxprocs"], h.GOMAXPROCS)
+	}
+
+	// Indented house style, not a single line.
+	if len(raw) == 0 || raw[0] != '{' || !containsNewline(raw) {
+		t.Fatalf("artifact not indented JSON: %q", raw)
+	}
+
+	if err := WriteJSON(filepath.Join(t.TempDir(), "no/such/dir.json"), h); err == nil {
+		t.Fatal("writing to a missing directory must error")
+	}
+}
+
+func containsNewline(b []byte) bool {
+	for _, c := range b {
+		if c == '\n' {
+			return true
+		}
+	}
+	return false
+}

@@ -14,14 +14,26 @@ const (
 	// lower per-tuple cost. Plans are cached, so repeated executions skip
 	// compilation (Sec 3 assumptions).
 	Compile
+	// Vectorize runs qualifying scan chains and hash-join probes
+	// batch-at-a-time over column-major buffers with selection vectors:
+	// the lowest per-tuple cost on large inputs, but a fixed per-batch
+	// overhead, and operators outside the vectorizable shapes fall back to
+	// the interpreter. Its execution OUs (VEC_SCAN, VEC_FILTER, VEC_PROBE)
+	// carry their own cost profiles so the planner prices the mode rather
+	// than hardcoding it.
+	Vectorize
 )
 
 // String implements fmt.Stringer.
 func (m ExecutionMode) String() string {
-	if m == Compile {
+	switch m {
+	case Compile:
 		return "COMPILE"
+	case Vectorize:
+		return "VECTORIZE"
+	default:
+		return "INTERPRET"
 	}
-	return "INTERPRET"
 }
 
 // Knobs are the DBMS configuration parameters a self-driving DBMS may tune.

@@ -62,6 +62,11 @@ type Ctx struct {
 	// observability in the control loop and CLIs.
 	FusedPipelines int
 
+	// VecBatches counts column-major batches this context processed on the
+	// vectorized path (vectorized.go): the vec-mode analogue of
+	// FusedPipelines, for observability in the control loop and CLIs.
+	VecBatches int
+
 	// keyBuf is the worker-private scratch buffer join probes and DML
 	// index maintenance encode transient keys into. A Ctx is single-worker
 	// by contract, so reuse needs no synchronization. Never handed to
@@ -102,6 +107,12 @@ func (c *Ctx) compute(n float64) {
 	}
 	c.Thread().Compute(n)
 }
+
+// vecCompute charges vectorized-kernel logic. Unlike compute it never pays
+// the interpreter factor: batch kernels amortize dispatch across lanes, so
+// their per-tuple cost is a property of the kernel, not of the mode's
+// interpreter. Only the VEC_* OU brackets use it.
+func (c *Ctx) vecCompute(n float64) { c.Thread().Compute(n) }
 
 // snapshot returns the worker's visibility pair. With no open transaction
 // it reads the latest committed state.

@@ -206,12 +206,15 @@ type Variant struct {
 	DisableFusion bool
 }
 
-// Variants returns the three configurations every scenario runs under.
+// Variants returns the four configurations every scenario runs under: the
+// interpreted baseline, both compiled flavors, and the vectorized
+// batch-at-a-time mode.
 func Variants() []Variant {
 	return []Variant{
 		{Name: "interpreted", Mode: catalog.Interpret},
 		{Name: "compiled_unfused", Mode: catalog.Compile, DisableFusion: true},
 		{Name: "compiled_fused", Mode: catalog.Compile},
+		{Name: "vectorized", Mode: catalog.Vectorize},
 	}
 }
 

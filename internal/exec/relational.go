@@ -13,9 +13,11 @@ import (
 
 // Execute runs a plan and returns the materialized result. In compiled
 // mode, plan fragments the pipeline analyzer recognizes run on the fused
-// single-pass path (pipeline.go); everything else — and all of interpreted
-// mode — takes the operator-at-a-time path below. Both paths emit identical
-// OU record streams.
+// single-pass path (pipeline.go); in vectorized mode, qualifying scan
+// chains and hash joins run batch-at-a-time (vectorized.go) and emit their
+// own VEC_* OUs; everything else — and all of interpreted mode — takes the
+// operator-at-a-time path below. The compiled paths emit identical OU
+// record streams; all paths produce bit-identical results.
 func Execute(ctx *Ctx, node plan.Node) (*Batch, error) {
 	// Partitioned tables route qualifying scans and joins through the
 	// exchange-style parallel operators (parallel.go) in every execution
@@ -37,6 +39,16 @@ func Execute(ctx *Ctx, node plan.Node) (*Batch, error) {
 		default:
 			if p := plan.FuseScan(node); p != nil {
 				return execFusedScan(ctx, p)
+			}
+		}
+	}
+	if ctx.Mode == catalog.Vectorize {
+		switch n := node.(type) {
+		case *plan.HashJoinNode:
+			return execHashJoinVec(ctx, n)
+		default:
+			if p := vecScanOf(ctx, node); p != nil {
+				return execVecScan(ctx, p)
 			}
 		}
 	}

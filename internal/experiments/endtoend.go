@@ -208,7 +208,9 @@ func Fig11(p *Pipeline, buildThreads int) (Fig11Result, error) {
 	// --- Planning with MB2's models (all predictions made ahead of time).
 	pl := planner.New(s.dbC, p.Models)
 	forecastH := s.forecastFor(s.tplH, s.perThreadH)
-	res.Mode, err = pl.EvaluateModeChange(forecastH)
+	// The Sec 8.7 scenario is the paper's two-mode knob flip; pin the
+	// candidate set so the vectorized extension mode cannot hijack it.
+	res.Mode, err = pl.EvaluateModeChangeAmong(forecastH, catalog.Interpret, catalog.Compile)
 	if err != nil {
 		return res, err
 	}

@@ -275,3 +275,9 @@ func MeasureOne(db *engine.DB, q runner.QueryTemplate) float64 {
 func MeasureOneCompiled(db *engine.DB, q runner.QueryTemplate) float64 {
 	return measureTemplates(db, []runner.QueryTemplate{q}, catalog.Compile, 3)[0]
 }
+
+// MeasureOneVectorized is MeasureOne under batch-at-a-time vectorized
+// execution.
+func MeasureOneVectorized(db *engine.DB, q runner.QueryTemplate) float64 {
+	return measureTemplates(db, []runner.QueryTemplate{q}, catalog.Vectorize, 3)[0]
+}

@@ -2,14 +2,13 @@ package experiments
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"math"
-	"runtime"
 	"time"
 
+	"mb2/internal/benchio"
 	"mb2/internal/par"
 )
 
@@ -81,10 +80,9 @@ type ParallelBenchPoint struct {
 // ParallelBenchResult is the perf trajectory make bench-train records in
 // BENCH_train_parallel.json.
 type ParallelBenchResult struct {
-	Preset       string               `json:"preset"`
-	Records      int                  `json:"records"`
-	GOMAXPROCS   int                  `json:"gomaxprocs"`
-	NumCPU       int                  `json:"num_cpu"`
+	Preset  string `json:"preset"`
+	Records int    `json:"records"`
+	benchio.Host
 	DigestsMatch bool                 `json:"digests_match"`
 	Digest       string               `json:"digest"`
 	Points       []ParallelBenchPoint `json:"points"`
@@ -98,11 +96,7 @@ type ParallelBenchResult struct {
 // container CPU quotas), speedup saturates at that cap; the recorded
 // GOMAXPROCS/NumCPU give the context to read the numbers against.
 func RunParallelBench(cfg Config, preset string, jobsList []int) (ParallelBenchResult, error) {
-	res := ParallelBenchResult{
-		Preset:     preset,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-	}
+	res := ParallelBenchResult{Preset: preset, Host: benchio.CaptureHost()}
 	var digests []uint64
 	for _, jobs := range jobsList {
 		cfg.Jobs = jobs
@@ -138,7 +132,5 @@ func RunParallelBench(cfg Config, preset string, jobsList []int) (ParallelBenchR
 
 // WriteJSON writes the bench result as indented JSON.
 func (r ParallelBenchResult) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(r)
+	return benchio.Encode(w, r)
 }

@@ -3,6 +3,7 @@ package modeling
 import (
 	"mb2/internal/catalog"
 	"mb2/internal/engine"
+	"mb2/internal/exec/vec"
 	"mb2/internal/ou"
 	"mb2/internal/plan"
 )
@@ -56,6 +57,25 @@ func NewTranslator(db *engine.DB, mode catalog.ExecutionMode) *Translator {
 }
 
 func (tr *Translator) compiled() bool { return tr.Mode == catalog.Compile }
+
+func (tr *Translator) vectorized() bool { return tr.Mode == catalog.Vectorize }
+
+// vecFusible mirrors exec's vectorization qualification (exec.vecScanOf):
+// the tree rooted at n is a fusable scan chain whose source is a sequential
+// scan of an unpartitioned table (under the what-if partition override).
+// Operators outside such chains fall back to the interpreter in vectorized
+// mode, and their features — compiled flag false — already say so.
+func (tr *Translator) vecFusible(n plan.Node) bool {
+	p := plan.FuseScan(n)
+	if p == nil {
+		return false
+	}
+	src, ok := p.Source.(*plan.SeqScanNode)
+	if !ok {
+		return false
+	}
+	return tr.partitionsFor(src.Table) <= 1
+}
 
 func (tr *Translator) noisy(v float64) float64 {
 	if tr.CardNoise != nil {
@@ -267,6 +287,22 @@ func (tr *Translator) visit(n plan.Node, out *[]OUInvocation) subtreeInfo {
 		}
 		tableRows = tr.noisy(tableRows)
 		cols, width := tr.tableInfo(v.Table)
+		if tr.vectorized() {
+			// Batch-at-a-time scan: the source's own filter replays as a
+			// VEC_FILTER stage; its column projection is a free columnar
+			// view change (no OU), matching exec.runVecScan.
+			*out = append(*out, OUInvocation{Kind: ou.VecScan,
+				Features: ou.VecScanFeatures(tableRows, cols, width, vec.BatchRows)})
+			outRows := tr.noisy(v.Rows.Rows)
+			if v.Filter != nil {
+				ops := tableRows * v.Filter.Ops()
+				*out = append(*out, OUInvocation{Kind: ou.VecFilter,
+					Features: ou.VecFilterFeatures(tableRows, ops, vec.BatchRows)})
+			} else {
+				outRows = tableRows
+			}
+			return tr.projectedInfo(v.Table, v.Project, outRows)
+		}
 		*out = append(*out, OUInvocation{Kind: ou.SeqScan,
 			Features: ou.ExecFeatures(tableRows, cols, width, 0, 0, 1, tr.compiled())})
 		outRows := tr.noisy(v.Rows.Rows)
@@ -310,8 +346,16 @@ func (tr *Translator) visit(n plan.Node, out *[]OUInvocation) subtreeInfo {
 		*out = append(*out, OUInvocation{Kind: ou.HashJoinBuild,
 			Features: ou.ExecFeatures(left.rows, left.cols, left.width, card, entryBytes, 1, tr.compiled())})
 		outRows := tr.noisy(v.Rows.Rows)
-		*out = append(*out, OUInvocation{Kind: ou.HashJoinProbe,
-			Features: ou.ExecFeatures(right.rows+outRows, right.cols, right.width, card, left.width+right.width, 1, tr.compiled())})
+		if tr.vectorized() {
+			// Vectorized probes replace HASHJOIN_PROBE; the build keeps its
+			// interpreted-flagged HASHJOIN_BUILD (exec.execHashJoinVec).
+			*out = append(*out, OUInvocation{Kind: ou.VecProbe,
+				Features: ou.VecProbeFeatures(right.rows+outRows, right.cols, right.width,
+					card, left.width+right.width, vec.BatchRows)})
+		} else {
+			*out = append(*out, OUInvocation{Kind: ou.HashJoinProbe,
+				Features: ou.ExecFeatures(right.rows+outRows, right.cols, right.width, card, left.width+right.width, 1, tr.compiled())})
+		}
 		return subtreeInfo{
 			rows:  outRows,
 			cols:  left.cols + right.cols,
@@ -364,14 +408,26 @@ func (tr *Translator) visit(n plan.Node, out *[]OUInvocation) subtreeInfo {
 		for _, e := range v.Exprs {
 			opsPerRow += e.Ops()
 		}
-		*out = append(*out, OUInvocation{Kind: ou.Arithmetic,
-			Features: ou.ArithmeticFeatures(child.rows*opsPerRow, tr.compiled())})
+		if tr.vectorized() && tr.vecFusible(v) {
+			// A projection stage of a vectorized chain bills its expression
+			// work as a VEC_FILTER stage (exec.runVecScan).
+			*out = append(*out, OUInvocation{Kind: ou.VecFilter,
+				Features: ou.VecFilterFeatures(child.rows, child.rows*opsPerRow, vec.BatchRows)})
+		} else {
+			*out = append(*out, OUInvocation{Kind: ou.Arithmetic,
+				Features: ou.ArithmeticFeatures(child.rows*opsPerRow, tr.compiled())})
+		}
 		return subtreeInfo{rows: child.rows, cols: float64(len(v.Exprs)), width: 8 * float64(len(v.Exprs))}
 
 	case *plan.FilterNode:
 		child := tr.visit(v.Child, out)
-		*out = append(*out, OUInvocation{Kind: ou.Arithmetic,
-			Features: ou.ArithmeticFeatures(child.rows*v.Pred.Ops(), tr.compiled())})
+		if tr.vectorized() && tr.vecFusible(v) {
+			*out = append(*out, OUInvocation{Kind: ou.VecFilter,
+				Features: ou.VecFilterFeatures(child.rows, child.rows*v.Pred.Ops(), vec.BatchRows)})
+		} else {
+			*out = append(*out, OUInvocation{Kind: ou.Arithmetic,
+				Features: ou.ArithmeticFeatures(child.rows*v.Pred.Ops(), tr.compiled())})
+		}
 		return subtreeInfo{rows: tr.noisy(v.Rows.Rows), cols: child.cols, width: child.width}
 
 	case *plan.InsertNode:

@@ -17,7 +17,9 @@ type Kind int
 // The 19 operating units of NoisePage (Table 1), followed by the
 // partitioned-execution OUs this reproduction adds for intra-query
 // parallelism (parallel scans, partition-wise join probes, and the exchange
-// operator that merges per-partition streams).
+// operator that merges per-partition streams) and the vectorized-execution
+// OUs of the batch-at-a-time mode (columnar scans, selection-vector
+// filter/project stages, and batched hash-join probes).
 const (
 	SeqScan Kind = iota
 	IdxScan
@@ -41,12 +43,16 @@ const (
 	ParallelScan
 	PartitionProbe
 	ExchangeMerge
+	VecScan
+	VecFilter
+	VecProbe
 
 	// PaperKinds counts the OUs of the paper's Table 1; kinds at or beyond
-	// this index are extensions (partitioned execution).
+	// this index are extensions (partitioned execution, vectorized
+	// execution).
 	PaperKinds = int(TxnCommit) + 1
 
-	NumKinds = int(ExchangeMerge) + 1
+	NumKinds = int(VecProbe) + 1
 )
 
 // Type categorizes an OU's behavior pattern (Sec 4.2), which determines what
@@ -139,6 +145,16 @@ var specs = [NumKinds]Spec{
 		[]string{"num_rows", "num_cols", "tuple_bytes", "cardinality", "payload_bytes", "dop", "exec_mode"}, 2, 0, false, -1},
 	ExchangeMerge: {ExchangeMerge, "EXCHANGE_MERGE", Singular,
 		[]string{"num_rows", "tuple_bytes", "num_partitions", "dop", "exec_mode"}, 3, 0, false, -1},
+	// Vectorized-execution OUs. They carry no exec_mode feature — the kind
+	// itself implies vectorized mode, so existing models' feature spaces are
+	// untouched — and record the batch size as a knob-style trailing feature
+	// (the tunable that moves the fixed per-batch overhead).
+	VecScan: {VecScan, "VEC_SCAN", Singular,
+		[]string{"num_rows", "num_cols", "tuple_bytes", "batch_rows"}, 1, 0, false, -1},
+	VecFilter: {VecFilter, "VEC_FILTER", Singular,
+		[]string{"num_rows", "num_ops", "batch_rows"}, 1, 0, false, -1},
+	VecProbe: {VecProbe, "VEC_PROBE", Singular,
+		[]string{"num_rows", "num_cols", "tuple_bytes", "cardinality", "payload_bytes", "batch_rows"}, 1, 0, false, -1},
 }
 
 // Get returns the spec for a kind.
@@ -267,6 +283,35 @@ func PartitionProbeFeatures(rows, cols, tupleBytes, cardinality, payloadBytes, d
 		dop = 1
 	}
 	return []float64{rows, cols, tupleBytes, cardinality, payloadBytes, dop, mode}
+}
+
+// VecScanFeatures builds the vectorized columnar-scan OU features. The
+// batch size rides along as the trailing knob-style feature.
+func VecScanFeatures(rows, cols, tupleBytes, batchRows float64) []float64 {
+	if batchRows < 1 {
+		batchRows = 1
+	}
+	return []float64{rows, cols, tupleBytes, batchRows}
+}
+
+// VecFilterFeatures builds the vectorized filter/project stage OU features:
+// rows entering the stage and the total expression operations evaluated
+// over the selection vector.
+func VecFilterFeatures(rows, ops, batchRows float64) []float64 {
+	if batchRows < 1 {
+		batchRows = 1
+	}
+	return []float64{rows, ops, batchRows}
+}
+
+// VecProbeFeatures builds the batched hash-join probe OU features,
+// mirroring HASHJOIN_PROBE's shape (probe input plus emitted matches,
+// build cardinality, output payload width) with the batch size appended.
+func VecProbeFeatures(rows, cols, tupleBytes, cardinality, payloadBytes, batchRows float64) []float64 {
+	if batchRows < 1 {
+		batchRows = 1
+	}
+	return []float64{rows, cols, tupleBytes, cardinality, payloadBytes, batchRows}
 }
 
 // ExchangeMergeFeatures builds the exchange-merge OU features (the

@@ -9,8 +9,8 @@ func TestTableOneFidelity(t *testing.T) {
 	if PaperKinds != 19 {
 		t.Fatalf("paper defines 19 OUs, have %d", PaperKinds)
 	}
-	if NumKinds != PaperKinds+3 {
-		t.Fatalf("expected the 19 paper OUs plus 3 partition OUs, have %d", NumKinds)
+	if NumKinds != PaperKinds+6 {
+		t.Fatalf("expected the 19 paper OUs plus 3 partition OUs plus 3 vectorized OUs, have %d", NumKinds)
 	}
 	// Feature counts from Table 1.
 	wantFeatures := map[Kind]int{
@@ -148,6 +148,15 @@ func TestFeatureBuilders(t *testing.T) {
 	}
 	if f10 := ExchangeMergeFeatures(10, 16, 0, 0, true); len(f10) != 5 || f10[2] != 1 || f10[3] != 1 {
 		t.Fatalf("ExchangeMergeFeatures = %v", f10)
+	}
+	if f11 := VecScanFeatures(10, 2, 16, 0); len(f11) != 4 || f11[3] != 1 {
+		t.Fatalf("VecScanFeatures = %v", f11)
+	}
+	if f12 := VecFilterFeatures(10, 30, 1024); len(f12) != 3 || f12[2] != 1024 {
+		t.Fatalf("VecFilterFeatures = %v", f12)
+	}
+	if f13 := VecProbeFeatures(10, 2, 16, 5, 32, 1024); len(f13) != 6 || f13[5] != 1024 {
+		t.Fatalf("VecProbeFeatures = %v", f13)
 	}
 }
 

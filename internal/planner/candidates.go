@@ -338,8 +338,9 @@ func (c IndexCandidate) RewriteForecast(f modeling.IntervalForecast) (modeling.I
 }
 
 // PlanActions generates and ranks candidate actions for the forecasted
-// interval across all four families: an execution-mode flip (when the other
-// mode predicts lower latency), an index build per hot predicate column set
+// interval across all four families: an execution-mode flip (when any of
+// the other two modes predicts lower latency; interpreted, compiled, and
+// vectorized all compete), an index build per hot predicate column set
 // evaluated at the configured thread counts, a repartition per candidate
 // partition count, and a DOP change per candidate scan DOP — the knob
 // actions evaluated with what-if translator overrides. Actions come back
@@ -352,11 +353,13 @@ func (p *Planner) PlanActions(mode catalog.ExecutionMode, f modeling.IntervalFor
 	if err != nil {
 		return nil, err
 	}
-	if md.Best != mode && md.PredictedReduction > 0 {
+	// The improvement is measured from the live mode, not the runner-up:
+	// the action's worth is what switching away from `mode` buys.
+	if md.Best != mode && md.ReductionFrom(mode) > 0 {
 		d := md
 		out = append(out, Action{
 			Kind: ActionModeChange, Mode: md.Best,
-			PredictedImprovement: md.PredictedReduction,
+			PredictedImprovement: md.ReductionFrom(mode),
 			ModeDecision:         &d,
 		})
 	}

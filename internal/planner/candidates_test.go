@@ -180,8 +180,13 @@ func TestPlanActionsRanksModeAndIndex(t *testing.T) {
 		switch a.Kind {
 		case ActionModeChange:
 			sawMode = true
-			if a.Mode != catalog.Compile {
+			// The scan-heavy customer lookups make vectorized the
+			// three-way winner (see TestEvaluateModeChangeThreeWay).
+			if a.Mode != catalog.Vectorize {
 				t.Fatalf("mode target = %v", a.Mode)
+			}
+			if a.ModeDecision == nil || a.ModeDecision.Best != a.Mode {
+				t.Fatalf("mode decision missing or inconsistent: %+v", a)
 			}
 		case ActionIndexBuild:
 			sawIndex = true
@@ -206,11 +211,32 @@ func TestPlanActionsRanksModeAndIndex(t *testing.T) {
 		t.Fatal("planner evaluations bypassed the cache")
 	}
 
-	// Once compiled mode is live, no mode flip is proposed.
+	// With compiled mode live, the planner still proposes moving to the
+	// three-way winner.
 	k := db.Knobs()
 	k.ExecutionMode = catalog.Compile
 	db.SetKnobs(k)
 	actions, err = p.PlanActions(catalog.Compile, f, CandidateConfig{ThreadCandidates: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawMode = false
+	for _, a := range actions {
+		if a.Kind == ActionModeChange {
+			sawMode = true
+			if a.Mode != catalog.Vectorize {
+				t.Fatalf("mode target from compiled = %v", a.Mode)
+			}
+		}
+	}
+	if !sawMode {
+		t.Fatal("vectorize flip not proposed from compiled mode")
+	}
+
+	// Once the best mode is live, no mode flip is proposed.
+	k.ExecutionMode = catalog.Vectorize
+	db.SetKnobs(k)
+	actions, err = p.PlanActions(catalog.Vectorize, f, CandidateConfig{ThreadCandidates: []int{1}})
 	if err != nil {
 		t.Fatal(err)
 	}

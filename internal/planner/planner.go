@@ -22,7 +22,7 @@ type Planner struct {
 	Models *modeling.ModelSet
 	// Cache, when set, memoizes isolated predictions across evaluations
 	// (shared by every translator the planner constructs; entries are keyed
-	// by mode, so one cache serves both execution modes).
+	// by mode, so one cache serves all execution modes).
 	Cache *modeling.PredictionCache
 }
 
@@ -52,44 +52,134 @@ func finiteOr(v, fallback float64) float64 {
 type ModeDecision struct {
 	InterpretLatencyUS float64
 	CompileLatencyUS   float64
+	VectorizeLatencyUS float64
 	Best               catalog.ExecutionMode
 	// PredictedReduction is the relative latency reduction of switching to
-	// the best mode from the other one.
+	// the best mode from the runner-up (the cheapest of the other evaluated
+	// modes).
 	PredictedReduction float64
+
+	// among is the candidate-mode set the decision ranged over (set by
+	// decide; ReductionFrom treats modes outside it as unevaluated).
+	among []catalog.ExecutionMode
+}
+
+// modePreference is the pinned tie-break order for equal predicted
+// latencies: compiled first (no per-batch overheads, best cache behavior in
+// the machine the models simulate), then vectorized, then interpreted.
+// Tests pin this order; changing it changes seeded replay digests.
+var modePreference = [...]catalog.ExecutionMode{
+	catalog.Compile, catalog.Vectorize, catalog.Interpret,
+}
+
+// LatencyFor returns the decision's predicted average latency for a mode.
+func (d ModeDecision) LatencyFor(m catalog.ExecutionMode) float64 {
+	switch m {
+	case catalog.Compile:
+		return d.CompileLatencyUS
+	case catalog.Vectorize:
+		return d.VectorizeLatencyUS
+	default:
+		return d.InterpretLatencyUS
+	}
+}
+
+// ReductionFrom is the relative latency reduction of switching from mode m
+// to the decision's best mode: 0 when m is already best, was not among the
+// evaluated candidates, or has no measurable latency. Always finite and
+// non-negative.
+func (d ModeDecision) ReductionFrom(m catalog.ExecutionMode) float64 {
+	if m == d.Best || !modeAmong(d.among, m) {
+		return 0
+	}
+	from := d.LatencyFor(m)
+	if from <= 0 {
+		return 0
+	}
+	r := 1 - d.LatencyFor(d.Best)/from
+	if r < 0 {
+		r = 0
+	}
+	return finiteOr(r, 0)
+}
+
+func modeAmong(among []catalog.ExecutionMode, m catalog.ExecutionMode) bool {
+	for _, c := range among {
+		if c == m {
+			return true
+		}
+	}
+	return false
+}
+
+// decide fills Best and PredictedReduction from the latency fields,
+// considering only the candidate modes in among. The minimum predicted
+// latency wins; exact ties break by modePreference. PredictedReduction is
+// the reduction relative to the runner-up candidate (0 with fewer than two
+// candidates or a zero-latency runner-up).
+func (d *ModeDecision) decide(among []catalog.ExecutionMode) {
+	d.among = among
+	haveBest := false
+	for _, m := range modePreference {
+		if !modeAmong(among, m) {
+			continue
+		}
+		if !haveBest || d.LatencyFor(m) < d.LatencyFor(d.Best) {
+			d.Best, haveBest = m, true
+		}
+	}
+	runnerUp, haveRU := 0.0, false
+	for _, m := range among {
+		if m == d.Best {
+			continue
+		}
+		if l := d.LatencyFor(m); !haveRU || l < runnerUp {
+			runnerUp, haveRU = l, true
+		}
+	}
+	if haveRU && runnerUp > 0 {
+		d.PredictedReduction = finiteOr(1-d.LatencyFor(d.Best)/runnerUp, 0)
+		if d.PredictedReduction < 0 {
+			d.PredictedReduction = 0
+		}
+	}
 }
 
 // EvaluateModeChange predicts the forecasted workload's average latency
-// under both execution modes. The forecast's plans are mode-independent;
-// the translator applies the mode knob feature.
+// under all three execution modes — interpreted, compiled, and vectorized —
+// and picks the cheapest. The forecast's plans are mode-independent; the
+// translator applies the mode knob.
 //
 // The decision is total: a degenerate forecast (no queries, all-zero
 // counts, or models emitting non-finite values) yields zero latencies and
 // PredictedReduction = 0 — never NaN or Inf — so callers acting only on a
 // positive reduction stay inert.
 func (p *Planner) EvaluateModeChange(f modeling.IntervalForecast) (ModeDecision, error) {
+	return p.EvaluateModeChangeAmong(f, catalog.Interpret, catalog.Compile, catalog.Vectorize)
+}
+
+// EvaluateModeChangeAmong is EvaluateModeChange restricted to an explicit
+// candidate-mode set (used by scenarios that pin a two-mode action space,
+// e.g. the Fig 11 reproduction). Latency fields for modes outside the set
+// stay zero and never influence Best.
+func (p *Planner) EvaluateModeChangeAmong(f modeling.IntervalForecast, among ...catalog.ExecutionMode) (ModeDecision, error) {
 	var d ModeDecision
-	interp, err := p.Models.PredictInterval(p.translator(catalog.Interpret), f, nil)
-	if err != nil {
-		return d, err
-	}
-	comp, err := p.Models.PredictInterval(p.translator(catalog.Compile), f, nil)
-	if err != nil {
-		return d, err
-	}
-	d.InterpretLatencyUS = finiteOr(interp.AvgQueryLatencyUS, 0)
-	d.CompileLatencyUS = finiteOr(comp.AvgQueryLatencyUS, 0)
-	if d.CompileLatencyUS <= d.InterpretLatencyUS {
-		d.Best = catalog.Compile
-		if d.InterpretLatencyUS > 0 {
-			d.PredictedReduction = 1 - d.CompileLatencyUS/d.InterpretLatencyUS
+	for _, m := range among {
+		pred, err := p.Models.PredictInterval(p.translator(m), f, nil)
+		if err != nil {
+			return d, err
 		}
-	} else {
-		d.Best = catalog.Interpret
-		if d.CompileLatencyUS > 0 {
-			d.PredictedReduction = 1 - d.InterpretLatencyUS/d.CompileLatencyUS
+		lat := finiteOr(pred.AvgQueryLatencyUS, 0)
+		switch m {
+		case catalog.Compile:
+			d.CompileLatencyUS = lat
+		case catalog.Vectorize:
+			d.VectorizeLatencyUS = lat
+		default:
+			d.InterpretLatencyUS = lat
 		}
 	}
-	d.PredictedReduction = finiteOr(d.PredictedReduction, 0)
+	d.decide(among)
 	return d, nil
 }
 

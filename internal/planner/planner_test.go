@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"math"
 	"sync"
 	"testing"
 
@@ -68,7 +69,12 @@ func scanDB(t *testing.T, rows int) (*engine.DB, []runner.QueryTemplate) {
 	return db, templates
 }
 
-func TestEvaluateModeChangePrefersCompiled(t *testing.T) {
+// TestEvaluateModeChangeThreeWay: for a scan-heavy forecast the full
+// three-way decision must pick vectorized (batch kernels amortize away the
+// per-tuple interpretation the other modes pay), while the two-mode
+// restriction preserves the paper's original compiled-beats-interpreted
+// decision.
+func TestEvaluateModeChangeThreeWay(t *testing.T) {
 	ms := sharedModels(t)
 	db, templates := scanDB(t, 4000)
 	p := New(db, ms)
@@ -81,11 +87,91 @@ func TestEvaluateModeChangePrefersCompiled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d.Best != catalog.Compile {
-		t.Fatalf("compiled mode must win for scans: %+v", d)
+	if d.Best != catalog.Vectorize {
+		t.Fatalf("vectorized mode must win for scans: %+v", d)
 	}
 	if d.PredictedReduction <= 0.1 {
 		t.Fatalf("mode gap too small: %v", d.PredictedReduction)
+	}
+	// All three latencies populated and ordered: vec < compiled < interpreted.
+	if !(d.VectorizeLatencyUS > 0 && d.VectorizeLatencyUS < d.CompileLatencyUS &&
+		d.CompileLatencyUS < d.InterpretLatencyUS) {
+		t.Fatalf("latency ordering wrong: %+v", d)
+	}
+	// Switching away from interpreted buys at least as much as from compiled.
+	if !(d.ReductionFrom(catalog.Interpret) >= d.ReductionFrom(catalog.Compile) &&
+		d.ReductionFrom(catalog.Compile) > 0) {
+		t.Fatalf("reductions inconsistent: %+v", d)
+	}
+	if d.ReductionFrom(catalog.Vectorize) != 0 {
+		t.Fatal("best mode must report zero self-reduction")
+	}
+
+	// The pinned two-mode evaluation reproduces the original decision.
+	d2, err := p.EvaluateModeChangeAmong(f, catalog.Interpret, catalog.Compile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Best != catalog.Compile {
+		t.Fatalf("compiled mode must win the two-way decision: %+v", d2)
+	}
+	if d2.VectorizeLatencyUS != 0 {
+		t.Fatalf("unevaluated mode got a latency: %+v", d2)
+	}
+	if d2.ReductionFrom(catalog.Vectorize) != 0 {
+		t.Fatal("unevaluated mode must report zero reduction")
+	}
+	if d2.PredictedReduction <= 0.1 {
+		t.Fatalf("two-way mode gap too small: %v", d2.PredictedReduction)
+	}
+}
+
+// TestModeDecisionTieBreaks pins the three-way ranking rules with literal
+// latencies: minimum predicted latency wins, exact ties break by the fixed
+// preference order (compiled, then vectorized, then interpreted), and the
+// predicted reduction is measured against the runner-up candidate.
+func TestModeDecisionTieBreaks(t *testing.T) {
+	all := []catalog.ExecutionMode{catalog.Interpret, catalog.Compile, catalog.Vectorize}
+	cases := []struct {
+		name              string
+		interp, comp, vec float64
+		among             []catalog.ExecutionMode
+		wantBest          catalog.ExecutionMode
+		wantReduction     float64
+	}{
+		{"vec-wins", 100, 60, 30, all, catalog.Vectorize, 0.5},
+		{"compile-wins", 100, 40, 80, all, catalog.Compile, 0.5},
+		{"interpret-wins", 20, 40, 80, all, catalog.Interpret, 0.5},
+		{"three-way-tie-prefers-compile", 50, 50, 50, all, catalog.Compile, 0},
+		{"vec-compile-tie-prefers-compile", 90, 50, 50, all, catalog.Compile, 0},
+		{"vec-interpret-tie-prefers-vec", 50, 90, 50, all, catalog.Vectorize, 0},
+		{"all-zero-degenerate", 0, 0, 0, all, catalog.Compile, 0},
+		{"two-way-ignores-vec", 100, 80, 1,
+			[]catalog.ExecutionMode{catalog.Interpret, catalog.Compile}, catalog.Compile, 0.2},
+		{"single-candidate", 100, 1, 1,
+			[]catalog.ExecutionMode{catalog.Interpret}, catalog.Interpret, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := ModeDecision{
+				InterpretLatencyUS: tc.interp,
+				CompileLatencyUS:   tc.comp,
+				VectorizeLatencyUS: tc.vec,
+			}
+			d.decide(tc.among)
+			if d.Best != tc.wantBest {
+				t.Fatalf("best = %v, want %v (%+v)", d.Best, tc.wantBest, d)
+			}
+			if math.Abs(d.PredictedReduction-tc.wantReduction) > 1e-12 {
+				t.Fatalf("reduction = %v, want %v", d.PredictedReduction, tc.wantReduction)
+			}
+			// Determinism: re-deciding yields the identical outcome.
+			d2 := d
+			d2.decide(tc.among)
+			if d2.Best != d.Best || d2.PredictedReduction != d.PredictedReduction {
+				t.Fatalf("decision not stable: %+v vs %+v", d, d2)
+			}
+		})
 	}
 }
 

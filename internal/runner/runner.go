@@ -259,7 +259,7 @@ func ouRunner(name string, ous []ou.Kind, units func(cfg Config) []SweepUnit) OU
 }
 
 // AllRunners returns every OU-runner, covering the 19 paper OUs plus the
-// partitioned-execution extension OUs.
+// partitioned-execution and vectorized-execution extension OUs.
 func AllRunners() []OURunner {
 	return []OURunner{
 		ouRunner("seq_scan", []ou.Kind{ou.SeqScan, ou.Arithmetic}, seqScanUnits),
@@ -274,6 +274,7 @@ func AllRunners() []OURunner {
 		ouRunner("wal", []ou.Kind{ou.LogSerialize, ou.LogFlush}, walUnits),
 		ouRunner("txn", []ou.Kind{ou.TxnBegin, ou.TxnCommit}, txnUnits),
 		ouRunner("partition", []ou.Kind{ou.ParallelScan, ou.PartitionProbe, ou.ExchangeMerge}, partitionUnits),
+		ouRunner("vec", []ou.Kind{ou.VecScan, ou.VecFilter, ou.VecProbe}, vecUnits),
 	}
 }
 

@@ -1,0 +1,84 @@
+package runner
+
+import (
+	"fmt"
+
+	"mb2/internal/catalog"
+	"mb2/internal/metrics"
+	"mb2/internal/ou"
+	"mb2/internal/plan"
+)
+
+// vecUnits sweeps the vectorized execution mode's OU feature spaces:
+// VEC_SCAN and VEC_FILTER over scan chains of varying size, width,
+// selectivity, and per-row expression work, and VEC_PROBE over hash-join
+// shapes of varying build cardinality. Every unit runs with the Vectorize
+// knob; the non-VEC OUs the same executions emit stay collector-disabled,
+// so the sweep adds records for the three new kinds only and every
+// previously trained model's data — and digest — is untouched. One unit per
+// (rows, cols) cell, each owning its scratch database.
+func vecUnits(cfg Config) []SweepUnit {
+	var units []SweepUnit
+	for _, rows := range rowLadder(cfg.MaxRows) {
+		for _, extraCols := range []int{0, 4} {
+			units = append(units, SweepUnit{
+				Name: fmt.Sprintf("vec/rows=%d,cols=%d", rows, extraCols),
+				run: func(repo *metrics.Repository, cfg Config) {
+					db := scratchDB(cfg, "vt", rows, extraCols, rows/4+1)
+					addScratchTable(db, cfg, "vd", rows/2+1, 1, rows/4+1)
+
+					// Full scan: VEC_SCAN alone.
+					measure(repo, cfg, func(col *metrics.Collector) {
+						col.EnableOnly(ou.VecScan)
+						mustExec(ctxFor(db, cfg, col, catalog.Vectorize),
+							&plan.SeqScanNode{Table: "vt"})
+					})
+					// Filtered scans at several selectivities: VEC_FILTER's
+					// input-row axis.
+					for _, sel := range []float64{0.1, 0.5, 0.9} {
+						cut := int64(float64(rows) * sel)
+						pred := plan.Cmp{Op: plan.LT, L: plan.Col(0), R: plan.IntConst(cut)}
+						measure(repo, cfg, func(col *metrics.Collector) {
+							col.EnableOnly(ou.VecScan, ou.VecFilter)
+							mustExec(ctxFor(db, cfg, col, catalog.Vectorize),
+								&plan.SeqScanNode{Table: "vt", Filter: pred})
+						})
+					}
+					// A filter + projection chain: VEC_FILTER's op-count axis
+					// (projection stages bill their expression work to the
+					// same kind).
+					proj := &plan.ProjectNode{
+						Child: &plan.FilterNode{
+							Child: &plan.SeqScanNode{Table: "vt"},
+							Pred:  plan.Cmp{Op: plan.GE, L: plan.Col(0), R: plan.IntConst(int64(rows / 2))},
+						},
+						Exprs: []plan.Expr{
+							plan.Col(0),
+							plan.Arith{Op: plan.Add, L: plan.Col(1), R: plan.IntConst(1)},
+						},
+					}
+					measure(repo, cfg, func(col *metrics.Collector) {
+						col.EnableOnly(ou.VecScan, ou.VecFilter)
+						mustExec(ctxFor(db, cfg, col, catalog.Vectorize), proj)
+					})
+					// Hash-join probes: VEC_PROBE over varying build
+					// cardinality (grp joins collapse the build side to its
+					// distinct groups; id joins keep it unique).
+					for _, keys := range [][]int{{0}, {1}} {
+						join := &plan.HashJoinNode{
+							Left:      &plan.SeqScanNode{Table: "vd"},
+							Right:     &plan.SeqScanNode{Table: "vt"},
+							LeftKeys:  keys,
+							RightKeys: keys,
+						}
+						measure(repo, cfg, func(col *metrics.Collector) {
+							col.EnableOnly(ou.VecProbe)
+							mustExec(ctxFor(db, cfg, col, catalog.Vectorize), join)
+						})
+					}
+				},
+			})
+		}
+	}
+	return units
+}

@@ -195,6 +195,10 @@ type Result struct {
 	// compiled path across the whole run — observability only, NOT part of
 	// the digest (the digest fingerprints behavior, not implementation).
 	FusedPipelines int `json:"fused_pipelines"`
+	// VecBatches counts column batches the sessions processed on the
+	// vectorized path — the vec-mode analogue of FusedPipelines, likewise
+	// kept out of the digest.
+	VecBatches int `json:"vec_batches"`
 	// CrashDrills are the recovery drills the loop ran (empty unless
 	// Config.CrashEvery is set).
 	CrashDrills []CrashDrill `json:"crash_drills,omitempty"`
@@ -278,6 +282,7 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 		totals := make([]hw.Metrics, cfg.Sessions)
 		queryIso := make([][]hw.Metrics, cfg.Sessions)
 		fusedCounts := make([]int, cfg.Sessions)
+		vecCounts := make([]int, cfg.Sessions)
 		errs := make([]error, cfg.Sessions)
 		par.Do(cfg.Jobs, cfg.Sessions, func(s int) {
 			st := newSessionStats()
@@ -301,14 +306,16 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 				queryIso[s] = append(queryIso[s], iso)
 			}
 			fusedCounts[s] = ctx.FusedPipelines
+			vecCounts[s] = ctx.VecBatches
 		})
 		for _, err := range errs {
 			if err != nil {
 				return nil, err
 			}
 		}
-		for _, n := range fusedCounts {
-			res.FusedPipelines += n
+		for s := range fusedCounts {
+			res.FusedPipelines += fusedCounts[s]
+			res.VecBatches += vecCounts[s]
 		}
 
 		// Phase 2: whole-machine contention, including active build threads.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"mb2/internal/catalog"
 	"mb2/internal/metrics"
 	"mb2/internal/modeling"
 	"mb2/internal/runner"
@@ -221,6 +222,64 @@ func TestDriveLoopDigestInvariantAcrossJobsAndDOP(t *testing.T) {
 		if !reflect.DeepEqual(stripWall(a.Intervals), stripWall(b.Intervals)) {
 			t.Fatalf("dop=%d: interval reports differ across worker counts", dop)
 		}
+	}
+}
+
+// TestDriveLoopSelectsVectorizedMode is the three-mode acceptance run: the
+// seeded default loop must pick the vectorized execution mode through the
+// planner (the drifting customer seq scans make it the three-way winner),
+// subsequent intervals must actually run vectorized (batches processed,
+// interval reports carrying the mode), and the whole run — including the
+// vectorized pick — must replay bit for bit.
+func TestDriveLoopSelectsVectorizedMode(t *testing.T) {
+	ms := sharedModels(t)
+	cfg := DefaultConfig()
+
+	a, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecFlip := -1
+	for _, act := range a.Actions {
+		if act.Kind == "mode-change" && act.Detail == catalog.Vectorize.String() {
+			vecFlip = act.Interval
+			if act.PredictedImprovement <= 0 {
+				t.Fatalf("vectorize flip promised no improvement: %+v", act)
+			}
+			break
+		}
+	}
+	if vecFlip < 0 {
+		t.Fatalf("loop never selected vectorized mode; actions: %v", a.Actions)
+	}
+	ranVec := false
+	for _, rep := range a.Intervals {
+		if rep.Interval > vecFlip && rep.Mode == catalog.Vectorize {
+			ranVec = true
+		}
+	}
+	if !ranVec {
+		t.Fatalf("no interval after the flip ran vectorized: %v", a.Intervals)
+	}
+	if a.VecBatches == 0 {
+		t.Fatal("vectorized intervals processed no column batches")
+	}
+
+	b, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("vectorized run digest not reproducible: %#x vs %#x", a.Digest, b.Digest)
+	}
+	if !reflect.DeepEqual(a.Actions, b.Actions) {
+		t.Fatalf("action logs differ:\n%v\nvs\n%v", a.Actions, b.Actions)
+	}
+	if a.VecBatches != b.VecBatches {
+		t.Fatalf("vec batch counts differ across same-seed runs: %d vs %d", a.VecBatches, b.VecBatches)
+	}
+	if !reflect.DeepEqual(stripWall(a.Intervals), stripWall(b.Intervals)) {
+		t.Fatal("interval reports differ across same-seed vectorized runs")
 	}
 }
 
