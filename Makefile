@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race stress crash fuzz vet bench-smoke check-bench-exec bench-train bench-drive bench-exec bench-partition
+.PHONY: tier1 build test race stress crash fuzz vet bench-smoke check-bench-exec bench-train bench-drive bench-exec bench-partition bench-server check-bench-server
 
 # tier1 is the full pre-merge gate: static checks, build, the whole test
 # suite under the race detector (including the internal/check concurrency
@@ -33,6 +33,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/sql
 	$(GO) test -run=NONE -fuzz=FuzzWALDeserialize -fuzztime=5s ./internal/wal
 	$(GO) test -run=NONE -fuzz=FuzzPartitionKey -fuzztime=5s ./internal/storage
+	$(GO) test -run=NONE -fuzz=FuzzFrame -fuzztime=5s ./internal/server
 
 # bench-smoke executes every (pipeline, variant) benchmark and every
 # partition-sweep cell once — a correctness smoke, not a measurement — and
@@ -79,3 +80,24 @@ bench-exec:
 # alongside GOMAXPROCS/NumCPU so single-CPU recordings are identifiable.
 bench-partition:
 	$(GO) run ./cmd/mb2-execbench -partition -rows 8000 -out BENCH_partition.json
+
+# bench-server sweeps the seeded load generator at 100 / 1000 / 5000
+# concurrent sessions over the deterministic in-process transport and
+# records throughput, client-observed p50/p99 latency, and the peak
+# concurrent-session gauge per point — alongside GOMAXPROCS/NumCPU — then
+# fails if the artifact drops a required field.
+bench-server:
+	$(GO) run ./cmd/mb2-server -bench BENCH_server.json
+	@$(MAKE) --no-print-directory check-bench-server
+
+# check-bench-server fails unless BENCH_server.json records every field
+# the sweep is supposed to measure, so the artifact cannot silently lose
+# a metric when it is regenerated.
+check-bench-server:
+	@for f in gomaxprocs peak_sessions throughput_stmt_per_sec p50_us p99_us digest; do \
+		grep -q "\"$$f\"" BENCH_server.json || { echo "BENCH_server.json missing field: $$f"; exit 1; }; \
+	done
+	@for n in 100 1000 5000; do \
+		grep -q "\"sessions\": $$n" BENCH_server.json || { echo "BENCH_server.json missing sweep point: $$n sessions"; exit 1; }; \
+	done
+	@echo "BENCH_server.json covers all sweep points and fields"

@@ -1,0 +1,199 @@
+// Command mb2-server hoists the engine behind a multi-session front end:
+// a framed wire protocol (over TCP or a deterministic in-process pipe)
+// terminating in real sessions — admission control, per-session prepared
+// statements and plan caches, a process list with kill — plus a seeded
+// load generator whose runs replay bit for bit.
+//
+// Usage:
+//
+//	mb2-server -listen ADDR [-max-sessions N]
+//	mb2-server -loadgen [-sessions N] [-statements N] [-seed N] [-verify]
+//	mb2-server -bench FILE [-statements N] [-seed N]
+//
+// With -listen, the server accepts framed-protocol clients on a TCP
+// address until interrupted; the database starts empty and clients build
+// schema over the wire. With -loadgen, an in-process server is driven by
+// N concurrent seeded sessions; -verify replays the run against a fresh
+// engine and fails unless the result digest matches bit for bit. With
+// -bench, the load generator sweeps 100 / 1000 / 5000 concurrent
+// sessions over the in-process transport and records throughput and
+// client-observed p50/p99 latency as JSON.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mb2/internal/benchio"
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", "", "serve the framed protocol on this TCP address")
+	maxSessions := flag.Int("max-sessions", 0, "admission cap on concurrent sessions (0 = unlimited)")
+	loadgen := flag.Bool("loadgen", false, "run the seeded load generator against an in-process server")
+	sessions := flag.Int("sessions", 1000, "loadgen: concurrent sessions")
+	statements := flag.Int("statements", 10, "loadgen: statements per session")
+	seed := flag.Int64("seed", 1, "loadgen: deterministic seed")
+	verify := flag.Bool("verify", false, "loadgen: replay on a fresh engine and fail unless the digest reproduces bit for bit")
+	benchPath := flag.String("bench", "", "sweep the load generator and write benchmark results as JSON to this file")
+	flag.Parse()
+
+	switch {
+	case *listen != "":
+		if err := serveTCP(*listen, *maxSessions); err != nil {
+			log.Fatalf("mb2-server: %v", err)
+		}
+	case *benchPath != "":
+		if err := runBench(*benchPath, *statements, *seed); err != nil {
+			log.Fatalf("mb2-server: %v", err)
+		}
+	case *loadgen:
+		if err := runLoadgen(*sessions, *statements, *seed, *verify); err != nil {
+			log.Fatalf("mb2-server: %v", err)
+		}
+	default:
+		log.Fatal("mb2-server: one of -listen, -loadgen, or -bench is required")
+	}
+}
+
+// serveTCP blocks serving the framed protocol on addr.
+func serveTCP(addr string, maxSessions int) error {
+	tr := server.NewTCP(addr)
+	ln, err := tr.Listen()
+	if err != nil {
+		return err
+	}
+	srv := server.New(engine.Open(catalog.DefaultKnobs()), server.Config{MaxSessions: maxSessions})
+	fmt.Printf("mb2-server listening on %s (max sessions: %d, 0 = unlimited)\n", ln.Addr(), maxSessions)
+	return srv.Serve(ln)
+}
+
+// loadRun executes one seeded load-generator run against a fresh
+// in-process server and returns its result.
+func loadRun(cfg server.LoadConfig, maxSessions int) (server.LoadResult, int, error) {
+	tr := server.NewPipe()
+	srv := server.New(engine.Open(catalog.DefaultKnobs()), server.Config{MaxSessions: maxSessions})
+	ln, err := tr.Listen()
+	if err != nil {
+		return server.LoadResult{}, 0, err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+
+	admin, err := server.Dial(tr)
+	if err != nil {
+		return server.LoadResult{}, 0, err
+	}
+	if err := server.SetupLoadSchema(admin, cfg); err != nil {
+		return server.LoadResult{}, 0, err
+	}
+	admin.Close()
+	res, err := server.RunLoad(tr, cfg)
+	if err != nil {
+		return server.LoadResult{}, 0, err
+	}
+	return res, srv.Registry().Peak(), nil
+}
+
+func printLoad(res server.LoadResult, peak int) {
+	fmt.Printf("sessions: %d (peak concurrent: %d)\n", res.Sessions, peak)
+	fmt.Printf("statements: %d (%d errors)\n", res.Statements, res.Errors)
+	fmt.Printf("wall: %v  throughput: %.0f stmt/s\n", res.Elapsed.Round(0), res.Throughput)
+	fmt.Printf("latency p50: %v  p99: %v\n", res.P50, res.P99)
+	fmt.Printf("run digest: %#x\n", res.Digest)
+}
+
+func runLoadgen(sessions, statements int, seed int64, verify bool) error {
+	cfg := server.LoadConfig{Sessions: sessions, Statements: statements, Seed: seed}
+	fmt.Printf("== seeded load generator (seed %d, %d sessions x %d statements, in-proc transport) ==\n",
+		seed, sessions, statements)
+	res, peak, err := loadRun(cfg, 0)
+	if err != nil {
+		return err
+	}
+	printLoad(res, peak)
+	if res.Errors > 0 {
+		return fmt.Errorf("%d statements failed", res.Errors)
+	}
+	if verify {
+		replay, _, err := loadRun(cfg, 0)
+		if err != nil {
+			return fmt.Errorf("verify replay: %w", err)
+		}
+		if replay.Digest != res.Digest {
+			return fmt.Errorf("verify FAILED: replay digest %#x vs %#x", replay.Digest, res.Digest)
+		}
+		fmt.Printf("\nverify: replay reproduced digest %#x across %d sessions\n", res.Digest, sessions)
+	}
+	return nil
+}
+
+// benchPoint is one sweep cell of the BENCH_server.json schema.
+type benchPoint struct {
+	Sessions          int     `json:"sessions"`
+	Statements        uint64  `json:"statements"`
+	PeakSessions      int     `json:"peak_sessions"`
+	Errors            uint64  `json:"errors"`
+	WallMS            float64 `json:"wall_ms"`
+	ThroughputStmtSec float64 `json:"throughput_stmt_per_sec"`
+	P50US             float64 `json:"p50_us"`
+	P99US             float64 `json:"p99_us"`
+	Digest            string  `json:"digest"`
+}
+
+// benchReport is the BENCH_server.json schema.
+type benchReport struct {
+	Seed               int64 `json:"seed"`
+	StatementsPerSess  int   `json:"statements_per_session"`
+	benchio.Host
+	Transport string       `json:"transport"`
+	Points    []benchPoint `json:"points"`
+}
+
+func runBench(path string, statements int, seed int64) error {
+	rep := benchReport{
+		Seed:              seed,
+		StatementsPerSess: statements,
+		Host:              benchio.CaptureHost(),
+		Transport:         "in-proc pipe",
+	}
+	for _, n := range []int{100, 1000, 5000} {
+		cfg := server.LoadConfig{Sessions: n, Statements: statements, Seed: seed}
+		fmt.Printf("-- %d sessions x %d statements --\n", n, statements)
+		res, peak, err := loadRun(cfg, 0)
+		if err != nil {
+			return err
+		}
+		printLoad(res, peak)
+		if res.Errors > 0 {
+			return fmt.Errorf("%d sessions: %d statements failed", n, res.Errors)
+		}
+		if peak < n {
+			return fmt.Errorf("%d sessions: peak concurrency only reached %d", n, peak)
+		}
+		rep.Points = append(rep.Points, benchPoint{
+			Sessions:          n,
+			Statements:        res.Statements,
+			PeakSessions:      peak,
+			Errors:            res.Errors,
+			WallMS:            float64(res.Elapsed.Microseconds()) / 1000,
+			ThroughputStmtSec: res.Throughput,
+			P50US:             float64(res.P50.Microseconds()),
+			P99US:             float64(res.P99.Microseconds()),
+			Digest:            fmt.Sprintf("%#x", res.Digest),
+		})
+	}
+	if err := benchio.WriteJSON(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("benchmark results written to %s\n", path)
+	return nil
+}

@@ -51,6 +51,14 @@ type Ctx struct {
 	// usage for predicted-vs-actual accounting).
 	Observer QueryObserver
 
+	// Interrupt, when set, is polled at every operator boundary; a non-nil
+	// return aborts the plan with that error before the next operator runs.
+	// The session layer points it at the session context so a process-list
+	// kill lands mid-query instead of after the statement finishes. The
+	// poll itself charges nothing, so queries that complete are bit-for-bit
+	// identical whether or not an interrupt hook is installed.
+	Interrupt func() error
+
 	// DisableFusion forces compiled-mode plans through the
 	// operator-at-a-time path. It exists for the fused/unfused equivalence
 	// tests and for isolating regressions; production compiled execution

@@ -26,6 +26,12 @@ type QueryObserver interface {
 // operator OU plus tracker overhead — measured on the worker's thread in
 // isolation; contention adjustment across concurrent workers happens in
 // the caller's interval reduction, exactly as with the offline runners.
+//
+// Observation is all-or-nothing: a query that fails — including one a
+// process-list kill interrupts mid-plan — is never reported to the
+// observer, so a session's observation buffer only ever holds whole
+// completed queries and the Emit-vs-Drain exactly-once contract survives
+// cancellation at any point (the regression internal/session pins).
 func ExecuteObserved(ctx *Ctx, template string, fingerprint uint64, node plan.Node) (*Batch, hw.Metrics, error) {
 	before := ctx.Thread().Counters()
 	b, err := Execute(ctx, node)

@@ -19,6 +19,13 @@ import (
 // operator-at-a-time path below. The compiled paths emit identical OU
 // record streams; all paths produce bit-identical results.
 func Execute(ctx *Ctx, node plan.Node) (*Batch, error) {
+	// Operator-boundary cancellation point: a killed session aborts here
+	// before the next operator starts (see Ctx.Interrupt).
+	if ctx.Interrupt != nil {
+		if err := ctx.Interrupt(); err != nil {
+			return nil, err
+		}
+	}
 	// Partitioned tables route qualifying scans and joins through the
 	// exchange-style parallel operators (parallel.go) in every execution
 	// mode; unpartitioned tables never enter them.

@@ -1,62 +1,205 @@
 package selfdrive
 
 import (
-	"mb2/internal/hw"
+	"fmt"
+
+	"mb2/internal/forecast"
+	"mb2/internal/modeling"
+	"mb2/internal/plan"
+	"mb2/internal/planner"
+	"mb2/internal/session"
 )
 
-// sessionStats is one session's private observation buffer: it implements
-// exec.QueryObserver and is written only by its session's goroutine, so no
-// locking is needed on the hot path. The loop merges all sessions' buffers
-// in session index order after the interval's barrier — the serial-order
-// reduction that keeps float sums bit-identical at any parallelism.
-type sessionStats struct {
-	counts map[string]float64
-	iso    map[string]hw.Metrics
+// LiveConfig sizes a controller attached to a live process list.
+type LiveConfig struct {
+	// IntervalUS is the nominal interval length the forecast store and
+	// build accounting assume per Tick.
+	IntervalUS float64
+	// HistoryWindow bounds the windowed forecast store.
+	HistoryWindow int
+	// PlanEvery plans at every Nth tick (1 = every tick).
+	PlanEvery int
+	// ThreadCandidates, MaxImpactRatio, MinImprovement: the planner
+	// knobs, as in Config.
+	ThreadCandidates    []int
+	MaxImpactRatio      float64
+	MinImprovement      float64
+	PartitionCandidates []int
+	DOPCandidates       []int
 }
 
-func newSessionStats() *sessionStats {
-	return &sessionStats{
-		counts: make(map[string]float64),
-		iso:    make(map[string]hw.Metrics),
+func (cfg LiveConfig) withDefaults() LiveConfig {
+	d := DefaultConfig()
+	if cfg.IntervalUS <= 0 {
+		cfg.IntervalUS = d.IntervalUS
+	}
+	if cfg.HistoryWindow < 2 {
+		cfg.HistoryWindow = d.HistoryWindow
+	}
+	if cfg.PlanEvery < 1 {
+		cfg.PlanEvery = 1
+	}
+	if len(cfg.ThreadCandidates) == 0 {
+		cfg.ThreadCandidates = d.ThreadCandidates
+	}
+	if cfg.MaxImpactRatio <= 0 {
+		cfg.MaxImpactRatio = d.MaxImpactRatio
+	}
+	if cfg.MinImprovement <= 0 {
+		cfg.MinImprovement = d.MinImprovement
+	}
+	return cfg
+}
+
+// LiveController closes the self-driving loop over a live process list:
+// whatever front end feeds the registry (the wire server, an embedded
+// harness), each Tick drains the sessions' observations, extends the
+// forecast history, and — on planning ticks — selects and applies the
+// winning action through the what-if planner. Unlike Run, it does not
+// construct the workload: it forecasts over the representative plans the
+// traffic itself surfaced.
+type LiveController struct {
+	reg  *session.Registry
+	p    *planner.Planner
+	cfg  LiveConfig
+	hist *forecast.History
+	fc   forecast.Forecaster
+
+	ticks   int
+	reps    map[string]plan.Node
+	build   *planner.BuildHandle
+	actions []AppliedAction
+}
+
+// NewLiveController attaches a controller to a process list.
+func NewLiveController(reg *session.Registry, ms *modeling.ModelSet, cfg LiveConfig) *LiveController {
+	cfg = cfg.withDefaults()
+	p := planner.New(reg.DB(), ms)
+	p.Cache = modeling.NewPredictionCache()
+	return &LiveController{
+		reg:  reg,
+		p:    p,
+		cfg:  cfg,
+		hist: forecast.NewWindowedHistory(cfg.IntervalUS, cfg.HistoryWindow),
+		fc:   forecast.Forecaster{Window: cfg.HistoryWindow},
+		reps: make(map[string]plan.Node),
 	}
 }
 
-// ObserveQuery implements exec.QueryObserver.
-func (s *sessionStats) ObserveQuery(template string, _ uint64, iso hw.Metrics) {
-	s.counts[template]++
-	m := s.iso[template]
-	m.Add(iso)
-	s.iso[template] = m
-}
+// Actions returns everything the controller has applied so far.
+func (c *LiveController) Actions() []AppliedAction { return c.actions }
 
-// IntervalObservation is the merged live view of one executed interval:
-// per-template arrival counts and summed isolated resource metrics, the
-// stream the forecaster and the predicted-vs-observed accounting consume.
-type IntervalObservation struct {
-	Counts map[string]float64
-	Iso    map[string]hw.Metrics
-}
+// History exposes the forecast store (observability).
+func (c *LiveController) History() *forecast.History { return c.hist }
 
-// mergeSessions folds the per-session buffers in index order. Each
-// template's count and metric sums accumulate session by session, so the
-// result is independent of how the sessions were scheduled.
-func mergeSessions(stats []*sessionStats) IntervalObservation {
-	obs := IntervalObservation{
-		Counts: make(map[string]float64),
-		Iso:    make(map[string]hw.Metrics),
+// Tick ingests one interval of live traffic and, on planning ticks, runs
+// one forecast-plan-act step. It returns the actions applied this tick.
+func (c *LiveController) Tick() ([]AppliedAction, error) {
+	obs := c.reg.DrainObservations()
+	// Remember the first representative plan live traffic surfaced per
+	// template: the plans the forecast predicts over.
+	for name, node := range obs.Reps {
+		if _, ok := c.reps[name]; !ok {
+			c.reps[name] = node
+		}
 	}
-	for _, s := range stats {
-		if s == nil {
+	c.hist.Append(obs.Counts)
+	tick := c.ticks
+	c.ticks++
+
+	var applied []AppliedAction
+
+	// Advance an in-progress build: the live controller charges dedicated
+	// build threads at unit speed (it does not model whole-machine
+	// contention the way the embedded loop does).
+	if c.build != nil {
+		for j := 0; j < c.build.Threads; j++ {
+			c.build.Advance(j, c.cfg.IntervalUS)
+		}
+		if c.build.Done() {
+			if err := c.build.Publish(c.reg.DB()); err != nil {
+				return nil, fmt.Errorf("selfdrive: publishing %s: %w", c.build.Candidate.Name, err)
+			}
+			applied = append(applied, AppliedAction{
+				Interval: tick, Kind: "index-publish", Detail: c.build.Candidate.Name,
+			})
+			c.build = nil
+		}
+	}
+
+	if c.hist.Len() >= 2 && c.ticks%c.cfg.PlanEvery == 0 {
+		f := c.liveForecast()
+		if len(f.Queries) > 0 {
+			mode := c.reg.DB().Knobs().ExecutionMode
+			actions, err := c.p.PlanActions(mode, f, planner.CandidateConfig{
+				ThreadCandidates:    c.cfg.ThreadCandidates,
+				MaxImpactRatio:      c.cfg.MaxImpactRatio,
+				PartitionCandidates: c.cfg.PartitionCandidates,
+				DOPCandidates:       c.cfg.DOPCandidates,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range actions {
+				if a.PredictedImprovement < c.cfg.MinImprovement {
+					break // sorted best-first: nothing further qualifies
+				}
+				if a.Kind == planner.ActionIndexBuild && c.build != nil {
+					continue // one build at a time
+				}
+				handle, err := c.p.Apply(a, nil)
+				if err != nil {
+					return nil, fmt.Errorf("selfdrive: applying %v: %w", a, err)
+				}
+				kind, detail := "mode-change", a.Mode.String()
+				switch a.Kind {
+				case planner.ActionIndexBuild:
+					kind = "index-build-start"
+					detail = fmt.Sprintf("%s threads=%d", a.Index.Name, a.Threads)
+					c.build = handle
+				case planner.ActionRepartition:
+					kind = "repartition"
+					detail = fmt.Sprintf("parts=%d", a.Partitions)
+				case planner.ActionSetDOP:
+					kind = "set-dop"
+					detail = fmt.Sprintf("dop=%d", a.DOP)
+				}
+				applied = append(applied, AppliedAction{
+					Interval: tick, Kind: kind, Detail: detail,
+					PredictedImprovement: a.PredictedImprovement,
+				})
+				break // apply the winning action only
+			}
+		}
+	}
+	c.actions = append(c.actions, applied...)
+	return applied, nil
+}
+
+// liveForecast builds the inference input from the forecast history and
+// the representative plans live traffic surfaced. Threads reflects the
+// process list's current concurrency.
+func (c *LiveController) liveForecast() modeling.IntervalForecast {
+	predictions := c.fc.ForecastAll(c.hist, 1)
+	counts := make(map[string]float64, len(predictions))
+	for name, series := range predictions {
+		if len(series) > 0 {
+			counts[name] = series[0]
+		}
+	}
+	threads := c.reg.Len()
+	if threads < 1 {
+		threads = 1
+	}
+	f := modeling.IntervalForecast{IntervalUS: c.cfg.IntervalUS, Threads: threads}
+	for _, name := range sortedTemplates(counts) {
+		rep, ok := c.reps[name]
+		if !ok || counts[name] <= 0 {
 			continue
 		}
-		for name, c := range s.counts {
-			obs.Counts[name] += c
-		}
-		for name, m := range s.iso {
-			t := obs.Iso[name]
-			t.Add(m)
-			obs.Iso[name] = t
-		}
+		f.Queries = append(f.Queries, modeling.ForecastQuery{
+			Plan: rep, Count: counts[name], Fingerprint: plan.Fingerprint(rep),
+		})
 	}
-	return obs
+	return f
 }

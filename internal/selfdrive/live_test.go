@@ -1,0 +1,111 @@
+package selfdrive
+
+import (
+	"sync"
+	"testing"
+
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/server"
+	"mb2/internal/workload"
+)
+
+// TestLiveControllerDrivesFromServerTraffic is the acceptance run for the
+// live loop: real clients speak SQL to the wire server over the in-proc
+// transport, the controller observes their traffic purely through the
+// process list, and the what-if planner must select and apply an action
+// from that live stream — no pre-built workload, no private channel.
+func TestLiveControllerDrivesFromServerTraffic(t *testing.T) {
+	ms := sharedModels(t)
+
+	db := engine.Open(catalog.DefaultKnobs())
+	bench := workload.TPCC{CustomersPerDistrict: 300}
+	if err := bench.Load(db, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := server.NewPipe()
+	srv := server.New(db, server.Config{Contenders: 4})
+	ln, err := tr.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	ctrl := NewLiveController(srv.Registry(), ms, LiveConfig{
+		IntervalUS:    100_000,
+		HistoryWindow: 6,
+		PlanEvery:     1,
+	})
+
+	// Four clients send the TPC-C read mix as repeated statement texts —
+	// the statement text is the observation template, so repetition is
+	// what gives the forecaster per-template volume. The last-name scans
+	// are the planner's opportunity (index candidate / execution mode).
+	byLast := "SELECT * FROM customer WHERE c_w_id = 0 AND c_d_id = 3 AND c_last = 42"
+	byLast2 := "SELECT * FROM customer WHERE c_w_id = 0 AND c_d_id = 7 AND c_last = 11"
+	point := "SELECT * FROM customer WHERE c_w_id = 0 AND c_d_id = 1 AND c_id = 17"
+	const nClients, ticks, perTick = 4, 6, 8
+	clients := make([]*server.Client, nClients)
+	for i := range clients {
+		if clients[i], err = server.Dial(tr); err != nil {
+			t.Fatal(err)
+		}
+		defer clients[i].Close()
+	}
+
+	for tick := 0; tick < ticks; tick++ {
+		var wg sync.WaitGroup
+		errs := make([]error, nClients)
+		for ci := range clients {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				for q := 0; q < perTick; q++ {
+					stmt := byLast
+					switch q % 4 {
+					case 1:
+						stmt = byLast2
+					case 3:
+						stmt = point
+					}
+					if _, err := clients[ci].Query(stmt); err != nil {
+						errs[ci] = err
+						return
+					}
+				}
+			}(ci)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := ctrl.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	actions := ctrl.Actions()
+	if len(actions) == 0 {
+		t.Fatalf("planner applied no action from %d ticks of live server traffic", ticks)
+	}
+	for _, a := range actions {
+		if a.Kind != "index-publish" && a.PredictedImprovement < 0.02 {
+			t.Fatalf("applied action promised no improvement: %+v", a)
+		}
+	}
+	// The forecast history really came through the process list: the
+	// drained per-template streams must cover the SQL the clients sent.
+	if ctrl.History().Len() != ticks {
+		t.Fatalf("history holds %d intervals, want %d", ctrl.History().Len(), ticks)
+	}
+}

@@ -10,14 +10,13 @@ import (
 
 	"mb2/internal/catalog"
 	"mb2/internal/engine"
-	"mb2/internal/exec"
 	"mb2/internal/forecast"
 	"mb2/internal/hw"
-	"mb2/internal/metrics"
 	"mb2/internal/modeling"
 	"mb2/internal/par"
 	"mb2/internal/plan"
 	"mb2/internal/planner"
+	"mb2/internal/session"
 	"mb2/internal/workload"
 )
 
@@ -253,6 +252,10 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 	hist := forecast.NewWindowedHistory(cfg.IntervalUS, cfg.HistoryWindow)
 	fc := forecast.Forecaster{Window: cfg.HistoryWindow}
 	machine := db.Machine
+	// The run's process list: every interval's workers are real sessions
+	// admitted here, and the loop drains its observations from it — the
+	// same path a live server's traffic takes.
+	reg := session.NewRegistry(db, 0)
 
 	res := &Result{}
 	digest := fnv.New64a()
@@ -271,6 +274,10 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 		}
 
 		// Phase 1: concurrent seeded execution with live observation.
+		// Each worker is a real session admitted through the process list:
+		// Open samples the live knobs (the mode/dop read above) and wires
+		// the session's private observation buffer, and serial admission
+		// gives ascending IDs — the deterministic merge order.
 		sessions := make([][]liveQuery, cfg.Sessions)
 		nCustomer := cfg.customerCount(i)
 		for s := range sessions {
@@ -278,26 +285,23 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 				fmt.Sprintf("drive/interval-%d/session-%d", i, s))))
 			sessions[s] = sessionQueries(rng, cfg, nCustomer, published)
 		}
-		stats := make([]*sessionStats, cfg.Sessions)
+		workers := make([]*session.Session, cfg.Sessions)
+		for s := range workers {
+			w, err := reg.Open(session.Options{Contenders: float64(cfg.Sessions)})
+			if err != nil {
+				return nil, fmt.Errorf("selfdrive: admitting session %d: %w", s, err)
+			}
+			workers[s] = w
+		}
 		totals := make([]hw.Metrics, cfg.Sessions)
 		queryIso := make([][]hw.Metrics, cfg.Sessions)
 		fusedCounts := make([]int, cfg.Sessions)
 		vecCounts := make([]int, cfg.Sessions)
 		errs := make([]error, cfg.Sessions)
 		par.Do(cfg.Jobs, cfg.Sessions, func(s int) {
-			st := newSessionStats()
-			stats[s] = st
-			th := hw.NewThread(machine.CPU)
-			ctx := &exec.Ctx{
-				DB:         db,
-				Tracker:    metrics.NewTracker(nil, th),
-				Mode:       mode,
-				Contenders: float64(cfg.Sessions),
-				Observer:   st,
-				DOP:        dop,
-			}
+			w := workers[s]
 			for _, q := range sessions[s] {
-				_, iso, err := exec.ExecuteObserved(ctx, q.name, q.fp, q.node)
+				_, iso, err := w.ExecPlan(q.name, q.fp, q.node)
 				if err != nil {
 					errs[s] = fmt.Errorf("selfdrive: session %d executing %s: %w", s, q.name, err)
 					return
@@ -305,8 +309,8 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 				totals[s].Add(iso)
 				queryIso[s] = append(queryIso[s], iso)
 			}
-			fusedCounts[s] = ctx.FusedPipelines
-			vecCounts[s] = ctx.VecBatches
+			fusedCounts[s] = w.ExecCtx().FusedPipelines
+			vecCounts[s] = w.ExecCtx().VecBatches
 		})
 		for _, err := range errs {
 			if err != nil {
@@ -340,9 +344,14 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 			observed = latSum / float64(nq)
 		}
 
-		// Phase 3: feed the live stream into the windowed forecast store.
-		merged := mergeSessions(stats)
+		// Phase 3: drain the process list's observations (ascending
+		// session-ID merge — the serial-order reduction) into the windowed
+		// forecast store, then retire the interval's sessions.
+		merged := reg.DrainObservations()
 		hist.Append(merged.Counts)
+		for _, w := range workers {
+			w.Close()
+		}
 
 		// Phase 4: advance and maybe publish an in-progress build.
 		building := false

@@ -1,0 +1,31 @@
+// Package server puts a wire front end over the session layer: a
+// length-prefixed, CRC-framed protocol spoken over any Transport — real
+// TCP for external clients, an in-process pipe for deterministic
+// harnesses — with a Server that maps one connection to one
+// internal/session.Session and a Client plus seeded load generator on
+// the other side.
+//
+// # Layering
+//
+//	client / loadgen ── Transport (tcp | pipe) ── Server
+//	                                               │ one conn = one session
+//	                                      internal/session (admission,
+//	                                        process list, kill, prepared
+//	                                        statements, observation)
+//	                                               │
+//	                                      internal/exec / engine
+//
+// The server itself holds no session state beyond the connection map:
+// lifecycle, cancellation, caches, and the observation stream all live
+// in the session layer, so the in-process selfdrive loop and a wire
+// client are indistinguishable to the engine and to the control plane.
+//
+// # Determinism
+//
+// The pipe transport plus seeded per-session statement streams make a
+// whole load-generator run bit-for-bit replayable: each session folds
+// its result row counts and order-insensitive result digests into a
+// per-session hash, and the report folds those in session-index order —
+// the same serial-order reduction the rest of the repo uses — so the
+// final digest is independent of connection scheduling.
+package server

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// Conn is one bidirectional client↔server byte stream.
+type Conn = io.ReadWriteCloser
+
+// Listener accepts server-side connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// Transport abstracts how clients reach the server: both sides of the
+// wire speak the same framed protocol whether the bytes cross a real
+// TCP socket or an in-process pipe.
+type Transport interface {
+	// Listen starts accepting; a Transport listens at most once.
+	Listen() (Listener, error)
+	// Dial opens a client connection to the listening side.
+	Dial() (Conn, error)
+}
+
+// ErrTransportClosed is returned by Accept and Dial on a closed
+// transport.
+var ErrTransportClosed = errors.New("server: transport closed")
+
+// --- TCP ----------------------------------------------------------------
+
+// TCPTransport carries frames over real TCP. Addr may be ":0"; after
+// Listen, Dial connects to the actual bound address.
+type TCPTransport struct {
+	// Addr is the listen address ("host:port"; ":0" picks a free port).
+	Addr string
+
+	mu    sync.Mutex
+	bound string
+}
+
+// NewTCP returns a TCP transport listening on addr.
+func NewTCP(addr string) *TCPTransport { return &TCPTransport{Addr: addr} }
+
+type tcpListener struct{ ln net.Listener }
+
+func (l *tcpListener) Accept() (Conn, error) { return l.ln.Accept() }
+func (l *tcpListener) Close() error          { return l.ln.Close() }
+func (l *tcpListener) Addr() string          { return l.ln.Addr().String() }
+
+// Listen binds the TCP socket and records the bound address for Dial.
+func (t *TCPTransport) Listen() (Listener, error) {
+	ln, err := net.Listen("tcp", t.Addr)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.bound = ln.Addr().String()
+	t.mu.Unlock()
+	return &tcpListener{ln: ln}, nil
+}
+
+// Dial connects to the listening socket (or to Addr when Listen ran in
+// another process).
+func (t *TCPTransport) Dial() (Conn, error) {
+	t.mu.Lock()
+	addr := t.bound
+	t.mu.Unlock()
+	if addr == "" {
+		addr = t.Addr
+	}
+	return net.Dial("tcp", addr)
+}
+
+// --- in-process pipe ----------------------------------------------------
+
+// PipeTransport is the deterministic in-process transport: Dial hands
+// the server side of a synchronous net.Pipe to Accept. No sockets, no
+// OS buffering — byte streams behave identically on every run, which is
+// what makes seeded load-generator runs replayable in CI.
+type PipeTransport struct {
+	mu     sync.Mutex
+	ch     chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewPipe returns an in-process pipe transport.
+func NewPipe() *PipeTransport {
+	return &PipeTransport{ch: make(chan net.Conn), closed: make(chan struct{})}
+}
+
+type pipeListener struct{ t *PipeTransport }
+
+func (l *pipeListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.t.ch:
+		return c, nil
+	case <-l.t.closed:
+		return nil, ErrTransportClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	l.t.once.Do(func() { close(l.t.closed) })
+	return nil
+}
+
+func (l *pipeListener) Addr() string { return "pipe" }
+
+// Listen starts accepting in-process connections.
+func (t *PipeTransport) Listen() (Listener, error) {
+	select {
+	case <-t.closed:
+		return nil, ErrTransportClosed
+	default:
+	}
+	return &pipeListener{t: t}, nil
+}
+
+// Dial pairs a fresh pipe with the accepting side.
+func (t *PipeTransport) Dial() (Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case t.ch <- server:
+		return client, nil
+	case <-t.closed:
+		client.Close()
+		server.Close()
+		return nil, ErrTransportClosed
+	}
+}

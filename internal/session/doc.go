@@ -1,0 +1,33 @@
+// Package session is the first-class session layer between the engine
+// core and every front end: the in-process selfdrive loop, the wire
+// server (internal/server), and the CLIs all drive the engine through it.
+//
+// A Session owns everything one client connection needs: a
+// context.Context whose cancellation is the kill switch, a private
+// execution context (one worker thread, arena, and join-table per
+// session), a prepared-statement cache whose plans are keyed to the
+// engine's ConfigVersion (a knob change or index publish invalidates
+// them and the next execution replans), and a private observation
+// buffer (Stats) that implements exec.QueryObserver.
+//
+// The Registry is the admission controller and process list: it caps
+// concurrent sessions, lists every live session with its state and
+// currently-running statement, kills by ID, and drains the per-session
+// observation buffers — in ascending session-ID order, the serial-order
+// reduction that keeps float sums bit-identical at any parallelism.
+// The self-driving loop consumes its live metrics stream from here:
+// what it forecasts and acts on is whatever traffic the process list
+// saw, whether that traffic arrived over a wire transport or from an
+// in-process harness.
+//
+// # Concurrency contract
+//
+// A Session executes one statement at a time (ErrBusy otherwise) from a
+// single worker goroutine, like a DBMS connection. Kill, List, and
+// Drain may race that worker freely: kill flips the session context and
+// takes effect at the executor's next operator boundary, and the Stats
+// buffer is mutex-guarded with an exactly-once Emit-vs-Drain contract —
+// every completed query's observation appears in exactly one drain,
+// and a killed query contributes nothing (exec.ExecuteObserved only
+// observes whole completed queries).
+package session

@@ -1,0 +1,225 @@
+package session
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mb2/internal/hw"
+)
+
+// TestProcessListKillHammer races list, kill, and drain against live
+// statement traffic under the race detector: W worker sessions each run
+// a statement loop while a killer cancels sessions and a drainer pulls
+// observations mid-flight. The exactly-once accounting must balance:
+// every completed statement's observation appears in exactly one drain,
+// killed statements in none.
+func TestProcessListKillHammer(t *testing.T) {
+	_, reg := testDB(t, 100)
+	const workers = 8
+	const statements = 60
+
+	sessions := make([]*Session, workers)
+	for i := range sessions {
+		s, err := reg.Open(Options{Contenders: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+
+	var traffic, drainer sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Drainer: pulls the live process list's observations concurrently
+	// with execution, accumulating totals.
+	drained := make(chan float64, 1)
+	drainer.Add(1)
+	go func() {
+		defer drainer.Done()
+		total := 0.0
+		for {
+			select {
+			case <-stop:
+				drained <- total
+				return
+			default:
+				obs := reg.DrainObservations()
+				for _, c := range obs.Counts {
+					total += c
+				}
+			}
+		}
+	}()
+
+	// Killer: kills half the sessions at staggered points.
+	traffic.Add(1)
+	go func() {
+		defer traffic.Done()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < workers/2; i++ {
+			id := sessions[rng.Intn(workers)].ID
+			reg.Kill(id, nil)
+			reg.List() // exercise list against the races
+		}
+	}()
+
+	// Workers: seeded statement loops that stop when killed.
+	workerErrs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		traffic.Add(1)
+		go func(w int) {
+			defer traffic.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < statements; i++ {
+				q := fmt.Sprintf("SELECT * FROM t WHERE k = %d", rng.Intn(100))
+				if i%7 == 0 {
+					q = "SELECT grp, count(grp) FROM t GROUP BY grp"
+				}
+				if _, _, err := sessions[w].ExecSQL(q); err != nil {
+					if errors.Is(err, ErrKilled) {
+						return
+					}
+					workerErrs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Traffic drains fully before the drainer stops, so its last pass
+	// plus the final drain below see every completed statement.
+	traffic.Wait()
+	close(stop)
+	drainer.Wait()
+
+	completed := uint64(0)
+	for _, s := range sessions {
+		completed += s.Info().Queries
+	}
+	total := <-drained
+	// Final drain catches anything buffered after the drainer stopped.
+	final := reg.DrainObservations()
+	for _, c := range final.Counts {
+		total += c
+	}
+	for w, err := range workerErrs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if total != float64(completed) {
+		t.Fatalf("drained %v observations, %d statements completed: exactly-once violated", total, completed)
+	}
+	for _, s := range sessions {
+		s.Close()
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("%d sessions live after closes", reg.Len())
+	}
+}
+
+// soakDigest runs the deterministic seeded soak — sessions × statements
+// of seeded read traffic — and folds every session's results and the
+// merged observation stream into one digest, merging in session-ID
+// order. jobs controls the worker parallelism; the digest must not
+// depend on it.
+func soakDigest(t *testing.T, reg *Registry, seed int64, nSessions, nStatements, jobs int) uint64 {
+	t.Helper()
+	sessions := make([]*Session, nSessions)
+	for i := range sessions {
+		s, err := reg.Open(Options{Contenders: float64(nSessions)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	perSession := make([]uint64, nSessions)
+	errs := make([]error, nSessions)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, jobs)
+	for i := range sessions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			h := fnv.New64a()
+			var buf [8]byte
+			rng := rand.New(rand.NewSource(seed ^ int64(i+1)))
+			for q := 0; q < nStatements; q++ {
+				var query string
+				switch q % 3 {
+				case 0:
+					query = fmt.Sprintf("SELECT * FROM t WHERE k = %d", rng.Intn(100))
+				case 1:
+					query = "SELECT grp, count(grp) FROM t GROUP BY grp"
+				default:
+					query = fmt.Sprintf("SELECT * FROM t WHERE grp = %d", rng.Intn(7))
+				}
+				b, _, err := sessions[i].ExecSQL(query)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				binary.LittleEndian.PutUint64(buf[:], uint64(len(b.Rows)))
+				h.Write(buf[:])
+			}
+			perSession[i] = h.Sum64()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+
+	// Fold per-session digests in ID (== index) order, then the merged
+	// observation stream drained from the process list.
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, d := range perSession {
+		put(d)
+	}
+	obs := reg.DrainObservations()
+	for _, name := range obs.Templates() {
+		h.Write([]byte(name))
+		put(uint64(obs.Counts[name]))
+		iso := obs.Iso[name]
+		put(uint64(iso.Vec()[hw.LabelElapsedUS] * 1e6))
+	}
+	for _, s := range sessions {
+		s.Close()
+	}
+	return h.Sum64()
+}
+
+// TestSoakDeterministicReplay is the seeded soak: N sessions × M
+// statements, replayed bit-exactly — the digest is identical across
+// same-seed runs and across worker parallelism (serial vs 8-way).
+func TestSoakDeterministicReplay(t *testing.T) {
+	_, reg := testDB(t, 100)
+	a := soakDigest(t, reg, 42, 16, 30, 8)
+	b := soakDigest(t, reg, 42, 16, 30, 8)
+	if a != b {
+		t.Fatalf("same-seed soak digests differ: %#x vs %#x", a, b)
+	}
+	serial := soakDigest(t, reg, 42, 16, 30, 1)
+	if a != serial {
+		t.Fatalf("soak digest depends on parallelism: %#x (8-way) vs %#x (serial)", a, serial)
+	}
+	other := soakDigest(t, reg, 43, 16, 30, 8)
+	if a == other {
+		t.Fatalf("different seeds produced identical digests %#x", a)
+	}
+}

@@ -1,0 +1,286 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"mb2/internal/exec"
+	"mb2/internal/hw"
+	"mb2/internal/plan"
+	"mb2/internal/sql"
+)
+
+// Sentinel errors of the session lifecycle.
+var (
+	// ErrKilled is returned by executions aborted by a process-list kill
+	// (wrapped around the kill cause when one was given).
+	ErrKilled = errors.New("session: killed")
+	// ErrClosed is returned by operations on a closed session.
+	ErrClosed = errors.New("session: closed")
+	// ErrBusy is returned when a statement is submitted while another is
+	// still running on the same session.
+	ErrBusy = errors.New("session: statement already running")
+	// ErrAdmission is returned by Registry.Open when the process list is
+	// at its configured capacity.
+	ErrAdmission = errors.New("session: too many sessions")
+)
+
+// State is a session's lifecycle state as the process list reports it.
+type State int
+
+const (
+	// Idle: admitted, no statement running.
+	Idle State = iota
+	// Active: a statement is executing right now.
+	Active
+	// Killed: cancelled via the process list; every further execution
+	// fails with ErrKilled, but the observation buffer stays drainable.
+	Killed
+	// Closed: released; the ID has left the process list.
+	Closed
+)
+
+// String returns the process-list spelling of the state.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Active:
+		return "active"
+	case Killed:
+		return "killed"
+	case Closed:
+		return "closed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Session is one client's execution context: the unit the process list
+// admits, lists, and kills. See the package comment for the concurrency
+// contract (one statement at a time; kill/list/drain may race freely).
+type Session struct {
+	// ID is the process-list identifier, assigned in admission order.
+	ID uint64
+
+	reg    *Registry
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	ec     *exec.Ctx
+	stats  *Stats
+
+	mu        sync.Mutex
+	state     State
+	statement string // currently-running statement, for the process list
+	queries   uint64 // completed statements
+	failed    uint64 // failed or killed statements
+	prepared  map[string]*Prepared
+}
+
+// Context returns the session context; it is cancelled by Kill and Close.
+func (s *Session) Context() context.Context { return s.ctx }
+
+// Stats returns the session's private observation buffer.
+func (s *Session) Stats() *Stats { return s.stats }
+
+// ExecCtx exposes the session's execution context. It is owned by the
+// session's worker goroutine; other goroutines must not touch it.
+func (s *Session) ExecCtx() *exec.Ctx { return s.ec }
+
+// State returns the session's current lifecycle state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// interrupted is the exec.Ctx.Interrupt hook: polled at every operator
+// boundary, it surfaces a kill as ErrKilled wrapping the cause.
+func (s *Session) interrupted() error {
+	select {
+	case <-s.ctx.Done():
+		cause := context.Cause(s.ctx)
+		if cause == nil || errors.Is(cause, ErrKilled) || errors.Is(cause, ErrClosed) {
+			return ErrKilled
+		}
+		return fmt.Errorf("%w: %w", ErrKilled, cause)
+	default:
+		return nil
+	}
+}
+
+// beginStatement admits one statement onto the session worker.
+func (s *Session) beginStatement(stmt string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case Killed:
+		return ErrKilled
+	case Closed:
+		return ErrClosed
+	case Active:
+		return ErrBusy
+	}
+	s.state = Active
+	s.statement = stmt
+	return nil
+}
+
+// endStatement retires the running statement. A kill that landed while
+// the statement ran leaves the state Killed.
+func (s *Session) endStatement(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		s.queries++
+	} else {
+		s.failed++
+	}
+	s.statement = ""
+	if s.state == Active {
+		s.state = Idle
+	}
+}
+
+// ExecPlan executes a pre-built physical plan under the session: the
+// embedded front ends' path (the selfdrive loop constructs plans
+// directly). The template name keys the observation stream; completed
+// queries are observed exactly once, killed or failed ones not at all.
+func (s *Session) ExecPlan(template string, fingerprint uint64, node plan.Node) (*exec.Batch, hw.Metrics, error) {
+	if err := s.beginStatement(template); err != nil {
+		return nil, hw.Metrics{}, err
+	}
+	b, iso, err := exec.ExecuteObserved(s.ec, template, fingerprint, node)
+	if err == nil {
+		s.stats.observeRep(template, node)
+	}
+	s.endStatement(err)
+	return b, iso, err
+}
+
+// execDML wraps a DML plan in an auto-commit transaction when the
+// session has none open, mirroring a server's auto-commit semantics.
+func (s *Session) execDML(template string, fingerprint uint64, node plan.Node) (*exec.Batch, hw.Metrics, error) {
+	if s.ec.Txn != nil {
+		return s.ExecPlan(template, fingerprint, node)
+	}
+	if err := s.beginStatement(template); err != nil {
+		return nil, hw.Metrics{}, err
+	}
+	s.ec.Begin()
+	b, iso, err := exec.ExecuteObserved(s.ec, template, fingerprint, node)
+	if err != nil {
+		_ = s.ec.Abort()
+	} else if cerr := s.ec.Commit(); cerr != nil {
+		err = cerr
+	}
+	if err == nil {
+		s.stats.observeRep(template, node)
+	}
+	s.endStatement(err)
+	return b, iso, err
+}
+
+// isDML reports whether a plan mutates the database.
+func isDML(n plan.Node) bool {
+	switch n.(type) {
+	case *plan.InsertNode, *plan.UpdateNode, *plan.DeleteNode:
+		return true
+	}
+	return false
+}
+
+// ExecSQL parses and executes one SQL statement. DDL runs against the
+// engine directly (and advances its ConfigVersion, invalidating plan
+// caches); queries and DML plan through the SQL planner, with DML
+// auto-committed when no transaction is open. The statement text is the
+// observation template, so ad-hoc traffic forecasts per distinct text.
+func (s *Session) ExecSQL(query string) (*exec.Batch, hw.Metrics, error) {
+	// A killed or closed session refuses statements before even parsing
+	// them; beginStatement re-checks under the race.
+	switch s.State() {
+	case Killed:
+		return nil, hw.Metrics{}, ErrKilled
+	case Closed:
+		return nil, hw.Metrics{}, ErrClosed
+	}
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, hw.Metrics{}, s.fail(err)
+	}
+	switch st.(type) {
+	case sql.CreateTableStmt, sql.CreateIndexStmt, sql.DropIndexStmt:
+		if err := s.beginStatement(query); err != nil {
+			return nil, hw.Metrics{}, err
+		}
+		b, rerr := sql.Run(s.ec, query)
+		s.endStatement(rerr)
+		return b, hw.Metrics{}, rerr
+	}
+	node, err := sql.NewPlanner(s.ec.DB).Plan(st)
+	if err != nil {
+		return nil, hw.Metrics{}, s.fail(err)
+	}
+	fp := plan.Fingerprint(node)
+	if isDML(node) {
+		return s.execDML(query, fp, node)
+	}
+	return s.ExecPlan(query, fp, node)
+}
+
+// fail charges a statement that never reached execution (a parse or
+// plan failure) to the process-list failed counter.
+func (s *Session) fail(err error) error {
+	s.mu.Lock()
+	s.failed++
+	s.mu.Unlock()
+	return err
+}
+
+// Kill cancels the session: the running statement aborts at its next
+// operator boundary and every later execution fails with ErrKilled. The
+// observation buffer is left intact for its exactly-once drain.
+func (s *Session) Kill(cause error) {
+	s.mu.Lock()
+	if s.state == Closed {
+		s.mu.Unlock()
+		return
+	}
+	s.state = Killed
+	s.mu.Unlock()
+	if cause == nil {
+		cause = ErrKilled
+	}
+	s.cancel(cause)
+}
+
+// Close releases the session and removes it from the process list. The
+// caller keeps the Stats handle: observations buffered at close remain
+// drainable exactly once.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.state == Closed {
+		s.mu.Unlock()
+		return
+	}
+	s.state = Closed
+	s.mu.Unlock()
+	s.cancel(ErrClosed)
+	if s.reg != nil {
+		s.reg.remove(s.ID)
+	}
+}
+
+// Info snapshots the session for the process list.
+func (s *Session) Info() ProcessInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ProcessInfo{
+		ID:        s.ID,
+		State:     s.state,
+		Statement: s.statement,
+		Queries:   s.queries,
+		Failed:    s.failed,
+	}
+}
