@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race stress crash fuzz vet bench-smoke check-bench-exec bench-train bench-drive bench-exec bench-partition bench-server check-bench-server
+.PHONY: tier1 build test race stress crash fuzz vet bench-smoke check-bench-exec bench-train bench-drive bench-exec bench-partition bench-server check-bench-server bench-compress check-bench-compress
 
 # tier1 is the full pre-merge gate: static checks, build, the whole test
 # suite under the race detector (including the internal/check concurrency
@@ -34,6 +34,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzWALDeserialize -fuzztime=5s ./internal/wal
 	$(GO) test -run=NONE -fuzz=FuzzPartitionKey -fuzztime=5s ./internal/storage
 	$(GO) test -run=NONE -fuzz=FuzzFrame -fuzztime=5s ./internal/server
+	$(GO) test -run=NONE -fuzz=FuzzClusterAssign -fuzztime=5s ./internal/forecast
 
 # bench-smoke executes every (pipeline, variant) benchmark and every
 # partition-sweep cell once — a correctness smoke, not a measurement — and
@@ -41,6 +42,7 @@ fuzz:
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkPipelines|BenchmarkPartitionPipelines' -benchtime=1x ./internal/exec
 	@$(MAKE) --no-print-directory check-bench-exec
+	@$(MAKE) --no-print-directory check-bench-compress
 
 # check-bench-exec fails unless BENCH_exec.json covers all three
 # planner-selectable execution modes (plus the unfused compiled ablation),
@@ -101,3 +103,28 @@ check-bench-server:
 		grep -q "\"sessions\": $$n" BENCH_server.json || { echo "BENCH_server.json missing sweep point: $$n sessions"; exit 1; }; \
 	done
 	@echo "BENCH_server.json covers all sweep points and fields"
+
+# bench-compress sweeps forecast+plan inference cost across template
+# populations (12 / 1k / 10k / 100k) with and without workload compression
+# (K=64 cluster representatives) and records per-interval forecast+plan
+# wall clock, per-template volume-forecast MAPE, and prediction-cache
+# evictions per point — alongside GOMAXPROCS/NumCPU — then fails if the
+# artifact drops a sweep point or field.
+bench-compress:
+	$(GO) run ./cmd/mb2-drive -bench-compress BENCH_compress.json
+	@$(MAKE) --no-print-directory check-bench-compress
+
+# check-bench-compress fails unless BENCH_compress.json records every sweep
+# point at both compression settings and every measured field, so the
+# artifact cannot silently lose coverage when it is regenerated.
+check-bench-compress:
+	@for f in gomaxprocs clusters forecast_plan_us_per_interval ingest_us_per_interval volume_mape cache_evictions speedup_max_n; do \
+		grep -q "\"$$f\"" BENCH_compress.json || { echo "BENCH_compress.json missing field: $$f"; exit 1; }; \
+	done
+	@for n in 12 1000 10000 100000; do \
+		grep -q "\"templates\": $$n" BENCH_compress.json || { echo "BENCH_compress.json missing sweep point: $$n templates"; exit 1; }; \
+	done
+	@for c in true false; do \
+		grep -q "\"compressed\": $$c" BENCH_compress.json || { echo "BENCH_compress.json missing compression arm: $$c"; exit 1; }; \
+	done
+	@echo "BENCH_compress.json covers all sweep points and fields"

@@ -9,7 +9,8 @@
 //
 //	mb2-drive [-seed N] [-intervals N] [-sessions N] [-j N]
 //	          [-partitions N] [-dop N] [-crash-every N]
-//	          [-data FILE] [-bench FILE] [-verify]
+//	          [-templates N] [-clusters K] [-load-curve NAME]
+//	          [-data FILE] [-bench FILE] [-bench-compress FILE] [-verify]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -data, the behavior models train from a repository previously
@@ -22,6 +23,14 @@
 // sandboxed engine runs a seeded workload on a simulated block device, the
 // durable log is cut at strided crash offsets, and recovery from each cut
 // is verified against an oracle; drill outcomes fold into the run digest.
+//
+// -templates N explodes the four drive templates into N synthetic variants
+// (distinct fingerprints, near-identical OU features); -clusters K turns on
+// workload compression, clustering templates into at most K representatives
+// that forecasting and planning operate on. -load-curve flat|diurnal|flash
+// shapes per-interval volume. -bench-compress runs the compression sweep
+// (template populations with and without compression) instead of a drive
+// and writes the results as JSON.
 package main
 
 import (
@@ -49,8 +58,12 @@ func main() {
 	partitions := flag.Int("partitions", 4, "initial hash partitions per table (1 = unpartitioned; the planner may repartition)")
 	dop := flag.Int("dop", 1, "initial scan degree of parallelism (the planner may change it via set-dop actions)")
 	crashEvery := flag.Int("crash-every", 0, "run a crash-recovery drill after every Nth interval (0 = off)")
+	templates := flag.Int("templates", 0, "explode the drive templates into N synthetic variants (0 = the plain four-template workload)")
+	clusters := flag.Int("clusters", 0, "compress the workload into at most K template clusters for forecasting and planning (0 = off)")
+	loadCurve := flag.String("load-curve", "", "per-interval load curve: flat, diurnal, or flash (default flat)")
 	dataPath := flag.String("data", "", "train models from this mb2-train -data-out repository instead of sweeping in-process")
 	benchPath := flag.String("bench", "", "write loop benchmark results as JSON to this file")
+	benchCompress := flag.String("bench-compress", "", "run the workload-compression sweep and write results as JSON to this file")
 	verify := flag.Bool("verify", false, "replay the run and fail unless it reproduces bit for bit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -86,6 +99,13 @@ func main() {
 		log.Fatalf("mb2-drive: %v", err)
 	}
 
+	if *benchCompress != "" {
+		if err := runCompressBench(*benchCompress, *seed, ms); err != nil {
+			log.Fatalf("mb2-drive: %v", err)
+		}
+		return
+	}
+
 	cfg := selfdrive.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Intervals = *intervals
@@ -94,6 +114,9 @@ func main() {
 	cfg.Partitions = *partitions
 	cfg.DOP = *dop
 	cfg.CrashEvery = *crashEvery
+	cfg.Templates = *templates
+	cfg.Clusters = *clusters
+	cfg.LoadCurve = *loadCurve
 
 	fmt.Printf("== MB2 online control loop (seed %d, %d intervals, %d sessions) ==\n",
 		cfg.Seed, cfg.Intervals, cfg.Sessions)
@@ -191,8 +214,14 @@ func printRun(res *selfdrive.Result) {
 		}
 	}
 	fmt.Printf("\npredicted-vs-observed MAPE: %.3f\n", res.MAPE)
-	fmt.Printf("prediction cache: %d hits, %d misses (hit rate %.2f)\n",
-		res.CacheHits, res.CacheMisses, res.CacheHitRate)
+	if res.Clusters > 0 {
+		fmt.Printf("workload compression: %d templates in %d clusters (volume MAPE %.3f)\n",
+			res.TemplatesSeen, res.Clusters, res.VolumeMAPE)
+	} else if res.TemplatesSeen > 4 {
+		fmt.Printf("templates seen: %d (compression off)\n", res.TemplatesSeen)
+	}
+	fmt.Printf("prediction cache: %d hits, %d misses (hit rate %.2f, %d evictions)\n",
+		res.CacheHits, res.CacheMisses, res.CacheHitRate, res.CacheEvictions)
 	fmt.Printf("fused pipelines executed: %d\n", res.FusedPipelines)
 	fmt.Printf("vectorized batches processed: %d\n", res.VecBatches)
 	fmt.Printf("run digest: %#x\n", res.Digest)
@@ -220,6 +249,10 @@ type benchReport struct {
 	FusedPipelines    int     `json:"fused_pipelines"`
 	VecBatches        int     `json:"vec_batches"`
 	CrashDrills       int     `json:"crash_drills"`
+	TemplatesSeen     int     `json:"templates_seen"`
+	Clusters          int     `json:"clusters"`
+	VolumeMAPE        float64 `json:"volume_mape"`
+	CacheEvictions    uint64  `json:"cache_evictions"`
 	Digest            string  `json:"digest"`
 }
 
@@ -249,9 +282,60 @@ func writeBench(path string, cfg selfdrive.Config, res *selfdrive.Result) error 
 		FusedPipelines:    res.FusedPipelines,
 		VecBatches:        res.VecBatches,
 		CrashDrills:       len(res.CrashDrills),
+		TemplatesSeen:     res.TemplatesSeen,
+		Clusters:          res.Clusters,
+		VolumeMAPE:        res.VolumeMAPE,
+		CacheEvictions:    res.CacheEvictions,
 		Digest:            fmt.Sprintf("%#x", res.Digest),
 	}
 	return benchio.WriteJSON(path, rep)
+}
+
+// compressBenchReport is the BENCH_compress.json schema: the sweep's
+// config, host, the per-point measurements, and the headline speedup.
+type compressBenchReport struct {
+	Seed     int64 `json:"seed"`
+	Clusters int   `json:"clusters"`
+	benchio.Host
+	Points []selfdrive.CompressPoint `json:"points"`
+	// SpeedupMaxN is uncompressed/compressed forecast+plan wall clock at
+	// the largest template population.
+	SpeedupMaxN float64 `json:"speedup_max_n"`
+}
+
+func runCompressBench(path string, seed int64, ms *modeling.ModelSet) error {
+	cfg := selfdrive.DefaultCompressBenchConfig()
+	cfg.Seed = seed
+	fmt.Printf("== workload-compression sweep (seed %d, K=%d, populations %v) ==\n",
+		cfg.Seed, cfg.Clusters, cfg.TemplateCounts)
+	res, err := selfdrive.RunCompressBench(cfg, ms)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n templates  compressed  clusters  queries/step  forecast+plan us/interval  volume MAPE  evictions")
+	for _, pt := range res.Points {
+		comp := "no"
+		if pt.Compressed {
+			comp = fmt.Sprintf("K=%d", cfg.Clusters)
+		}
+		fmt.Printf("   %6d    %-8s  %6d      %8d      %18.1f         %8.3f   %8d\n",
+			pt.Templates, comp, pt.Clusters, pt.ForecastQueries,
+			pt.ForecastPlanUSPerInterval, pt.VolumeMAPE, pt.CacheEvictions)
+	}
+	fmt.Printf("\nforecast+plan speedup at %d templates: %.1fx\n",
+		cfg.TemplateCounts[len(cfg.TemplateCounts)-1], res.SpeedupMaxN)
+	rep := compressBenchReport{
+		Seed:        cfg.Seed,
+		Clusters:    cfg.Clusters,
+		Host:        benchio.CaptureHost(),
+		Points:      res.Points,
+		SpeedupMaxN: res.SpeedupMaxN,
+	}
+	if err := benchio.WriteJSON(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("benchmark results written to %s\n", path)
+	return nil
 }
 
 // percentile returns the pth quantile (nearest-rank) of vs; 0 when empty.

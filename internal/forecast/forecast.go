@@ -27,6 +27,15 @@ type History struct {
 	window     int // max retained intervals; 0 = unbounded
 	evicted    int // intervals dropped from the front of every series
 	counts     map[string][]float64
+
+	// Clustered mode (NewClusteredHistory): per-cluster series replace the
+	// per-template series above, and per-template state shrinks to one
+	// recency-weighted fan-out weight. See clustered.go.
+	clusterer     *Clusterer
+	clusterCounts [][]float64
+	weights       map[string]float64
+	clusterWeight []float64
+	wScale        float64
 }
 
 // NewHistory creates an empty, unbounded history with the given interval
@@ -72,6 +81,10 @@ func (h *History) Append(counts map[string]float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.intervals++
+	if h.clusterer != nil {
+		h.appendClustered(counts)
+		return
+	}
 	for name := range counts {
 		if _, ok := h.counts[name]; !ok {
 			h.counts[name] = make([]float64, h.intervals-1)
@@ -170,7 +183,17 @@ func linearTrend(series []float64, window, ahead int) float64 {
 // (when a full season of history exists), mirroring the hybrid design of
 // query-volume forecasters.
 func (f Forecaster) Forecast(h *History, template string, horizon int) []float64 {
-	series := h.Series(template)
+	return f.forecastSeries(h.Series(template), horizon)
+}
+
+// forecastSeries is the shared per-series predictor behind Forecast and
+// ForecastClusters. It is total over degenerate inputs — which clustering
+// makes routine (a cluster founded this interval has a series that is all
+// zeros except the newest point): empty and single-point series, all-zero
+// series, and series carrying NaN/Inf elements all yield finite,
+// non-negative predictions, never NaN or Inf.
+func (f Forecaster) forecastSeries(series []float64, horizon int) []float64 {
+	series = sanitizeSeries(series)
 	out := make([]float64, horizon)
 	for ahead := 1; ahead <= horizon; ahead++ {
 		trend := linearTrend(series, f.Window, ahead)
@@ -184,12 +207,30 @@ func (f Forecaster) Forecast(h *History, template string, horizon int) []float64
 				pred = (trend + series[idx]) / 2
 			}
 		}
-		if pred < 0 {
+		if pred < 0 || math.IsNaN(pred) || math.IsInf(pred, 0) {
 			pred = 0
 		}
 		out[ahead-1] = pred
 	}
 	return out
+}
+
+// sanitizeSeries returns the series with non-finite elements replaced by 0
+// (sharing the input when nothing needs replacing). Degenerate upstream
+// inputs must not poison the least-squares fit with NaN/Inf.
+func sanitizeSeries(series []float64) []float64 {
+	for i, v := range series {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			out := append([]float64(nil), series...)
+			for j := i; j < len(out); j++ {
+				if math.IsNaN(out[j]) || math.IsInf(out[j], 0) {
+					out[j] = 0
+				}
+			}
+			return out
+		}
+	}
+	return series
 }
 
 // ForecastAll predicts every observed template.

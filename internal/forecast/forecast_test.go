@@ -133,3 +133,92 @@ func TestMAPE(t *testing.T) {
 		t.Fatal("empty MAPE must be 0")
 	}
 }
+
+// TestForecastDegenerateSeries pins the forecaster's totality over the
+// degenerate series clustering makes routine: a cluster founded in the
+// newest interval has a series that is all zeros except the last point,
+// sparse members yield mostly-zero series, and upstream accounting bugs
+// could inject NaN/Inf. Every case must produce finite, non-negative
+// predictions for every horizon step.
+func TestForecastDegenerateSeries(t *testing.T) {
+	inf := math.Inf(1)
+	tests := []struct {
+		name   string
+		series []float64
+		season int
+	}{
+		{"empty", nil, 0},
+		{"single point", []float64{7}, 0},
+		{"all zero", []float64{0, 0, 0, 0}, 0},
+		{"newest interval only", []float64{0, 0, 0, 0, 0, 42}, 0},
+		{"newest interval only with season", []float64{0, 0, 0, 0, 0, 42}, 3},
+		{"sparse", []float64{0, 9, 0, 0, 3, 0}, 0},
+		{"nan elements", []float64{math.NaN(), 5, math.NaN(), 5}, 0},
+		{"inf elements", []float64{inf, 5, -inf, 5}, 2},
+		{"all nan", []float64{math.NaN(), math.NaN()}, 0},
+		{"huge values overflow-adjacent", []float64{1e308, 1e308, 1e308}, 0},
+		{"steep negative trend", []float64{1000, 100, 1}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistory(1e6)
+			recordSeries(h, "q", tc.series)
+			preds := (Forecaster{Season: tc.season}).Forecast(h, "q", 4)
+			if len(preds) != 4 {
+				t.Fatalf("horizon = %d, want 4", len(preds))
+			}
+			for i, p := range preds {
+				if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+					t.Fatalf("prediction[%d] = %v for series %v", i, p, tc.series)
+				}
+			}
+		})
+	}
+}
+
+// TestForecastDegenerateClusterSeries runs the same totality contract
+// through the clustered path: counts carrying NaN/Inf/negative values are
+// dropped at Append, and forecasts over the resulting series stay finite.
+func TestForecastDegenerateClusterSeries(t *testing.T) {
+	c := NewClusterer(4, 0)
+	h := NewClusteredHistory(1e6, 0, c)
+	h.Append(map[string]float64{"a": math.NaN(), "b": math.Inf(1), "c": -5})
+	h.Append(map[string]float64{"a": 10, "b": 0, "c": 3})
+	for _, series := range (Forecaster{}).ForecastClusters(h, 3) {
+		for i, p := range series {
+			if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+				t.Fatalf("cluster prediction[%d] = %v", i, p)
+			}
+		}
+	}
+	// The poisoned first interval must have been recorded as zero volume.
+	for id := 0; id < h.NumClusters(); id++ {
+		if s := h.ClusterSeries(id); len(s) > 0 && s[0] != 0 {
+			t.Fatalf("cluster %d first interval = %v, want 0 (non-finite counts dropped)", id, s[0])
+		}
+	}
+}
+
+func TestMAPENonFinite(t *testing.T) {
+	inf := math.Inf(1)
+	tests := []struct {
+		name         string
+		pred, actual []float64
+		want         float64
+	}{
+		{"nan pred skipped", []float64{math.NaN(), 100}, []float64{100, 100}, 0},
+		{"inf actual skipped", []float64{100, 90}, []float64{inf, 100}, 0.1},
+		{"all non-finite", []float64{math.NaN()}, []float64{inf}, 0},
+		{"zero actual floored", []float64{3}, []float64{0}, 3},
+	}
+	for _, tc := range tests {
+		got := MAPE(tc.pred, tc.actual)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: MAPE = %v, want finite", tc.name, got)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: MAPE = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package forecast
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzClusterAssign drives a bounded clusterer with arbitrary
+// fingerprint/feature streams and checks the structural invariants: every
+// template is assigned, the K bound is hard, every assignment is stable on
+// re-registration, and the member rosters round-trip through Lookup.
+func FuzzClusterAssign(f *testing.F) {
+	f.Add(uint8(4), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(1), []byte{0, 0, 0, 0})
+	f.Add(uint8(16), []byte{255, 1, 128, 7, 3, 3, 3})
+	f.Fuzz(func(t *testing.T, k uint8, data []byte) {
+		maxK := int(k%16) + 1
+		c := NewClusterer(maxK, 0.25)
+		ids := make(map[string]int)
+		for i, b := range data {
+			if i >= 64 {
+				break
+			}
+			name := fmt.Sprintf("t%03d", i)
+			fp := uint64(b%8) + 1 // small space → frequent fingerprint collisions
+			feat := []float64{float64(b), float64(b) * 3, float64(i % 5)}
+			id := c.Assign(name, fp, feat)
+			if id < 0 || id >= maxK {
+				t.Fatalf("assignment %d outside [0,%d)", id, maxK)
+			}
+			if id >= c.Len() {
+				t.Fatalf("assignment %d beyond live clusters %d", id, c.Len())
+			}
+			if again := c.Assign(name, fp+1, nil); again != id {
+				t.Fatalf("re-assignment moved %q: %d -> %d", name, id, again)
+			}
+			ids[name] = id
+		}
+		if c.Len() > maxK {
+			t.Fatalf("%d clusters exceed bound %d", c.Len(), maxK)
+		}
+		if c.Assigned() != len(ids) {
+			t.Fatalf("Assigned() = %d, want %d", c.Assigned(), len(ids))
+		}
+		// Round trip: every assignment appears in exactly one roster, and
+		// every roster member looks up to that roster's cluster.
+		seen := make(map[string]int)
+		for id := 0; id < c.Len(); id++ {
+			members := c.Members(id)
+			if len(members) == 0 {
+				t.Fatalf("live cluster %d has no members", id)
+			}
+			if c.Leader(id) != members[0] {
+				t.Fatalf("cluster %d leader %q != first member %q", id, c.Leader(id), members[0])
+			}
+			for _, m := range members {
+				if prev, dup := seen[m]; dup {
+					t.Fatalf("%q appears in rosters %d and %d", m, prev, id)
+				}
+				seen[m] = id
+				if got, ok := c.Lookup(m); !ok || got != id {
+					t.Fatalf("roster member %q looks up as (%d,%v), want (%d,true)", m, got, ok, id)
+				}
+			}
+		}
+		for name, id := range ids {
+			if seen[name] != id {
+				t.Fatalf("%q assigned to %d but rostered in %d", name, id, seen[name])
+			}
+		}
+	})
+}

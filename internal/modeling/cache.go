@@ -1,6 +1,7 @@
 package modeling
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -32,23 +33,56 @@ type cacheEntry struct {
 // change or index create/rename/drop can alter both translation features
 // and plan choice, so stale entries must not survive).
 //
-// The cache is safe for concurrent readers and writers; hit/miss counters
-// are atomic so the loop can report its hit rate without stopping
+// The cache is size-bounded: beyond MaxEntries live entries the least
+// recently used entry is evicted, so a high-cardinality workload (10^5+
+// distinct plan fingerprints) cannot grow it without limit between
+// ConfigVersion bumps. Eviction only forgets memoized work — predictions
+// recompute identically on the next miss — so seeded replay digests are
+// unaffected by the bound.
+//
+// The cache is safe for concurrent readers and writers; hit/miss/eviction
+// counters are atomic so the loop can report them without stopping
 // inference. Only the isolated (pre-interference) predictions are cached —
 // interference adjustment depends on the whole interval's concurrency
 // summary and is recomputed per call.
 type PredictionCache struct {
 	mu      sync.RWMutex
 	version uint64
-	entries map[cacheKey]cacheEntry
+	max     int
+	entries map[cacheKey]*list.Element
+	lru     *list.List // front = most recently used; values are *lruEntry
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
-// NewPredictionCache returns an empty cache.
+// lruEntry is one cached prediction plus the key that maps to it (so
+// eviction from the list tail can delete the map entry).
+type lruEntry struct {
+	key cacheKey
+	val cacheEntry
+}
+
+// DefaultCacheEntries is the default MaxEntries bound: generous for every
+// realistic template population a single planning interval touches, small
+// enough that a million-template trace cannot exhaust memory.
+const DefaultCacheEntries = 1 << 16
+
+// NewPredictionCache returns an empty cache bounded at
+// DefaultCacheEntries.
 func NewPredictionCache() *PredictionCache {
-	return &PredictionCache{entries: make(map[cacheKey]cacheEntry)}
+	return NewBoundedPredictionCache(DefaultCacheEntries)
+}
+
+// NewBoundedPredictionCache returns an empty cache holding at most max
+// entries (max <= 0 disables the bound).
+func NewBoundedPredictionCache(max int) *PredictionCache {
+	return &PredictionCache{
+		max:     max,
+		entries: make(map[cacheKey]*list.Element),
+		lru:     list.New(),
+	}
 }
 
 // Sync compares the engine's configuration version against the cache's and
@@ -68,7 +102,8 @@ func (c *PredictionCache) Sync(version uint64) {
 	c.mu.Lock()
 	if c.version != version {
 		c.version = version
-		c.entries = make(map[cacheKey]cacheEntry)
+		c.entries = make(map[cacheKey]*list.Element)
+		c.lru.Init()
 	}
 	c.mu.Unlock()
 }
@@ -76,15 +111,22 @@ func (c *PredictionCache) Sync(version uint64) {
 // Invalidate unconditionally drops every entry.
 func (c *PredictionCache) Invalidate() {
 	c.mu.Lock()
-	c.entries = make(map[cacheKey]cacheEntry)
+	c.entries = make(map[cacheKey]*list.Element)
+	c.lru.Init()
 	c.mu.Unlock()
 }
 
-// lookup returns the memoized prediction for the key, counting the probe.
+// lookup returns the memoized prediction for the key, counting the probe
+// and refreshing the entry's recency.
 func (c *PredictionCache) lookup(k cacheKey) (cacheEntry, bool) {
-	c.mu.RLock()
-	e, ok := c.entries[k]
-	c.mu.RUnlock()
+	c.mu.Lock()
+	el, ok := c.entries[k]
+	var e cacheEntry
+	if ok {
+		c.lru.MoveToFront(el)
+		e = el.Value.(*lruEntry).val
+	}
+	c.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
@@ -93,11 +135,31 @@ func (c *PredictionCache) lookup(k cacheKey) (cacheEntry, bool) {
 	return e, ok
 }
 
-// store memoizes one prediction.
+// store memoizes one prediction, evicting the least recently used entry
+// when the bound is exceeded.
 func (c *PredictionCache) store(k cacheKey, e cacheEntry) {
 	c.mu.Lock()
-	c.entries[k] = e
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*lruEntry).val = e
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.entries[k] = c.lru.PushFront(&lruEntry{key: k, val: e})
+	evicted := uint64(0)
+	for c.max > 0 && len(c.entries) > c.max {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*lruEntry).key)
+		evicted++
+	}
 	c.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
 }
 
 // Len returns the number of live entries.
@@ -111,6 +173,15 @@ func (c *PredictionCache) Len() int {
 func (c *PredictionCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }
+
+// Evictions returns how many entries the LRU bound has evicted (version
+// invalidations are not evictions).
+func (c *PredictionCache) Evictions() uint64 {
+	return c.evictions.Load()
+}
+
+// MaxEntries returns the cache's size bound (0 = unbounded).
+func (c *PredictionCache) MaxEntries() int { return c.max }
 
 // HitRate returns hits/(hits+misses), or 0 before any probe.
 func (c *PredictionCache) HitRate() float64 {

@@ -196,3 +196,96 @@ func TestPredictionCacheConcurrentInference(t *testing.T) {
 		t.Fatal("cache never probed")
 	}
 }
+
+func TestPredictionCacheLRUBound(t *testing.T) {
+	c := NewBoundedPredictionCache(3)
+	key := func(i int) cacheKey { return cacheKey{Fingerprint: uint64(i + 1), Mode: catalog.Interpret} }
+	for i := 0; i < 5; i++ {
+		c.store(key(i), cacheEntry{Total: hw.Metrics{ElapsedUS: float64(i)}})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len() = %d, want bound 3", c.Len())
+	}
+	if c.Evictions() != 2 {
+		t.Fatalf("Evictions() = %d, want 2", c.Evictions())
+	}
+	// The two oldest entries are gone, the three newest survive.
+	for i := 0; i < 2; i++ {
+		if _, ok := c.lookup(key(i)); ok {
+			t.Fatalf("entry %d survived past the bound", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if e, ok := c.lookup(key(i)); !ok || e.Total.ElapsedUS != float64(i) {
+			t.Fatalf("entry %d evicted or corrupted (%v, %v)", i, e, ok)
+		}
+	}
+}
+
+func TestPredictionCacheLRURecency(t *testing.T) {
+	c := NewBoundedPredictionCache(2)
+	key := func(i int) cacheKey { return cacheKey{Fingerprint: uint64(i + 1)} }
+	c.store(key(0), cacheEntry{})
+	c.store(key(1), cacheEntry{})
+	// Touch 0 so 1 becomes the LRU victim when 2 arrives.
+	if _, ok := c.lookup(key(0)); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	c.store(key(2), cacheEntry{})
+	if _, ok := c.lookup(key(0)); !ok {
+		t.Fatal("recently used entry 0 was evicted")
+	}
+	if _, ok := c.lookup(key(1)); ok {
+		t.Fatal("least recently used entry 1 survived")
+	}
+}
+
+func TestPredictionCacheStoreExistingRefreshes(t *testing.T) {
+	c := NewBoundedPredictionCache(2)
+	key := func(i int) cacheKey { return cacheKey{Fingerprint: uint64(i + 1)} }
+	c.store(key(0), cacheEntry{Total: hw.Metrics{ElapsedUS: 1}})
+	c.store(key(1), cacheEntry{})
+	// Re-storing 0 refreshes both its value and its recency.
+	c.store(key(0), cacheEntry{Total: hw.Metrics{ElapsedUS: 9}})
+	c.store(key(2), cacheEntry{})
+	if e, ok := c.lookup(key(0)); !ok || e.Total.ElapsedUS != 9 {
+		t.Fatalf("refreshed entry = (%v, %v), want ElapsedUS 9", e, ok)
+	}
+	if c.Len() != 2 || c.Evictions() != 1 {
+		t.Fatalf("Len, Evictions = %d, %d, want 2, 1", c.Len(), c.Evictions())
+	}
+}
+
+func TestPredictionCacheUnbounded(t *testing.T) {
+	c := NewBoundedPredictionCache(0)
+	for i := 0; i < 1000; i++ {
+		c.store(cacheKey{Fingerprint: uint64(i + 1)}, cacheEntry{})
+	}
+	if c.Len() != 1000 || c.Evictions() != 0 {
+		t.Fatalf("unbounded cache: Len %d, Evictions %d, want 1000, 0", c.Len(), c.Evictions())
+	}
+	if NewPredictionCache().MaxEntries() != DefaultCacheEntries {
+		t.Fatalf("default bound = %d, want %d", NewPredictionCache().MaxEntries(), DefaultCacheEntries)
+	}
+}
+
+func TestPredictionCacheSyncResetsLRU(t *testing.T) {
+	c := NewBoundedPredictionCache(2)
+	c.store(cacheKey{Fingerprint: 1}, cacheEntry{})
+	c.store(cacheKey{Fingerprint: 2}, cacheEntry{})
+	c.Sync(7) // version moves → full invalidation, not eviction
+	if c.Len() != 0 {
+		t.Fatalf("Len() after Sync = %d, want 0", c.Len())
+	}
+	if c.Evictions() != 0 {
+		t.Fatalf("Sync counted as eviction: %d", c.Evictions())
+	}
+	// The list was reset along with the map: filling past the bound still
+	// evicts correctly (a stale list would panic or evict wrongly).
+	for i := 0; i < 4; i++ {
+		c.store(cacheKey{Fingerprint: uint64(10 + i)}, cacheEntry{})
+	}
+	if c.Len() != 2 || c.Evictions() != 2 {
+		t.Fatalf("post-Sync Len, Evictions = %d, %d, want 2, 2", c.Len(), c.Evictions())
+	}
+}

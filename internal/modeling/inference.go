@@ -15,6 +15,11 @@ type ForecastQuery struct {
 	// memoizes this query's isolated prediction under. Zero disables
 	// caching for the query.
 	Fingerprint uint64
+	// Members, when > 1, marks the entry as a workload-compression cluster
+	// representative: Plan is the cluster leader's plan and Count the
+	// members' summed forecast volume. 0 or 1 is a plain per-template
+	// entry. Informational — inference treats both identically.
+	Members int
 }
 
 // IntervalForecast describes one forecast interval's workload.

@@ -1,0 +1,259 @@
+package selfdrive
+
+import (
+	"reflect"
+	"testing"
+)
+
+// compressedConfig is the shared exploded+compressed drive configuration the
+// determinism tests replay.
+func compressedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Intervals = 6
+	cfg.Templates = 64
+	cfg.Clusters = 8
+	cfg.LoadCurve = LoadDiurnal
+	cfg.SkewShiftAt = 3
+	return cfg
+}
+
+// TestDriveLoopPinnedDigests pins the default and partitioned seeded-run
+// digests with compression off: the clustering layer must leave the
+// historical replay byte-for-byte untouched. If either constant moves, the
+// uncompressed code path changed behavior — that is a regression, not a
+// test to update.
+func TestDriveLoopPinnedDigests(t *testing.T) {
+	ms := sharedModels(t)
+
+	res, err := Run(DefaultConfig(), ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if const1 := uint64(0xb52d5068f447d5a2); res.Digest != const1 {
+		t.Errorf("default run digest = %#x, want %#x", res.Digest, const1)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Partitions = 4
+	pres, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if const2 := uint64(0xe2cbeb21cd10d0ee); pres.Digest != const2 {
+		t.Errorf("partitioned run digest = %#x, want %#x", pres.Digest, const2)
+	}
+}
+
+// TestDriveLoopCompressedDeterministicReplay runs the exploded, compressed
+// drive twice and demands bit-for-bit identical behavior: digests, action
+// logs, interval reports, and the cluster census.
+func TestDriveLoopCompressedDeterministicReplay(t *testing.T) {
+	ms := sharedModels(t)
+	cfg := compressedConfig()
+
+	a, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("compressed replay digest %#x != %#x", b.Digest, a.Digest)
+	}
+	if !reflect.DeepEqual(a.Actions, b.Actions) {
+		t.Fatalf("compressed replay action logs differ:\n%v\n%v", a.Actions, b.Actions)
+	}
+	if !reflect.DeepEqual(stripWall(a.Intervals), stripWall(b.Intervals)) {
+		t.Fatal("compressed replay interval reports differ")
+	}
+	if a.TemplatesSeen != b.TemplatesSeen || a.Clusters != b.Clusters {
+		t.Fatalf("cluster census differs: (%d,%d) vs (%d,%d)",
+			a.TemplatesSeen, a.Clusters, b.TemplatesSeen, b.Clusters)
+	}
+
+	if a.TemplatesSeen <= len(scenarioBases) {
+		t.Fatalf("TemplatesSeen = %d, want an exploded population", a.TemplatesSeen)
+	}
+	if a.Clusters < 1 || a.Clusters > cfg.Clusters {
+		t.Fatalf("Clusters = %d, want within (0,%d]", a.Clusters, cfg.Clusters)
+	}
+	if a.VolumeMAPE <= 0 {
+		t.Fatalf("VolumeMAPE = %v, want > 0 (fan-out accounting engaged)", a.VolumeMAPE)
+	}
+}
+
+// TestDriveLoopCompressedJobsInvariance pins that cluster assignment and the
+// whole compressed drive are independent of the session worker-pool size:
+// serial and parallel replays of the same seed agree exactly.
+func TestDriveLoopCompressedJobsInvariance(t *testing.T) {
+	ms := sharedModels(t)
+
+	var digests []uint64
+	var censuses [][2]int
+	for _, jobs := range []int{1, 4} {
+		cfg := compressedConfig()
+		cfg.Jobs = jobs
+		res, err := Run(cfg, ms)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		digests = append(digests, res.Digest)
+		censuses = append(censuses, [2]int{res.TemplatesSeen, res.Clusters})
+	}
+	if digests[0] != digests[1] {
+		t.Fatalf("digest differs across jobs: %#x vs %#x", digests[0], digests[1])
+	}
+	if censuses[0] != censuses[1] {
+		t.Fatalf("cluster census differs across jobs: %v vs %v", censuses[0], censuses[1])
+	}
+}
+
+// TestDriveLoopExplodedUncompressed runs the exploded population WITHOUT
+// compression: the loop must still work (per-template forecasting over the
+// variant population) and report the population size.
+func TestDriveLoopExplodedUncompressed(t *testing.T) {
+	ms := sharedModels(t)
+	cfg := DefaultConfig()
+	cfg.Intervals = 4
+	cfg.Templates = 32
+
+	a, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("exploded uncompressed replay digest %#x != %#x", b.Digest, a.Digest)
+	}
+	if a.Clusters != 0 {
+		t.Fatalf("Clusters = %d with compression off, want 0", a.Clusters)
+	}
+	if a.TemplatesSeen <= len(scenarioBases) {
+		t.Fatalf("TemplatesSeen = %d, want > %d", a.TemplatesSeen, len(scenarioBases))
+	}
+}
+
+// TestDriveLoopLoadCurves replays each load curve twice: the curves must be
+// deterministic, and diurnal/flash runs must diverge from the flat run
+// (i.e., the curve actually modulates volume).
+func TestDriveLoopLoadCurves(t *testing.T) {
+	ms := sharedModels(t)
+	run := func(curve string) *Result {
+		cfg := DefaultConfig()
+		cfg.Intervals = 5
+		cfg.LoadCurve = curve
+		res, err := Run(cfg, ms)
+		if err != nil {
+			t.Fatalf("curve %q: %v", curve, err)
+		}
+		return res
+	}
+	digests := map[string]uint64{}
+	for _, curve := range []string{LoadFlat, LoadDiurnal, LoadFlash} {
+		a, b := run(curve), run(curve)
+		if a.Digest != b.Digest {
+			t.Fatalf("curve %q not replayable: %#x vs %#x", curve, a.Digest, b.Digest)
+		}
+		digests[curve] = a.Digest
+	}
+	if digests[LoadDiurnal] == digests[LoadFlat] {
+		t.Fatal("diurnal curve produced the flat digest — curve had no effect")
+	}
+	if digests[LoadFlash] == digests[LoadFlat] {
+		t.Fatal("flash curve produced the flat digest — curve had no effect")
+	}
+
+	// Flash volume spike is visible in the interval reports.
+	res := run(LoadFlash)
+	mid := res.Intervals[len(res.Intervals)/2]
+	if mid.Queries <= res.Intervals[0].Queries {
+		t.Fatalf("flash interval ran %d queries vs baseline %d, want a spike",
+			mid.Queries, res.Intervals[0].Queries)
+	}
+}
+
+// TestDriveLoopCacheEvictionsSurfaced bounds the prediction cache far below
+// the fingerprint population and checks the loop reports the resulting
+// evictions (and that eviction pressure does not change the digest).
+func TestDriveLoopCacheEvictionsSurfaced(t *testing.T) {
+	ms := sharedModels(t)
+	cfg := DefaultConfig()
+	cfg.Intervals = 4
+	cfg.Templates = 48
+	cfg.CacheEntries = 8
+
+	a, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheEvictions == 0 {
+		t.Fatal("CacheEvictions = 0 with an 8-entry cache over 48 templates")
+	}
+
+	roomy := cfg
+	roomy.CacheEntries = 0 // default bound, far above this population
+	b, err := Run(roomy, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.CacheEvictions != 0 {
+		t.Fatalf("default-bound cache evicted %d entries", b.CacheEvictions)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("cache bound changed the digest: %#x vs %#x", a.Digest, b.Digest)
+	}
+}
+
+// TestRunCompressBenchSmoke runs a miniature sweep end to end and checks
+// the report's shape: both compression arms per population, the K bound
+// respected, and compressed planning input bounded by K while uncompressed
+// input tracks N.
+func TestRunCompressBenchSmoke(t *testing.T) {
+	ms := sharedModels(t)
+	cfg := CompressBenchConfig{
+		Seed:           1,
+		TemplateCounts: []int{12, 200},
+		Clusters:       8,
+		Intervals:      4,
+	}
+	res, err := RunCompressBench(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.ForecastPlanUSPerInterval <= 0 {
+			t.Errorf("point %+v: no forecast+plan timing", pt)
+		}
+		if pt.VolumeMAPE < 0 {
+			t.Errorf("point %+v: negative MAPE", pt)
+		}
+		if pt.Compressed {
+			if pt.Clusters < 1 || pt.Clusters > cfg.Clusters {
+				t.Errorf("compressed point at N=%d has %d clusters, want within (0,%d]",
+					pt.Templates, pt.Clusters, cfg.Clusters)
+			}
+			if pt.ForecastQueries > cfg.Clusters {
+				t.Errorf("compressed planning input %d exceeds K=%d", pt.ForecastQueries, cfg.Clusters)
+			}
+		} else {
+			if pt.Clusters != 0 {
+				t.Errorf("uncompressed point reports %d clusters", pt.Clusters)
+			}
+			if pt.Templates >= 200 && pt.ForecastQueries < pt.Templates/2 {
+				t.Errorf("uncompressed planning input %d does not track N=%d",
+					pt.ForecastQueries, pt.Templates)
+			}
+		}
+	}
+	if res.SpeedupMaxN <= 0 {
+		t.Fatalf("SpeedupMaxN = %v, want > 0", res.SpeedupMaxN)
+	}
+}

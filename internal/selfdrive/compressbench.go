@@ -1,0 +1,322 @@
+package selfdrive
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"mb2/internal/catalog"
+	"mb2/internal/engine"
+	"mb2/internal/forecast"
+	"mb2/internal/modeling"
+	"mb2/internal/planner"
+	"mb2/internal/workload"
+)
+
+// CompressBenchConfig configures the workload-compression sweep: for each
+// template-population size, the forecast+plan inference step runs with and
+// without compression over a synthetic high-cardinality trace (every
+// template active every interval, diurnal volume curve, mid-run skew
+// shift), and the per-interval inference wall clock is recorded. The
+// headline: compressed cost is a function of K, uncompressed cost grows
+// with N.
+type CompressBenchConfig struct {
+	Seed int64
+	// TemplateCounts are the population sizes to sweep (default
+	// 12, 1000, 10000, 100000).
+	TemplateCounts []int
+	// Clusters is the compression bound K (default 64).
+	Clusters int
+	// Intervals is how many intervals each point runs (default 8);
+	// uncompressed points at large N are trimmed to keep the sweep's
+	// wall clock sane (the per-interval averages stay comparable).
+	Intervals int
+}
+
+// DefaultCompressBenchConfig returns the standard sweep.
+func DefaultCompressBenchConfig() CompressBenchConfig {
+	return CompressBenchConfig{
+		Seed:           1,
+		TemplateCounts: []int{12, 1000, 10000, 100000},
+		Clusters:       64,
+		Intervals:      8,
+	}
+}
+
+// CompressPoint is one (population size, compression) cell's measurement.
+type CompressPoint struct {
+	Templates  int  `json:"templates"`
+	Compressed bool `json:"compressed"`
+	// Clusters is the live cluster count compression settled on (0 when
+	// off) — bounded by K, usually far below it.
+	Clusters int `json:"clusters"`
+	// ForecastQueries is the planner's per-step input size: template
+	// population uncompressed, cluster count compressed.
+	ForecastQueries int `json:"forecast_queries"`
+	Intervals       int `json:"intervals"`
+	// IngestUSPerInterval is History.Append plus (compressed) first-sight
+	// cluster assignment — work proportional to observed data volume.
+	IngestUSPerInterval float64 `json:"ingest_us_per_interval"`
+	// ForecastPlanUSPerInterval is the inference hot path: volume
+	// forecasting plus planner action ranking, averaged per planning
+	// interval. This is the number compression flattens.
+	ForecastPlanUSPerInterval float64 `json:"forecast_plan_us_per_interval"`
+	ForecastPlanMaxUS         float64 `json:"forecast_plan_max_us"`
+	// VolumeMAPE is the per-template volume-forecast error over a
+	// deterministic sample of templates (fan-out predictions when
+	// compressed) — the accuracy compression must not destroy.
+	VolumeMAPE float64 `json:"volume_mape"`
+	// CacheEvictions counts prediction-cache LRU evictions: nonzero when
+	// the population outgrows the bounded cache (the uncompressed
+	// high-cardinality failure mode).
+	CacheEvictions uint64 `json:"cache_evictions"`
+}
+
+// CompressBenchResult is the whole sweep.
+type CompressBenchResult struct {
+	Points []CompressPoint
+	// SpeedupMaxN is uncompressed/compressed forecast+plan wall clock at
+	// the largest swept population.
+	SpeedupMaxN float64
+}
+
+// RunCompressBench sweeps forecast+plan inference cost across template
+// populations with and without workload compression. The database and
+// models are shared across points (the bench never applies actions, so
+// nothing mutates); each point gets a fresh history, clusterer, and
+// prediction cache.
+func RunCompressBench(cfg CompressBenchConfig, ms *modeling.ModelSet) (*CompressBenchResult, error) {
+	d := DefaultCompressBenchConfig()
+	if cfg.Seed == 0 {
+		cfg.Seed = d.Seed
+	}
+	if len(cfg.TemplateCounts) == 0 {
+		cfg.TemplateCounts = d.TemplateCounts
+	}
+	if cfg.Clusters < 1 {
+		cfg.Clusters = d.Clusters
+	}
+	if cfg.Intervals < 3 {
+		cfg.Intervals = d.Intervals
+	}
+
+	db := engine.Open(catalog.DefaultKnobs())
+	bench := workload.TPCC{CustomersPerDistrict: DefaultConfig().CustomersPerDistrict}
+	if err := bench.Load(db, 1, cfg.Seed); err != nil {
+		return nil, fmt.Errorf("selfdrive: loading compress-bench workload: %w", err)
+	}
+
+	res := &CompressBenchResult{}
+	var lastUncompressed, lastCompressed float64
+	for _, n := range cfg.TemplateCounts {
+		for _, compressed := range []bool{false, true} {
+			pt, err := runCompressPoint(cfg, db, ms, n, compressed)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, pt)
+			if n == cfg.TemplateCounts[len(cfg.TemplateCounts)-1] {
+				if compressed {
+					lastCompressed = pt.ForecastPlanUSPerInterval
+				} else {
+					lastUncompressed = pt.ForecastPlanUSPerInterval
+				}
+			}
+		}
+	}
+	if lastCompressed > 0 {
+		res.SpeedupMaxN = lastUncompressed / lastCompressed
+	}
+	return res, nil
+}
+
+// compressPointIntervals trims large uncompressed points: their
+// per-interval cost is the thing being demonstrated, and a handful of
+// intervals measures it without letting the sweep run for minutes.
+func compressPointIntervals(cfg CompressBenchConfig, n int, compressed bool) int {
+	if compressed || n <= 10_000 {
+		return cfg.Intervals
+	}
+	if cfg.Intervals > 4 {
+		return 4
+	}
+	return cfg.Intervals
+}
+
+func runCompressPoint(cfg CompressBenchConfig, db *engine.DB, ms *modeling.ModelSet, n int, compressed bool) (CompressPoint, error) {
+	intervals := compressPointIntervals(cfg, n, compressed)
+	pt := CompressPoint{Templates: n, Compressed: compressed, Intervals: intervals}
+
+	driveCfg := DefaultConfig()
+	driveCfg.Seed = cfg.Seed
+	driveCfg.Intervals = intervals
+	driveCfg.LoadCurve = LoadDiurnal
+	// Period double the run length: the curve is a rising-then-easing hump
+	// with no near-zero trough, so late-interval trends stay positive and
+	// every planning step sees a live forecast.
+	driveCfg.LoadPeriod = 2 * cfg.Intervals
+	driveCfg.SkewShiftAt = intervals / 2
+	if n > len(scenarioBases) {
+		driveCfg.Templates = n
+	}
+	sc := newScenario(driveCfg)
+	population := benchPopulation(sc, n)
+	sample := benchSample(population, 1024)
+
+	var clusterer *forecast.Clusterer
+	var hist *forecast.History
+	if compressed {
+		clusterer = forecast.NewClusterer(cfg.Clusters, driveCfg.ClusterTolerance)
+		hist = forecast.NewClusteredHistory(driveCfg.IntervalUS, driveCfg.HistoryWindow, clusterer)
+	} else {
+		hist = forecast.NewWindowedHistory(driveCfg.IntervalUS, driveCfg.HistoryWindow)
+	}
+	fc := forecast.Forecaster{Window: driveCfg.HistoryWindow}
+	p := planner.New(db, ms)
+	p.Cache = modeling.NewPredictionCache()
+	mode := db.Knobs().ExecutionMode
+	// A deliberately narrow action space: one candidate per family. The
+	// bench measures how inference cost scales with forecast size, not
+	// how many candidates the planner can afford to weigh.
+	candCfg := planner.CandidateConfig{
+		ThreadCandidates:    []int{2},
+		MaxIndexCandidates:  1,
+		PartitionCandidates: []int{2},
+		DOPCandidates:       []int{2},
+	}
+
+	var ingestUS, fpUS, fpMaxUS float64
+	fpSteps := 0
+	var volPred, volObs []float64
+	var pendingCounts map[string]float64
+	var pendingClusterPred []float64
+
+	for i := 0; i < intervals; i++ {
+		counts := syntheticCounts(sc, population, i)
+
+		start := time.Now()
+		if clusterer != nil {
+			sc.registerTemplates(clusterer, db, counts)
+		}
+		hist.Append(counts)
+		ingestUS += float64(time.Since(start).Microseconds())
+
+		// Score last step's volume predictions on the sampled templates.
+		if pendingCounts != nil || pendingClusterPred != nil {
+			fan := pendingCounts
+			if pendingClusterPred != nil {
+				fan = hist.FanOut(pendingClusterPred, sample)
+			}
+			for _, name := range sample {
+				volPred = append(volPred, fan[name])
+				volObs = append(volObs, counts[name])
+			}
+			pendingCounts, pendingClusterPred = nil, nil
+		}
+
+		if hist.Len() < 2 || i == intervals-1 {
+			continue
+		}
+		start = time.Now()
+		var f modeling.IntervalForecast
+		if clusterer != nil {
+			f, pendingClusterPred = buildForecastClustered(hist, fc, driveCfg, sc, nil)
+		} else {
+			f, pendingCounts = buildForecast(hist, fc, driveCfg, sc, nil)
+		}
+		if _, err := p.PlanActions(mode, f, candCfg); err != nil {
+			return pt, err
+		}
+		stepUS := float64(time.Since(start).Microseconds())
+		fpUS += stepUS
+		if stepUS > fpMaxUS {
+			fpMaxUS = stepUS
+		}
+		fpSteps++
+		if len(f.Queries) > pt.ForecastQueries {
+			pt.ForecastQueries = len(f.Queries)
+		}
+	}
+
+	if fpSteps > 0 {
+		pt.ForecastPlanUSPerInterval = fpUS / float64(fpSteps)
+	}
+	pt.ForecastPlanMaxUS = fpMaxUS
+	pt.IngestUSPerInterval = ingestUS / float64(intervals)
+	pt.VolumeMAPE = forecast.MAPE(volPred, volObs)
+	pt.CacheEvictions = p.Cache.Evictions()
+	if clusterer != nil {
+		pt.Clusters = clusterer.Len()
+	}
+	return pt, nil
+}
+
+// benchPopulation lists the point's template names: the four bases for the
+// historical population, the exploded variant set otherwise.
+func benchPopulation(sc *scenario, n int) []string {
+	if !sc.exploded() {
+		out := make([]string, len(scenarioBases))
+		copy(out, scenarioBases[:])
+		return out
+	}
+	var out []string
+	for b := range scenarioBases {
+		for ord := 0; ord < sc.variantsPerBase(b); ord++ {
+			out = append(out, variantName(scenarioBases[b], ord))
+		}
+	}
+	return out
+}
+
+// benchSample stride-samples up to max names for MAPE accounting, so the
+// accuracy check costs the same at every population size.
+func benchSample(population []string, max int) []string {
+	if len(population) <= max {
+		return population
+	}
+	stride := len(population) / max
+	out := make([]string, 0, max)
+	for i := 0; i < len(population) && len(out) < max; i += stride {
+		out = append(out, population[i])
+	}
+	return out
+}
+
+// syntheticCounts generates one interval's per-template volumes: a
+// hash-derived base volume per template, a hot subset carrying 4x volume
+// (rotated by the skew shift), all scaled by the diurnal load curve.
+// Every template is active every interval — the production-trace shape
+// where per-template iteration hurts most. Purely hash-derived: the same
+// (population, interval) always yields the same counts.
+func syntheticCounts(sc *scenario, population []string, interval int) map[string]float64 {
+	period := sc.cfg.LoadPeriod
+	if period < 2 {
+		period = 8
+	}
+	curve := 0.6 + 0.5*math.Sin(2*math.Pi*float64(interval)/float64(period))
+	shift := sc.cfg.SkewShiftAt > 0 && interval >= sc.cfg.SkewShiftAt
+
+	counts := make(map[string]float64, len(population))
+	for _, name := range population {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		base := 1 + float64(h.Sum64()%16)
+		_, ord := splitVariant(name)
+		if ord >= 0 {
+			nv := len(population) / len(scenarioBases)
+			if nv < 1 {
+				nv = 1
+			}
+			hotOrd := ord
+			if shift {
+				hotOrd = (ord + nv/2) % nv
+			}
+			if hotOrd < (nv+7)/8 {
+				base *= 4
+			}
+		}
+		counts[name] = math.Round(base * curve)
+	}
+	return counts
+}

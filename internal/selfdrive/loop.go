@@ -65,6 +65,31 @@ type Config struct {
 	CustomerBaseShare        float64
 	CustomerSharePerInterval float64
 	CustomerMaxShare         float64
+
+	// Templates > 0 explodes the four base templates into that many
+	// synthetic variants (the high-cardinality scenario); 0 keeps the
+	// historical four-template drive bit-for-bit.
+	Templates int
+	// Clusters > 0 enables workload compression: templates are clustered
+	// into at most this many representatives, forecasting runs per cluster,
+	// and planning sees one forecast entry per cluster. 0 keeps the
+	// per-template path (and its digests) untouched.
+	Clusters int
+	// ClusterTolerance is the feature-distance threshold for joining an
+	// existing cluster (0 = forecast.DefaultClusterTolerance).
+	ClusterTolerance float64
+	// LoadCurve shapes per-interval volume: "" or "flat" (historical),
+	// "diurnal" (sinusoid over LoadPeriod intervals), "flash" (3x spike
+	// for two mid-run intervals).
+	LoadCurve  string
+	LoadPeriod int
+	// SkewShiftAt, when > 0, rotates the exploded population's hot
+	// variants at that interval — the mid-run skew shift.
+	SkewShiftAt int
+	// CacheEntries bounds the prediction cache (0 =
+	// modeling.DefaultCacheEntries). Eviction only forgets memoized work,
+	// so the bound never affects digests.
+	CacheEntries int
 }
 
 // DefaultConfig returns a configuration sized for tests and quick CLI runs.
@@ -201,6 +226,18 @@ type Result struct {
 	// CrashDrills are the recovery drills the loop ran (empty unless
 	// Config.CrashEvery is set).
 	CrashDrills []CrashDrill `json:"crash_drills,omitempty"`
+	// CacheEvictions counts entries the bounded prediction cache's LRU
+	// dropped (0 unless the run's template population outgrew the bound).
+	CacheEvictions uint64 `json:"cache_evictions"`
+	// TemplatesSeen is how many distinct templates the run observed;
+	// Clusters is how many clusters they compressed into (0 = compression
+	// off). Observability only — neither folds into the digest.
+	TemplatesSeen int `json:"templates_seen"`
+	Clusters      int `json:"clusters"`
+	// VolumeMAPE is the per-template volume-forecast error: predictions
+	// (fanned back out from clusters proportionally when compression is
+	// on) against the next interval's observed per-template counts.
+	VolumeMAPE float64 `json:"volume_mape"`
 }
 
 // ModeChanges counts applied mode changes; IndexBuilds counts started
@@ -248,8 +285,20 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 	}
 
 	p := planner.New(db, ms)
-	p.Cache = modeling.NewPredictionCache()
-	hist := forecast.NewWindowedHistory(cfg.IntervalUS, cfg.HistoryWindow)
+	if cfg.CacheEntries > 0 {
+		p.Cache = modeling.NewBoundedPredictionCache(cfg.CacheEntries)
+	} else {
+		p.Cache = modeling.NewPredictionCache()
+	}
+	sc := newScenario(cfg)
+	var clusterer *forecast.Clusterer
+	var hist *forecast.History
+	if cfg.Clusters > 0 {
+		clusterer = forecast.NewClusterer(cfg.Clusters, cfg.ClusterTolerance)
+		hist = forecast.NewClusteredHistory(cfg.IntervalUS, cfg.HistoryWindow, clusterer)
+	} else {
+		hist = forecast.NewWindowedHistory(cfg.IntervalUS, cfg.HistoryWindow)
+	}
 	fc := forecast.Forecaster{Window: cfg.HistoryWindow}
 	machine := db.Machine
 	// The run's process list: every interval's workers are real sessions
@@ -263,6 +312,12 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 	var build *planner.BuildHandle
 	var predSeries, obsSeries []float64
 	predictedNext := 0.0
+	// Pending per-template volume predictions for the coming interval —
+	// either direct per-template forecasts, or per-cluster forecasts fanned
+	// out on arrival of the actuals (compression on). Feeds VolumeMAPE.
+	var pendingCounts map[string]float64
+	var pendingClusterPred []float64
+	var volPred, volObs []float64
 
 	for i := 0; i < cfg.Intervals; i++ {
 		ivStart := time.Now()
@@ -283,7 +338,18 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 		for s := range sessions {
 			rng := rand.New(rand.NewSource(unitSeed(cfg.Seed,
 				fmt.Sprintf("drive/interval-%d/session-%d", i, s))))
-			sessions[s] = sessionQueries(rng, cfg, nCustomer, published)
+			switch {
+			case sc.exploded():
+				sessions[s] = sc.sessionQueriesExploded(rng, i, published)
+			case cfg.LoadCurve != "" && cfg.LoadCurve != LoadFlat:
+				// Curve-modulated volume on the plain four-template mix.
+				curved := cfg
+				curved.QueriesPerSession = cfg.intervalQueries(i)
+				sessions[s] = sessionQueries(rng, curved,
+					customerCountOf(curved, i, curved.QueriesPerSession), published)
+			default:
+				sessions[s] = sessionQueries(rng, cfg, nCustomer, published)
+			}
 		}
 		workers := make([]*session.Session, cfg.Sessions)
 		for s := range workers {
@@ -348,7 +414,25 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 		// session-ID merge — the serial-order reduction) into the windowed
 		// forecast store, then retire the interval's sessions.
 		merged := reg.DrainObservations()
+		if clusterer != nil {
+			sc.registerTemplates(clusterer, db, merged.Counts)
+		}
 		hist.Append(merged.Counts)
+		// Volume-MAPE accounting: score last interval's per-template volume
+		// predictions (cluster predictions fan out proportionally) against
+		// the counts that actually arrived.
+		if pendingClusterPred != nil || pendingCounts != nil {
+			names := sortedTemplates(merged.Counts)
+			fan := pendingCounts
+			if pendingClusterPred != nil {
+				fan = hist.FanOut(pendingClusterPred, names)
+			}
+			for _, name := range names {
+				volPred = append(volPred, fan[name])
+				volObs = append(volObs, merged.Counts[name])
+			}
+			pendingCounts, pendingClusterPred = nil, nil
+		}
 		for _, w := range workers {
 			w.Close()
 		}
@@ -406,7 +490,12 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 		// Phase 5: forecast, plan, act, and predict the next interval.
 		predictedNext = 0
 		if hist.Len() >= 2 && i < cfg.Intervals-1 {
-			f := buildForecast(hist, fc, cfg, published)
+			var f modeling.IntervalForecast
+			if clusterer != nil {
+				f, pendingClusterPred = buildForecastClustered(hist, fc, cfg, sc, published)
+			} else {
+				f, pendingCounts = buildForecast(hist, fc, cfg, sc, published)
+			}
 			if (i+1)%cfg.PlanEvery == 0 && len(f.Queries) > 0 {
 				actions, err := p.PlanActions(mode, f, planner.CandidateConfig{
 					ThreadCandidates:    cfg.ThreadCandidates,
@@ -475,8 +564,16 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 
 	res.CacheHits, res.CacheMisses = p.Cache.Stats()
 	res.CacheHitRate = p.Cache.HitRate()
+	res.CacheEvictions = p.Cache.Evictions()
 	res.MAPE = forecast.MAPE(predSeries, obsSeries)
+	res.VolumeMAPE = forecast.MAPE(volPred, volObs)
 	res.HistoryEvicted = hist.Evicted()
+	if clusterer != nil {
+		res.TemplatesSeen = clusterer.Assigned()
+		res.Clusters = clusterer.Len()
+	} else {
+		res.TemplatesSeen = len(hist.Templates())
+	}
 	res.Digest = digest.Sum64()
 	return res, nil
 }
@@ -490,8 +587,10 @@ func normalizedParts(p int) int {
 }
 
 // buildForecast converts the history's next-interval volume forecasts into
-// the inference pipeline's input, using the canonical per-template plans.
-func buildForecast(hist *forecast.History, fc forecast.Forecaster, cfg Config, published []planner.IndexCandidate) modeling.IntervalForecast {
+// the inference pipeline's input, using the canonical per-template plans —
+// O(template population) per call. Also returns the per-template volume
+// predictions for MAPE accounting.
+func buildForecast(hist *forecast.History, fc forecast.Forecaster, cfg Config, sc *scenario, published []planner.IndexCandidate) (modeling.IntervalForecast, map[string]float64) {
 	reps := representatives(cfg, published)
 	predictions := fc.ForecastAll(hist, 1)
 	counts := make(map[string]float64, len(predictions))
@@ -503,6 +602,10 @@ func buildForecast(hist *forecast.History, fc forecast.Forecaster, cfg Config, p
 	f := modeling.IntervalForecast{IntervalUS: cfg.IntervalUS, Threads: cfg.Sessions}
 	for _, name := range sortedTemplates(counts) {
 		rep, ok := reps[name]
+		if !ok {
+			// Outside the canonical four: an exploded variant (or unknown).
+			rep, ok = sc.repFor(name, published)
+		}
 		if !ok || counts[name] <= 0 {
 			continue
 		}
@@ -510,7 +613,35 @@ func buildForecast(hist *forecast.History, fc forecast.Forecaster, cfg Config, p
 			Plan: rep, Count: counts[name], Fingerprint: plan.Fingerprint(rep),
 		})
 	}
-	return f
+	return f, counts
+}
+
+// buildForecastClustered is buildForecast's workload-compression path:
+// forecasting runs once per cluster (O(K), independent of the template
+// population) and planning sees one entry per cluster — the leader's
+// representative plan carrying the members' summed predicted volume. The
+// returned per-cluster predictions fan back out to member templates when
+// the next interval's actuals arrive.
+func buildForecastClustered(hist *forecast.History, fc forecast.Forecaster, cfg Config, sc *scenario, published []planner.IndexCandidate) (modeling.IntervalForecast, []float64) {
+	c := hist.Clusterer()
+	preds := fc.ForecastClusters(hist, 1)
+	clusterNext := make([]float64, len(preds))
+	f := modeling.IntervalForecast{IntervalUS: cfg.IntervalUS, Threads: cfg.Sessions}
+	for id, series := range preds {
+		if len(series) == 0 || series[0] <= 0 {
+			continue
+		}
+		clusterNext[id] = series[0]
+		rep, ok := sc.repFor(c.Leader(id), published)
+		if !ok {
+			continue
+		}
+		f.Queries = append(f.Queries, modeling.ForecastQuery{
+			Plan: rep, Count: series[0], Fingerprint: plan.Fingerprint(rep),
+			Members: c.MemberCount(id),
+		})
+	}
+	return f, clusterNext
 }
 
 // hashInterval folds one interval's observable outcome into the run
