@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race stress crash fuzz vet bench-smoke check-bench-exec bench-train bench-drive bench-exec bench-partition bench-server check-bench-server bench-compress check-bench-compress
+.PHONY: tier1 build test race stress crash fuzz vet bench-smoke check-bench-exec bench-train bench-drive bench-exec bench-partition bench-server check-bench-server bench-compress check-bench-compress bench-repl check-bench-repl
 
 # tier1 is the full pre-merge gate: static checks, build, the whole test
 # suite under the race detector (including the internal/check concurrency
@@ -35,6 +35,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzPartitionKey -fuzztime=5s ./internal/storage
 	$(GO) test -run=NONE -fuzz=FuzzFrame -fuzztime=5s ./internal/server
 	$(GO) test -run=NONE -fuzz=FuzzClusterAssign -fuzztime=5s ./internal/forecast
+	$(GO) test -run=NONE -fuzz=FuzzShipFrame -fuzztime=5s ./internal/repl
 
 # bench-smoke executes every (pipeline, variant) benchmark and every
 # partition-sweep cell once — a correctness smoke, not a measurement — and
@@ -43,6 +44,7 @@ bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkPipelines|BenchmarkPartitionPipelines' -benchtime=1x ./internal/exec
 	@$(MAKE) --no-print-directory check-bench-exec
 	@$(MAKE) --no-print-directory check-bench-compress
+	@$(MAKE) --no-print-directory check-bench-repl
 
 # check-bench-exec fails unless BENCH_exec.json covers all three
 # planner-selectable execution modes (plus the unfused compiled ablation),
@@ -128,3 +130,24 @@ check-bench-compress:
 		grep -q "\"compressed\": $$c" BENCH_compress.json || { echo "BENCH_compress.json missing compression arm: $$c"; exit 1; }; \
 	done
 	@echo "BENCH_compress.json covers all sweep points and fields"
+
+# bench-repl sweeps deterministic failover drills over a replica-count ×
+# apply-staleness grid (killing the primary's log device at every strided
+# byte offset), then pits the fixed promotion policy against model-predicted
+# promotion on a scenario with unevenly lagged replicas, and records mean /
+# max failover time, staleness, and the policy comparison as JSON.
+bench-repl:
+	$(GO) run ./cmd/mb2-drive -bench-repl BENCH_repl.json
+	@$(MAKE) --no-print-directory check-bench-repl
+
+# check-bench-repl fails unless BENCH_repl.json records every grid axis and
+# the promotion-policy comparison, so the artifact cannot silently lose
+# coverage when it is regenerated.
+check-bench-repl:
+	@for f in replicas apply_every mean_failover_us max_failover_us mean_pending_bytes predicted_beats_fixed predicted_promotions; do \
+		grep -q "\"$$f\"" BENCH_repl.json || { echo "BENCH_repl.json missing field: $$f"; exit 1; }; \
+	done
+	@for n in 1 2 3; do \
+		grep -q "\"replicas\": $$n" BENCH_repl.json || { echo "BENCH_repl.json missing grid row: $$n replicas"; exit 1; }; \
+	done
+	@echo "BENCH_repl.json covers the failover grid and policy comparison"

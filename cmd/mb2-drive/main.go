@@ -8,9 +8,10 @@
 // Usage:
 //
 //	mb2-drive [-seed N] [-intervals N] [-sessions N] [-j N]
-//	          [-partitions N] [-dop N] [-crash-every N]
+//	          [-partitions N] [-dop N] [-crash-every N] [-failover-every N]
 //	          [-templates N] [-clusters K] [-load-curve NAME]
-//	          [-data FILE] [-bench FILE] [-bench-compress FILE] [-verify]
+//	          [-data FILE] [-bench FILE] [-bench-compress FILE]
+//	          [-bench-repl FILE] [-verify]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -data, the behavior models train from a repository previously
@@ -23,6 +24,13 @@
 // sandboxed engine runs a seeded workload on a simulated block device, the
 // durable log is cut at strided crash offsets, and recovery from each cut
 // is verified against an oracle; drill outcomes fold into the run digest.
+//
+// -failover-every N rehearses log-shipping failover after every Nth
+// interval: a sandboxed primary ships its WAL to replicas, dies at strided
+// kill points, and one replica is promoted by model-predicted recovery time
+// and verified against the commit oracle. -bench-repl sweeps failover time
+// over replica count and apply staleness, compares fixed against predicted
+// promotion, and writes the results as JSON.
 //
 // -templates N explodes the four drive templates into N synthetic variants
 // (distinct fingerprints, near-identical OU features); -clusters K turns on
@@ -58,12 +66,14 @@ func main() {
 	partitions := flag.Int("partitions", 4, "initial hash partitions per table (1 = unpartitioned; the planner may repartition)")
 	dop := flag.Int("dop", 1, "initial scan degree of parallelism (the planner may change it via set-dop actions)")
 	crashEvery := flag.Int("crash-every", 0, "run a crash-recovery drill after every Nth interval (0 = off)")
+	failoverEvery := flag.Int("failover-every", 0, "run a log-shipping failover drill after every Nth interval (0 = off)")
 	templates := flag.Int("templates", 0, "explode the drive templates into N synthetic variants (0 = the plain four-template workload)")
 	clusters := flag.Int("clusters", 0, "compress the workload into at most K template clusters for forecasting and planning (0 = off)")
 	loadCurve := flag.String("load-curve", "", "per-interval load curve: flat, diurnal, or flash (default flat)")
 	dataPath := flag.String("data", "", "train models from this mb2-train -data-out repository instead of sweeping in-process")
 	benchPath := flag.String("bench", "", "write loop benchmark results as JSON to this file")
 	benchCompress := flag.String("bench-compress", "", "run the workload-compression sweep and write results as JSON to this file")
+	benchRepl := flag.String("bench-repl", "", "run the replication failover sweep and write results as JSON to this file")
 	verify := flag.Bool("verify", false, "replay the run and fail unless it reproduces bit for bit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -106,6 +116,13 @@ func main() {
 		return
 	}
 
+	if *benchRepl != "" {
+		if err := runReplBench(*benchRepl, *seed, ms); err != nil {
+			log.Fatalf("mb2-drive: %v", err)
+		}
+		return
+	}
+
 	cfg := selfdrive.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Intervals = *intervals
@@ -114,6 +131,7 @@ func main() {
 	cfg.Partitions = *partitions
 	cfg.DOP = *dop
 	cfg.CrashEvery = *crashEvery
+	cfg.FailoverEvery = *failoverEvery
 	cfg.Templates = *templates
 	cfg.Clusters = *clusters
 	cfg.LoadCurve = *loadCurve
@@ -213,6 +231,17 @@ func printRun(res *selfdrive.Result) {
 				d.Interval, d.Workload, d.Commits, d.Offsets, d.TornOffsets, state)
 		}
 	}
+	if len(res.FailoverDrills) > 0 {
+		fmt.Println("\nfailover drills:")
+		for _, d := range res.FailoverDrills {
+			state := ""
+			if d.Checkpointed {
+				state = "  (checkpointed)"
+			}
+			fmt.Printf("  interval %2d  %-9s  policy=%-9s  %3d commits, %3d kill points (%d crashes), mean failover %.1f us, promotions %v%s\n",
+				d.Interval, d.Workload, d.Policy, d.Commits, d.Offsets, d.Crashes, d.MeanFailoverUS, d.Promotions, state)
+		}
+	}
 	fmt.Printf("\npredicted-vs-observed MAPE: %.3f\n", res.MAPE)
 	if res.Clusters > 0 {
 		fmt.Printf("workload compression: %d templates in %d clusters (volume MAPE %.3f)\n",
@@ -249,6 +278,7 @@ type benchReport struct {
 	FusedPipelines    int     `json:"fused_pipelines"`
 	VecBatches        int     `json:"vec_batches"`
 	CrashDrills       int     `json:"crash_drills"`
+	FailoverDrills    int     `json:"failover_drills"`
 	TemplatesSeen     int     `json:"templates_seen"`
 	Clusters          int     `json:"clusters"`
 	VolumeMAPE        float64 `json:"volume_mape"`
@@ -282,6 +312,7 @@ func writeBench(path string, cfg selfdrive.Config, res *selfdrive.Result) error 
 		FusedPipelines:    res.FusedPipelines,
 		VecBatches:        res.VecBatches,
 		CrashDrills:       len(res.CrashDrills),
+		FailoverDrills:    len(res.FailoverDrills),
 		TemplatesSeen:     res.TemplatesSeen,
 		Clusters:          res.Clusters,
 		VolumeMAPE:        res.VolumeMAPE,

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+
+	"mb2/internal/benchio"
+	"mb2/internal/check"
+	"mb2/internal/modeling"
+	"mb2/internal/selfdrive"
+)
+
+// replPoint is one cell of the failover sweep: a replica count and an apply
+// staleness (every replica applies its received log every Nth ship), drilled
+// at every strided kill point.
+type replPoint struct {
+	Replicas         int     `json:"replicas"`
+	ApplyEvery       int     `json:"apply_every"`
+	Offsets          int     `json:"offsets"`
+	Crashes          int     `json:"crashes"`
+	MeanFailoverUS   float64 `json:"mean_failover_us"`
+	MaxFailoverUS    float64 `json:"max_failover_us"`
+	MeanPendingBytes float64 `json:"mean_pending_bytes"`
+	Digest           string  `json:"digest"`
+}
+
+// replBenchReport is the BENCH_repl.json schema: the failover-time grid over
+// replica count x staleness, plus the fixed-vs-predicted promotion-policy
+// comparison on a scenario with unevenly lagged replicas.
+type replBenchReport struct {
+	Seed int64 `json:"seed"`
+	benchio.Host
+	Grid []replPoint `json:"grid"`
+	// The policy scenario: replica 0 applies lazily (a real backlog),
+	// replica 1 eagerly. Fixed always promotes replica 0; predicted prices
+	// each replica's recovery with the trained models and takes the
+	// cheapest.
+	FixedMeanFailoverUS     float64 `json:"fixed_mean_failover_us"`
+	PredictedMeanFailoverUS float64 `json:"predicted_mean_failover_us"`
+	PredictedPromotions     []int   `json:"predicted_promotions"`
+	PredictedBeatsFixed     bool    `json:"predicted_beats_fixed"`
+}
+
+// runReplBench sweeps deterministic failover drills over replica count and
+// apply staleness, then pits the fixed promotion policy against the
+// model-predicted one on a scenario where the default target is the stalest
+// replica.
+func runReplBench(path string, seed int64, ms *modeling.ModelSet) error {
+	base := check.FailoverConfig{
+		Seed: seed, Workload: "smallbank", Txns: 32, Stride: 101, FlushEvery: 3,
+	}
+	fmt.Printf("== replication failover sweep (seed %d, %d txns) ==\n", seed, base.Txns)
+	fmt.Println("\n replicas  apply-every  kill points  crashes  mean failover us  max failover us  mean pending bytes")
+	var grid []replPoint
+	for _, replicas := range []int{1, 2, 3} {
+		for _, applyEvery := range []int{1, 4, 16} {
+			cfg := base
+			cfg.Replicas = replicas
+			cfg.ApplyEvery = make([]int, replicas)
+			for i := range cfg.ApplyEvery {
+				cfg.ApplyEvery[i] = applyEvery
+			}
+			rep, err := check.RunFailover(cfg)
+			if err != nil {
+				return err
+			}
+			pt := replPoint{
+				Replicas: replicas, ApplyEvery: applyEvery,
+				Offsets: rep.Offsets, Crashes: rep.Crashes,
+				MeanFailoverUS: rep.MeanFailoverUS, MaxFailoverUS: rep.MaxFailoverUS,
+				MeanPendingBytes: rep.MeanPendingBytes,
+				Digest:           fmt.Sprintf("%#x", rep.Digest),
+			}
+			grid = append(grid, pt)
+			fmt.Printf("   %3d      %6d      %8d    %5d     %14.1f   %14.1f      %14.1f\n",
+				pt.Replicas, pt.ApplyEvery, pt.Offsets, pt.Crashes,
+				pt.MeanFailoverUS, pt.MaxFailoverUS, pt.MeanPendingBytes)
+		}
+	}
+
+	// Policy comparison: the fixed target (replica 0) is the lazy one.
+	scenario := base
+	scenario.Replicas = 2
+	scenario.ApplyEvery = []int{16, 1}
+	fixed, err := check.RunFailover(scenario)
+	if err != nil {
+		return err
+	}
+	scenario.Policy = "predicted"
+	scenario.Predict = selfdrive.PredictRecovery(ms)
+	predicted, err := check.RunFailover(scenario)
+	if err != nil {
+		return err
+	}
+	rep := replBenchReport{
+		Seed:                    seed,
+		Host:                    benchio.CaptureHost(),
+		Grid:                    grid,
+		FixedMeanFailoverUS:     fixed.MeanFailoverUS,
+		PredictedMeanFailoverUS: predicted.MeanFailoverUS,
+		PredictedPromotions:     predicted.Promotions,
+		PredictedBeatsFixed:     predicted.MeanFailoverUS < fixed.MeanFailoverUS,
+	}
+	fmt.Printf("\npromotion policy on lazy-vs-eager replicas: fixed %.1f us, predicted %.1f us (promotions %v, predicted beats fixed: %v)\n",
+		rep.FixedMeanFailoverUS, rep.PredictedMeanFailoverUS, rep.PredictedPromotions, rep.PredictedBeatsFixed)
+	if err := benchio.WriteJSON(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("benchmark results written to %s\n", path)
+	return nil
+}

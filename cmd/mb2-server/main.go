@@ -9,6 +9,7 @@
 //	mb2-server -listen ADDR [-max-sessions N]
 //	mb2-server -loadgen [-sessions N] [-statements N] [-seed N] [-verify]
 //	mb2-server -bench FILE [-statements N] [-seed N]
+//	mb2-server -repl N [-txns N] [-seed N] [-verify]
 //
 // With -listen, the server accepts framed-protocol clients on a TCP
 // address until interrupted; the database starts empty and clients build
@@ -17,7 +18,12 @@
 // engine and fails unless the result digest matches bit for bit. With
 // -bench, the load generator sweeps 100 / 1000 / 5000 concurrent
 // sessions over the in-process transport and records throughput and
-// client-observed p50/p99 latency as JSON.
+// client-observed p50/p99 latency as JSON. With -repl, a seeded committed
+// workload ships its WAL to N staggered replicas over the same framed
+// transport; the server prints per-replica staleness, promotes the
+// least-stale replica, and verifies the promoted state against the
+// primary (and, with -verify, that a full re-run reproduces the promoted
+// digest bit for bit).
 package main
 
 import (
@@ -37,14 +43,20 @@ func main() {
 	loadgen := flag.Bool("loadgen", false, "run the seeded load generator against an in-process server")
 	sessions := flag.Int("sessions", 1000, "loadgen: concurrent sessions")
 	statements := flag.Int("statements", 10, "loadgen: statements per session")
-	seed := flag.Int64("seed", 1, "loadgen: deterministic seed")
-	verify := flag.Bool("verify", false, "loadgen: replay on a fresh engine and fail unless the digest reproduces bit for bit")
+	seed := flag.Int64("seed", 1, "loadgen/repl: deterministic seed")
+	verify := flag.Bool("verify", false, "loadgen/repl: replay on a fresh engine and fail unless the digest reproduces bit for bit")
 	benchPath := flag.String("bench", "", "sweep the load generator and write benchmark results as JSON to this file")
+	replicas := flag.Int("repl", 0, "ship the WAL of a seeded committed workload to N replicas, then promote the least stale")
+	txns := flag.Int("txns", 60, "repl: committed transactions to ship")
 	flag.Parse()
 
 	switch {
 	case *listen != "":
 		if err := serveTCP(*listen, *maxSessions); err != nil {
+			log.Fatalf("mb2-server: %v", err)
+		}
+	case *replicas > 0:
+		if err := runRepl(*replicas, *txns, *seed, *verify); err != nil {
 			log.Fatalf("mb2-server: %v", err)
 		}
 	case *benchPath != "":
@@ -56,7 +68,7 @@ func main() {
 			log.Fatalf("mb2-server: %v", err)
 		}
 	default:
-		log.Fatal("mb2-server: one of -listen, -loadgen, or -bench is required")
+		log.Fatal("mb2-server: one of -listen, -loadgen, -bench, or -repl is required")
 	}
 }
 
@@ -151,8 +163,8 @@ type benchPoint struct {
 
 // benchReport is the BENCH_server.json schema.
 type benchReport struct {
-	Seed               int64 `json:"seed"`
-	StatementsPerSess  int   `json:"statements_per_session"`
+	Seed              int64 `json:"seed"`
+	StatementsPerSess int   `json:"statements_per_session"`
 	benchio.Host
 	Transport string       `json:"transport"`
 	Points    []benchPoint `json:"points"`

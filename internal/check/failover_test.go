@@ -1,0 +1,104 @@
+package check
+
+import (
+	"reflect"
+	"testing"
+
+	"mb2/internal/modeling"
+)
+
+// The whole drill sweep must be bit-identical at every worker count: same
+// digest, same promotion choices, same measured costs.
+func TestFailoverDeterministicAcrossJobs(t *testing.T) {
+	base := FailoverConfig{
+		Seed: 7, Txns: 24, Stride: 151, FlushEvery: 3,
+		Replicas: 2, ApplyEvery: []int{1, 3},
+	}
+	cfg1 := base
+	cfg1.Jobs = 1
+	r1, err := RunFailover(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg8 := base
+	cfg8.Jobs = 8
+	r8, err := RunFailover(cfg8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Fatalf("drill diverges across -j:\n-j1 %+v\n-j8 %+v", r1, r8)
+	}
+	if r1.Offsets < 2 || r1.Crashes == 0 {
+		t.Fatalf("sweep too small to mean anything: %+v", r1)
+	}
+	if r1.MeanFailoverUS <= 0 || r1.MaxFailoverUS < r1.MeanFailoverUS {
+		t.Fatalf("failover cost not measured: %+v", r1)
+	}
+	// Fixed policy always promotes replica 0.
+	if r1.Promotions[0] != r1.Offsets || r1.Promotions[1] != 0 {
+		t.Fatalf("fixed policy promotions: %v", r1.Promotions)
+	}
+}
+
+// A mid-run checkpoint re-seeds the replicas; the oracle must hold at every
+// kill offset on both sides of it, and the drill stays deterministic.
+func TestFailoverCheckpointArm(t *testing.T) {
+	cfg := FailoverConfig{
+		Seed: 11, Workload: "tatp", Txns: 24, Stride: 173, FlushEvery: 3,
+		CheckpointAfter: 8, Replicas: 2, Cadence: []int{1, 2},
+	}
+	r1, err := RunFailover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Checkpointed {
+		t.Fatalf("checkpoint arm did not checkpoint: %+v", r1)
+	}
+	r2, err := RunFailover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("checkpoint-arm drill not reproducible:\n%+v\n%+v", r1, r2)
+	}
+}
+
+// The predicted policy promotes the replica with the cheapest predicted
+// recovery. With replica 0 applying lazily and replica 1 eagerly, a
+// backlog-sensitive predictor must route promotions to replica 1 whenever
+// replica 0 has a backlog — and never do worse than it.
+func TestFailoverPredictedPolicy(t *testing.T) {
+	cfg := FailoverConfig{
+		Seed: 7, Txns: 24, Stride: 151, FlushEvery: 3,
+		Replicas: 2, ApplyEvery: []int{4, 1},
+		Policy: "predicted",
+		Predict: func(e modeling.RecoveryEstimate) (float64, error) {
+			// A stand-in for the trained models: recovery cost grows with
+			// the replay backlog and the rebuild size.
+			return e.PendingBytes + e.Rows*e.Indexes, nil
+		},
+	}
+	r, err := RunFailover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Promotions[1] == 0 {
+		t.Fatalf("predicted policy never escaped the lazy replica: %v", r.Promotions)
+	}
+	if r.Promotions[0]+r.Promotions[1] != r.Offsets {
+		t.Fatalf("promotions do not cover the sweep: %+v", r)
+	}
+
+	// Missing predictor and unknown policy are rejected up front.
+	bad := cfg
+	bad.Predict = nil
+	if _, err := RunFailover(bad); err == nil {
+		t.Fatal("predicted policy without Predict must fail")
+	}
+	bad = cfg
+	bad.Policy = "nope"
+	if _, err := RunFailover(bad); err == nil {
+		t.Fatal("unknown policy must fail")
+	}
+}

@@ -403,6 +403,18 @@ func (db *DB) RecoverImages(th *hw.Thread, ckptImage, logImage []byte) (Recovery
 	db.Txns.AdvanceTo(base + st.Committed)
 	// Rebuild indexes over the recovered tables, charging the build to the
 	// recovering thread like the log reads above.
+	db.RebuildIndexes(th)
+	return st, nil
+}
+
+// RebuildIndexes rebuilds every catalogued index from the tables' current
+// committed state, charging the scans and inserts to th when one is
+// provided. Recovery calls it after replaying the log tail; replica
+// promotion calls it after applying the shipped backlog — both are
+// rebuilding secondary structures the log does not carry. It returns how
+// many indexes were rebuilt and how many row entries they absorbed.
+func (db *DB) RebuildIndexes(th *hw.Thread) (indexes, rows int) {
+	snapshot := db.Txns.LastCommitTS()
 	for _, name := range db.Catalog.Tables() {
 		t := db.Table(name)
 		if t == nil {
@@ -410,18 +422,19 @@ func (db *DB) RecoverImages(th *hw.Thread, ckptImage, logImage []byte) (Recovery
 		}
 		for _, im := range db.Catalog.TableIndexes(t.Meta.ID) {
 			bt := index.NewBTree(im)
-			snapshot := db.Txns.LastCommitTS()
 			t.Scan(th, 0, snapshot, func(row storage.RowID, data storage.Tuple) bool {
 				bt.Insert(th, index.KeyFromTuple(data, im.KeyCols), row, 1)
+				rows++
 				return true
 			})
 			db.mu.Lock()
 			db.indexes[im.Name] = bt
 			db.mu.Unlock()
+			indexes++
 		}
 		db.invalidateStats(name)
 	}
-	return st, nil
+	return indexes, rows
 }
 
 // RowCount returns the table's row count (0 for unknown tables).

@@ -75,9 +75,11 @@ func (d *MemDevice) Reset(p []byte) error {
 }
 
 // FaultPlan is a deterministic fault schedule for a FaultDevice. Offsets
-// count cumulative bytes the device was asked to make durable across its
-// lifetime (Resets included), so the same plan against the same write
-// sequence always faults at the same place. Negative offsets and zero
+// count cumulative bytes the device was asked to make durable since its
+// creation or last Reset: a Reset rearms the whole schedule (byte offsets,
+// append counters, transient-failure counters) together with the contents,
+// so replaying the same seeded write sequence after a Reset faults at
+// exactly the same places as a fresh device. Negative offsets and zero
 // counters disable the corresponding fault.
 type FaultPlan struct {
 	// CrashAtByte tears the write stream at this cumulative byte offset:
@@ -184,24 +186,29 @@ func (d *FaultDevice) Contents() []byte { return d.inner.Contents() }
 // Len implements BlockDevice.
 func (d *FaultDevice) Len() int { return d.inner.Len() }
 
-// Reset implements BlockDevice. The replacement image counts against the
-// cumulative fault offsets like any other write, and a crash point inside it
-// kills the device with the old contents intact (the segment switch never
-// happened).
+// Reset implements BlockDevice. Reset rearms the fault schedule: every
+// counter (cumulative byte offset, append index, transient-attempt count)
+// restarts with the replacement contents, so two "identical" seeded runs
+// separated by a Reset see identical faults. (The old behavior — counters
+// surviving the Reset — made the second run diverge: a TransientEvery plan's
+// Nth-append counter kept ticking across the truncation.) A crash point
+// inside the replacement image kills the device with the old contents
+// intact: the atomic segment switch never happened.
 func (d *FaultDevice) Reset(p []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.dead {
 		return ErrDeviceCrashed
 	}
-	if at := d.plan.CrashAtByte; at >= 0 && at < d.written+int64(len(p)) {
+	d.written, d.attempts, d.appends = 0, 0, 0
+	if at := d.plan.CrashAtByte; at >= 0 && at < int64(len(p)) {
 		d.dead = true
 		d.written = at
 		return ErrDeviceCrashed
 	}
-	if err := d.inner.Reset(d.corrupt(p, d.written)); err != nil {
+	if err := d.inner.Reset(d.corrupt(p, 0)); err != nil {
 		return err
 	}
-	d.written += int64(len(p))
+	d.written = int64(len(p))
 	return nil
 }

@@ -131,18 +131,76 @@ func TestFaultDeviceFlipBit(t *testing.T) {
 
 func TestFaultDeviceResetCrashKeepsOldContents(t *testing.T) {
 	plan := NoFaults()
-	plan.CrashAtByte = 4
+	plan.CrashAtByte = 2
 	d := NewFaultDevice(nil, plan)
-	if _, err := d.Append([]byte("abc")); err != nil {
-		t.Fatal(err)
+	plan2 := NoFaults()
+	plan2.CrashAtByte = 10
+	d2 := NewFaultDevice(nil, plan2)
+	for _, dev := range []*FaultDevice{d, d2} {
+		if _, err := dev.Append([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
 	}
-	// Reset would write bytes 3..6 of the cumulative stream; the crash at 4
-	// hits inside it, so the atomic segment switch never happens.
+	// Reset rearms the schedule, so the replacement image is judged against
+	// the crash offset from byte 0: a crash point inside it kills the device
+	// with the old contents intact (the atomic segment switch never happens).
 	if err := d.Reset([]byte("XYZ")); !errors.Is(err, ErrDeviceCrashed) {
 		t.Fatalf("reset err = %v", err)
 	}
-	if got := d.Contents(); !bytes.Equal(got, []byte("abc")) {
+	if got := d.Contents(); !bytes.Equal(got, []byte("a")) {
 		t.Fatalf("old contents must survive a torn reset, got %q", got)
+	}
+	// A crash offset beyond the replacement image lets the switch happen.
+	if err := d2.Reset([]byte("XYZ")); err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Contents(); !bytes.Equal(got, []byte("XYZ")) {
+		t.Fatalf("reset image %q", got)
+	}
+}
+
+// Regression for the crash-then-Reset sequencing bug: fault counters (the
+// TransientEvery attempt counter, the cumulative byte offset, the append
+// index) used to survive Reset, so "replaying the same seed" on a Reset
+// device saw its transient failures and bit flips land at different points
+// than the first run — two identical seeded runs diverged. All counters now
+// rearm with the device: both runs must produce byte-identical images and
+// identical error sequences.
+func TestFaultDeviceResetReplaysIdentically(t *testing.T) {
+	plan := NoFaults()
+	plan.TransientEvery = 3
+	plan.FlipBitAtByte = 5
+	plan.FlipBitMask = 0x01
+	d := NewFaultDevice(nil, plan)
+	run := func() (img []byte, errs []error) {
+		for i := 0; i < 8; i++ {
+			_, err := d.Append([]byte{byte('a' + i), byte('A' + i)})
+			errs = append(errs, err)
+		}
+		return d.Contents(), errs
+	}
+	img1, errs1 := run()
+	if err := d.Reset(nil); err != nil {
+		t.Fatal(err)
+	}
+	img2, errs2 := run()
+	if !bytes.Equal(img1, img2) {
+		t.Fatalf("same seed after Reset diverged: %q vs %q", img1, img2)
+	}
+	for i := range errs1 {
+		if !errors.Is(errs2[i], errs1[i]) && (errs1[i] != nil || errs2[i] != nil) {
+			t.Fatalf("append %d: run 1 err %v, run 2 err %v", i, errs1[i], errs2[i])
+		}
+	}
+	// The transient failures must actually have fired in both runs.
+	var fails int
+	for _, err := range errs1 {
+		if errors.Is(err, ErrTransientWrite) {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Fatal("plan produced no transient failures; regression has no teeth")
 	}
 }
 

@@ -537,3 +537,40 @@ func (tr *Translator) TranslateTxn(txnRate, activeTxns float64) []OUInvocation {
 	f := ou.TxnFeatures(txnRate, activeTxns)
 	return []OUInvocation{{Kind: ou.TxnBegin, Features: f}, {Kind: ou.TxnCommit, Features: f}}
 }
+
+// RecoveryEstimate describes one node's pending recovery work: what a
+// promotion (or a restart) of that node would have to do right now. Every
+// field is an exact observable — a replica's staleness counters and catalog
+// facts — not an optimizer estimate.
+type RecoveryEstimate struct {
+	// PendingRecords/PendingCommits/PendingBytes are the un-applied
+	// committed suffix the node must replay.
+	PendingRecords float64
+	PendingCommits float64
+	PendingBytes   float64
+	// Rows is the node's recovered heap size; Indexes and KeyBytes size
+	// the secondary-index rebuild over it.
+	Rows     float64
+	Indexes  float64
+	KeyBytes float64
+	// TupleBytes is the modeled tuple width of the establishing
+	// checkpoint's snapshot.
+	TupleBytes float64
+}
+
+// TranslateRecovery produces the recovery OU invocations for one node:
+// REPLAY of the pending suffix, INDEX_REBUILD over the recovered heap, and
+// the establishing CHECKPOINT. Summing their predictions prices a failover
+// to (or a restart of) that node, which is how the planner ranks promotion
+// targets and decides whether a checkpoint now would pay for itself.
+func (tr *Translator) TranslateRecovery(e RecoveryEstimate) []OUInvocation {
+	rowsPerIndex := e.Rows
+	if e.Indexes > 1 {
+		rowsPerIndex = e.Rows / e.Indexes
+	}
+	return []OUInvocation{
+		{Kind: ou.Replay, Features: ou.ReplayFeatures(e.PendingRecords, e.PendingCommits, e.PendingBytes)},
+		{Kind: ou.IndexRebuild, Features: ou.IndexRebuildFeatures(rowsPerIndex, e.Indexes, e.KeyBytes)},
+		{Kind: ou.CheckpointWrite, Features: ou.CheckpointFeatures(e.Rows, e.TupleBytes)},
+	}
+}

@@ -46,13 +46,16 @@ const (
 	VecScan
 	VecFilter
 	VecProbe
+	Replay
+	IndexRebuild
+	CheckpointWrite
 
 	// PaperKinds counts the OUs of the paper's Table 1; kinds at or beyond
 	// this index are extensions (partitioned execution, vectorized
-	// execution).
+	// execution, recovery).
 	PaperKinds = int(TxnCommit) + 1
 
-	NumKinds = int(VecProbe) + 1
+	NumKinds = int(CheckpointWrite) + 1
 )
 
 // Type categorizes an OU's behavior pattern (Sec 4.2), which determines what
@@ -155,6 +158,19 @@ var specs = [NumKinds]Spec{
 		[]string{"num_rows", "num_ops", "batch_rows"}, 1, 0, false, -1},
 	VecProbe: {VecProbe, "VEC_PROBE", Singular,
 		[]string{"num_rows", "num_cols", "tuple_bytes", "cardinality", "payload_bytes", "batch_rows"}, 1, 0, false, -1},
+	// Recovery OUs: the cost of coming back — replaying a committed log
+	// suffix, rebuilding secondary indexes over the recovered heap, and
+	// writing a checkpoint image. The planner prices failover targets and
+	// checkpoint scheduling with exactly these three, and every feature is
+	// known at decision time (a replica's pending byte/record/commit lag,
+	// its row counts, its schema widths) — no cardinality estimation
+	// involved.
+	Replay: {Replay, "REPLAY", Batch,
+		[]string{"num_records", "num_commits", "num_bytes"}, 0, 0, false, -1},
+	IndexRebuild: {IndexRebuild, "INDEX_REBUILD", Singular,
+		[]string{"num_rows", "num_indexes", "key_bytes"}, 0, 0, false, -1},
+	CheckpointWrite: {CheckpointWrite, "CHECKPOINT", Batch,
+		[]string{"num_rows", "tuple_bytes"}, 0, 0, false, -1},
 }
 
 // Get returns the spec for a kind.
@@ -328,4 +344,24 @@ func ExchangeMergeFeatures(rows, tupleBytes, partitions, dop float64, compiled b
 		dop = 1
 	}
 	return []float64{rows, tupleBytes, partitions, dop, mode}
+}
+
+// ReplayFeatures builds the log-replay OU features: the committed suffix a
+// recovering node (or promoted replica) must redo, measured in records,
+// commits, and valid log bytes — all exact at decision time.
+func ReplayFeatures(records, commits, bytes float64) []float64 {
+	return []float64{records, commits, bytes}
+}
+
+// IndexRebuildFeatures builds the recovery index-rebuild OU features: the
+// heap rows scanned, the indexes rebuilt over them, and the total key bytes
+// inserted.
+func IndexRebuildFeatures(rows, indexes, keyBytes float64) []float64 {
+	return []float64{rows, indexes, keyBytes}
+}
+
+// CheckpointFeatures builds the checkpoint-write OU features: the rows
+// snapshotted and their modeled tuple width.
+func CheckpointFeatures(rows, tupleBytes float64) []float64 {
+	return []float64{rows, tupleBytes}
 }

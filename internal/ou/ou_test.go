@@ -9,8 +9,8 @@ func TestTableOneFidelity(t *testing.T) {
 	if PaperKinds != 19 {
 		t.Fatalf("paper defines 19 OUs, have %d", PaperKinds)
 	}
-	if NumKinds != PaperKinds+6 {
-		t.Fatalf("expected the 19 paper OUs plus 3 partition OUs plus 3 vectorized OUs, have %d", NumKinds)
+	if NumKinds != PaperKinds+9 {
+		t.Fatalf("expected the 19 paper OUs plus 3 partition OUs plus 3 vectorized OUs plus 3 recovery OUs, have %d", NumKinds)
 	}
 	// Feature counts from Table 1.
 	wantFeatures := map[Kind]int{
@@ -42,7 +42,7 @@ func TestTableOneFidelity(t *testing.T) {
 	for _, s := range All() {
 		want := 1
 		switch s.Kind {
-		case TxnBegin, TxnCommit:
+		case TxnBegin, TxnCommit, Replay, IndexRebuild, CheckpointWrite:
 			want = 0
 		case ParallelScan, ExchangeMerge:
 			want = 3

@@ -25,6 +25,7 @@ const (
 	ActionIndexBuild
 	ActionRepartition
 	ActionSetDOP
+	ActionCheckpoint
 )
 
 func (k ActionKind) String() string {
@@ -35,6 +36,8 @@ func (k ActionKind) String() string {
 		return "index-build"
 	case ActionRepartition:
 		return "repartition"
+	case ActionCheckpoint:
+		return "checkpoint"
 	default:
 		return "set-dop"
 	}
@@ -73,9 +76,10 @@ type Action struct {
 	// query latency the action promises (0 = none; always finite).
 	PredictedImprovement float64
 
-	ModeDecision  *ModeDecision
-	IndexDecision *IndexDecision
-	KnobDecision  *KnobDecision
+	ModeDecision       *ModeDecision
+	IndexDecision      *IndexDecision
+	KnobDecision       *KnobDecision
+	CheckpointDecision *CheckpointDecision
 }
 
 // String renders the action for logs.
@@ -88,6 +92,8 @@ func (a Action) String() string {
 			a.Partitions, a.PredictedImprovement*100)
 	case ActionSetDOP:
 		return fmt.Sprintf("set-dop to %d (improvement %.1f%%)", a.DOP, a.PredictedImprovement*100)
+	case ActionCheckpoint:
+		return fmt.Sprintf("checkpoint (recovery improvement %.1f%%)", a.PredictedImprovement*100)
 	default:
 		return fmt.Sprintf("index-build %s on %s%v threads=%d (improvement %.1f%%)",
 			a.Index.Name, a.Index.Table, a.Index.KeyColNames, a.Threads, a.PredictedImprovement*100)
@@ -110,6 +116,10 @@ type CandidateConfig struct {
 	// DOPCandidates are the scan DOPs to evaluate as set-dop actions
 	// (nil = {1, 2, 4}; the live DOP is skipped).
 	DOPCandidates []int
+	// Recovery, when set, describes the primary's current pending recovery
+	// work; PlanActions then also evaluates a checkpoint action against it
+	// (nil leaves the generated action set exactly as before).
+	Recovery *modeling.RecoveryEstimate
 }
 
 // eqConsts walks a conjunctive predicate collecting col = const terms into
@@ -343,7 +353,9 @@ func (c IndexCandidate) RewriteForecast(f modeling.IntervalForecast) (modeling.I
 // vectorized all compete), an index build per hot predicate column set
 // evaluated at the configured thread counts, a repartition per candidate
 // partition count, and a DOP change per candidate scan DOP — the knob
-// actions evaluated with what-if translator overrides. Actions come back
+// actions evaluated with what-if translator overrides. When cfg.Recovery
+// describes the primary's pending recovery work, a checkpoint action
+// competes too (see EvaluateCheckpoint). Actions come back
 // sorted by predicted improvement, best first, deterministically
 // tie-broken; actions predicting no improvement are dropped.
 func (p *Planner) PlanActions(mode catalog.ExecutionMode, f modeling.IntervalForecast, cfg CandidateConfig) ([]Action, error) {
@@ -446,6 +458,29 @@ func (p *Planner) PlanActions(mode catalog.ExecutionMode, f modeling.IntervalFor
 		})
 	}
 
+	if cfg.Recovery != nil {
+		d, err := p.EvaluateCheckpoint(*cfg.Recovery)
+		if err != nil {
+			return nil, err
+		}
+		// The checkpoint's improvement is in recovery-time currency: the
+		// relative reduction of crash-recovery cost net of the checkpoint's
+		// own cost. It competes in the same ranked list because both
+		// currencies are predicted microseconds saved, relative to doing
+		// nothing.
+		if d.Worthwhile && d.RecoveryNowUS > 0 {
+			improvement := finiteOr(1-(d.CheckpointCostUS+d.RecoveryAfterUS)/d.RecoveryNowUS, 0)
+			if improvement > 0 {
+				cd := d
+				out = append(out, Action{
+					Kind:                 ActionCheckpoint,
+					PredictedImprovement: improvement,
+					CheckpointDecision:   &cd,
+				})
+			}
+		}
+	}
+
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].PredictedImprovement != out[j].PredictedImprovement {
 			return out[i].PredictedImprovement > out[j].PredictedImprovement
@@ -515,6 +550,11 @@ func (p *Planner) Apply(a Action, col *metrics.Collector) (*BuildHandle, error) 
 		k := p.DB.Knobs()
 		k.ScanDOP = a.DOP
 		p.DB.SetKnobs(k)
+		return nil, nil
+	case ActionCheckpoint:
+		if _, err := p.DB.Checkpoint(nil); err != nil {
+			return nil, fmt.Errorf("planner: checkpoint action: %w", err)
+		}
 		return nil, nil
 	case ActionIndexBuild:
 		if a.Index == nil {

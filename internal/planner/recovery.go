@@ -1,0 +1,103 @@
+package planner
+
+import (
+	"fmt"
+
+	"mb2/internal/modeling"
+	"mb2/internal/ou"
+)
+
+// PredictRecoveryUS prices a node's full recovery — replaying its pending
+// committed suffix, rebuilding its secondary indexes, and writing the
+// establishing checkpoint — as predicted elapsed microseconds. This is the
+// number a failover drill compares against the measured promotion cost, and
+// the key the planner ranks promotion targets by.
+func (p *Planner) PredictRecoveryUS(e modeling.RecoveryEstimate) (float64, error) {
+	var tr modeling.Translator
+	total, _, err := p.Models.PredictQuery(tr.TranslateRecovery(e))
+	if err != nil {
+		return 0, err
+	}
+	return finiteOr(total.ElapsedUS, 0), nil
+}
+
+// PickPromotion prices every candidate node's recovery and returns the index
+// of the cheapest one plus all predictions (exact ties break toward the
+// lowest index, keeping the choice deterministic).
+func (p *Planner) PickPromotion(ests []modeling.RecoveryEstimate) (int, []float64, error) {
+	if len(ests) == 0 {
+		return -1, nil, fmt.Errorf("planner: no promotion candidates")
+	}
+	preds := make([]float64, len(ests))
+	best := 0
+	for i, e := range ests {
+		us, err := p.PredictRecoveryUS(e)
+		if err != nil {
+			return -1, nil, err
+		}
+		preds[i] = us
+		if us < preds[best] {
+			best = i
+		}
+	}
+	return best, preds, nil
+}
+
+// CheckpointDecision is the planner's estimate of whether checkpointing now
+// pays for itself in recovery time: the cost of a crash-recovery today
+// against the checkpoint's own cost plus the (cheaper) recovery it leaves
+// behind.
+type CheckpointDecision struct {
+	// RecoveryNowUS is the predicted recovery cost with the current pending
+	// log suffix.
+	RecoveryNowUS float64
+	// CheckpointCostUS is the predicted cost of writing the checkpoint.
+	CheckpointCostUS float64
+	// RecoveryAfterUS is the predicted recovery cost immediately after the
+	// checkpoint (no pending suffix; indexes still rebuild).
+	RecoveryAfterUS float64
+	// Worthwhile reports RecoveryNowUS > CheckpointCostUS + RecoveryAfterUS.
+	Worthwhile bool
+}
+
+// String renders the decision for logs.
+func (d CheckpointDecision) String() string {
+	return fmt.Sprintf("recovery now=%.1fus ckpt=%.1fus after=%.1fus worthwhile=%v",
+		d.RecoveryNowUS, d.CheckpointCostUS, d.RecoveryAfterUS, d.Worthwhile)
+}
+
+// EvaluateCheckpoint compares recovering from the current state against
+// checkpointing first: a checkpoint truncates the log, so the post-checkpoint
+// recovery replays nothing, but the checkpoint write itself costs time. The
+// decision is total — degenerate estimates yield zero costs and
+// Worthwhile=false.
+func (p *Planner) EvaluateCheckpoint(e modeling.RecoveryEstimate) (CheckpointDecision, error) {
+	var d CheckpointDecision
+	now, err := p.PredictRecoveryUS(e)
+	if err != nil {
+		return d, err
+	}
+	d.RecoveryNowUS = now
+
+	var tr modeling.Translator
+	for _, inv := range tr.TranslateRecovery(e) {
+		if inv.Kind != ou.CheckpointWrite {
+			continue
+		}
+		m, err := p.Models.PredictOU(inv)
+		if err != nil {
+			return d, err
+		}
+		d.CheckpointCostUS = finiteOr(m.ElapsedUS, 0)
+	}
+
+	after := e
+	after.PendingRecords, after.PendingCommits, after.PendingBytes = 0, 0, 0
+	afterUS, err := p.PredictRecoveryUS(after)
+	if err != nil {
+		return d, err
+	}
+	d.RecoveryAfterUS = afterUS
+	d.Worthwhile = d.RecoveryNowUS > d.CheckpointCostUS+d.RecoveryAfterUS
+	return d, nil
+}

@@ -1,0 +1,156 @@
+package planner
+
+import (
+	"testing"
+
+	"mb2/internal/modeling"
+)
+
+// recEst builds a recovery estimate for a node with the given staleness over
+// a heap of `rows` rows with one secondary index.
+func recEst(pendingRecords, pendingCommits, pendingBytes, rows float64) modeling.RecoveryEstimate {
+	return modeling.RecoveryEstimate{
+		PendingRecords: pendingRecords,
+		PendingCommits: pendingCommits,
+		PendingBytes:   pendingBytes,
+		Rows:           rows,
+		Indexes:        1,
+		KeyBytes:       rows * 8,
+		TupleBytes:     16,
+	}
+}
+
+// Recovery predictions must be positive, grow with staleness, and rank a
+// fresh replica ahead of stale ones.
+func TestPredictRecoveryAndPromotionRanking(t *testing.T) {
+	ms := sharedModels(t)
+	db, _ := scanDB(t, 100)
+	p := New(db, ms)
+
+	fresh := recEst(0, 0, 0, 1000)
+	stale := recEst(2000, 1000, 150_000, 1000)
+	staler := recEst(20_000, 10_000, 1_500_000, 1000)
+
+	freshUS, err := p.PredictRecoveryUS(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleUS, err := p.PredictRecoveryUS(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalerUS, err := p.PredictRecoveryUS(staler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freshUS <= 0 {
+		t.Fatalf("fresh recovery predicted %v us", freshUS)
+	}
+	if !(freshUS < staleUS && staleUS < stalerUS) {
+		t.Fatalf("recovery cost not monotone in staleness: %v, %v, %v", freshUS, staleUS, stalerUS)
+	}
+
+	best, preds, err := p.PickPromotion([]modeling.RecoveryEstimate{stale, fresh, staler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 1 {
+		t.Fatalf("promotion picked replica %d (preds %v), want the fresh one", best, preds)
+	}
+	if len(preds) != 3 || preds[1] != freshUS {
+		t.Fatalf("promotion predictions %v, want fresh=%v at index 1", preds, freshUS)
+	}
+	// Exact ties break toward the lowest index.
+	if tied, _, err := p.PickPromotion([]modeling.RecoveryEstimate{fresh, fresh}); err != nil || tied != 0 {
+		t.Fatalf("tie-break picked %d (err %v), want 0", tied, err)
+	}
+	if _, _, err := p.PickPromotion(nil); err == nil {
+		t.Fatal("empty candidate set must fail")
+	}
+}
+
+// A huge pending suffix makes checkpointing now worthwhile; with nothing
+// pending a checkpoint can never pay for itself.
+func TestEvaluateCheckpoint(t *testing.T) {
+	ms := sharedModels(t)
+	db, _ := scanDB(t, 100)
+	p := New(db, ms)
+
+	heavy, err := p.EvaluateCheckpoint(recEst(1_000_000, 500_000, 80_000_000, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.RecoveryNowUS <= heavy.RecoveryAfterUS {
+		t.Fatalf("checkpoint must shrink recovery: %v", heavy)
+	}
+	if heavy.CheckpointCostUS <= 0 {
+		t.Fatalf("checkpoint cost not priced: %v", heavy)
+	}
+	if !heavy.Worthwhile {
+		t.Fatalf("huge pending suffix must make a checkpoint worthwhile: %v", heavy)
+	}
+
+	idle, err := p.EvaluateCheckpoint(recEst(0, 0, 0, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle.Worthwhile {
+		t.Fatalf("nothing pending, yet worthwhile: %v", idle)
+	}
+}
+
+// PlanActions only generates a checkpoint action when cfg.Recovery is set,
+// and then exactly when the decision is worthwhile; the rest of the ranked
+// list is untouched.
+func TestPlanActionsCheckpointGate(t *testing.T) {
+	ms := sharedModels(t)
+	db, templates := scanDB(t, 1000)
+	p := New(db, ms)
+	f := modeling.IntervalForecast{
+		Queries:    []modeling.ForecastQuery{{Plan: templates[0].Plan, Count: 10}},
+		IntervalUS: 100000,
+		Threads:    2,
+	}
+
+	base, err := p.PlanActions(db.Knobs().ExecutionMode, f, CandidateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range base {
+		if a.Kind == ActionCheckpoint {
+			t.Fatalf("checkpoint action without cfg.Recovery: %v", a)
+		}
+	}
+
+	heavy := recEst(1_000_000, 500_000, 80_000_000, 16)
+	withCkpt, err := p.PlanActions(db.Knobs().ExecutionMode, f, CandidateConfig{Recovery: &heavy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpt *Action
+	var rest []Action
+	for i := range withCkpt {
+		if withCkpt[i].Kind == ActionCheckpoint {
+			ckpt = &withCkpt[i]
+		} else {
+			rest = append(rest, withCkpt[i])
+		}
+	}
+	if ckpt == nil {
+		t.Fatal("worthwhile recovery estimate must yield a checkpoint action")
+	}
+	if ckpt.CheckpointDecision == nil || !ckpt.CheckpointDecision.Worthwhile {
+		t.Fatalf("checkpoint action carries no worthwhile decision: %+v", ckpt)
+	}
+	if ckpt.PredictedImprovement <= 0 || ckpt.PredictedImprovement > 1 {
+		t.Fatalf("checkpoint improvement out of range: %v", ckpt.PredictedImprovement)
+	}
+	if len(rest) != len(base) {
+		t.Fatalf("checkpoint gating changed the other actions: %d vs %d", len(rest), len(base))
+	}
+	for i := range rest {
+		if rest[i].Kind != base[i].Kind || rest[i].PredictedImprovement != base[i].PredictedImprovement {
+			t.Fatalf("action %d changed: %v vs %v", i, rest[i], base[i])
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package repl is the log-shipping replication layer: a primary streams its
+// durable WAL segment — the exact on-disk bytes, unchanged — to N replicas,
+// each of which applies committed transactions in commit order and stands
+// ready to be promoted when the primary dies.
+//
+// The design keeps the WAL format the single source of truth. A ship frame
+// carries a byte range of the primary's durable segment image stamped with
+// the segment epoch and starting offset (frame.go); the replica concatenates
+// ranges, re-parses the image with the same tolerant parsers recovery uses
+// (wal.ParseSegment, wal.DeserializePrefix), and applies the unseen commit
+// suffix with wal.ReplayRange. When the primary checkpoints — truncating the
+// log and opening a new epoch — it ships the checkpoint-device image as a
+// snapshot frame and the replica re-seeds from it, exactly the crash-recovery
+// path on a fresh engine.
+//
+// Everything is deterministic by construction: frames travel over a
+// server.Transport (the in-proc pipe for drills, TCP for real wires), the
+// primary ships in lockstep — one frame, one ack — in fixed replica order,
+// and every receive/apply cost is charged to the replica's own hw.Thread. A
+// replica's staleness (commit lag, byte lag, pending replay work) is
+// therefore an exact, replayable quantity the planner can price with the
+// recovery OUs (REPLAY, INDEX_REBUILD, CHECKPOINT) when it picks a promotion
+// target or schedules a checkpoint.
+package repl

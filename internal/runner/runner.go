@@ -275,6 +275,10 @@ func AllRunners() []OURunner {
 		ouRunner("txn", []ou.Kind{ou.TxnBegin, ou.TxnCommit}, txnUnits),
 		ouRunner("partition", []ou.Kind{ou.ParallelScan, ou.PartitionProbe, ou.ExchangeMerge}, partitionUnits),
 		ouRunner("vec", []ou.Kind{ou.VecScan, ou.VecFilter, ou.VecProbe}, vecUnits),
+		// Recovery OUs last: their units (and records) append after every
+		// existing runner's, so adding them leaves the per-OU record order
+		// — and therefore every previously trained model — untouched.
+		ouRunner("recovery", []ou.Kind{ou.Replay, ou.IndexRebuild, ou.CheckpointWrite}, recoveryUnits),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mb2/internal/check"
+	"mb2/internal/modeling"
 )
 
 // CrashDrill records one crash-recovery drill the loop ran: a sandboxed
@@ -14,13 +15,13 @@ import (
 // works while the system is up, the way a self-driving DBMS rehearses
 // failover.
 type CrashDrill struct {
-	Interval    int    `json:"interval"`
-	Workload    string `json:"workload"`
-	Commits     uint64 `json:"commits"`
-	Offsets     int    `json:"offsets"`
-	TornOffsets int    `json:"torn_offsets"`
-	Checkpointed bool  `json:"checkpointed"`
-	StateDigest uint64 `json:"state_digest"`
+	Interval     int    `json:"interval"`
+	Workload     string `json:"workload"`
+	Commits      uint64 `json:"commits"`
+	Offsets      int    `json:"offsets"`
+	TornOffsets  int    `json:"torn_offsets"`
+	Checkpointed bool   `json:"checkpointed"`
+	StateDigest  uint64 `json:"state_digest"`
 }
 
 // runCrashDrill executes the nth drill for the given interval. Workload
@@ -52,5 +53,82 @@ func runCrashDrill(cfg Config, interval, nth int) (CrashDrill, error) {
 		TornOffsets:  rep.TornOffsets,
 		Checkpointed: rep.Checkpointed,
 		StateDigest:  rep.FinalDigest,
+	}, nil
+}
+
+// FailoverDrill records one failover drill the loop ran: the seeded crash
+// workload runs on a sandboxed primary armed to die at strided byte
+// offsets, a replica group receives the shipped log, and at every kill
+// point one replica is promoted — by model-predicted recovery time when a
+// trained model set is available — and verified against the commit oracle
+// (see check.RunFailover). Like the crash drill, it never touches the live
+// engine.
+type FailoverDrill struct {
+	Interval       int     `json:"interval"`
+	Workload       string  `json:"workload"`
+	Policy         string  `json:"policy"`
+	Replicas       int     `json:"replicas"`
+	Commits        uint64  `json:"commits"`
+	Offsets        int     `json:"offsets"`
+	Crashes        int     `json:"crashes"`
+	Checkpointed   bool    `json:"checkpointed"`
+	MeanFailoverUS float64 `json:"mean_failover_us"`
+	Promotions     []int   `json:"promotions"`
+	Digest         uint64  `json:"digest"`
+}
+
+// PredictRecovery adapts a trained model set into the failover drill's
+// recovery-pricing hook: the summed predicted elapsed time of the REPLAY,
+// INDEX_REBUILD, and CHECKPOINT OUs a promotion would execute.
+func PredictRecovery(ms *modeling.ModelSet) func(modeling.RecoveryEstimate) (float64, error) {
+	return func(e modeling.RecoveryEstimate) (float64, error) {
+		var tr modeling.Translator
+		total, _, err := ms.PredictQuery(tr.TranslateRecovery(e))
+		if err != nil {
+			return 0, err
+		}
+		return total.ElapsedUS, nil
+	}
+}
+
+// runFailoverDrill executes the nth failover drill for the given interval.
+// The workload family and the checkpoint/re-seed arm alternate per drill;
+// one replica applies lazily so the promotion choice is non-trivial. With a
+// model set the promotion policy is "predicted", otherwise "fixed".
+func runFailoverDrill(cfg Config, ms *modeling.ModelSet, interval, nth int) (FailoverDrill, error) {
+	fcfg := check.FailoverConfig{
+		Seed:       unitSeed(cfg.Seed, fmt.Sprintf("drive/failover-drill-%d", interval)),
+		Workload:   "smallbank",
+		Txns:       16,
+		Stride:     211,
+		FlushEvery: 3,
+		Replicas:   2,
+		ApplyEvery: []int{4, 1},
+		Jobs:       cfg.Jobs,
+	}
+	if nth%2 == 1 {
+		fcfg.Workload = "tatp"
+		fcfg.CheckpointAfter = 6
+	}
+	if ms != nil {
+		fcfg.Policy = "predicted"
+		fcfg.Predict = PredictRecovery(ms)
+	}
+	rep, err := check.RunFailover(fcfg)
+	if err != nil {
+		return FailoverDrill{}, err
+	}
+	return FailoverDrill{
+		Interval:       interval,
+		Workload:       rep.Workload,
+		Policy:         rep.Policy,
+		Replicas:       rep.Replicas,
+		Commits:        rep.Commits,
+		Offsets:        rep.Offsets,
+		Crashes:        rep.Crashes,
+		Checkpointed:   rep.Checkpointed,
+		MeanFailoverUS: rep.MeanFailoverUS,
+		Promotions:     rep.Promotions,
+		Digest:         rep.Digest,
 	}, nil
 }

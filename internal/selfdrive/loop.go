@@ -48,6 +48,13 @@ type Config struct {
 	// engine without touching the live one; drill outcomes fold into the
 	// run digest only when enabled, so CrashEvery=0 runs keep their digest.
 	CrashEvery int
+	// FailoverEvery runs a log-shipping failover drill after every Nth
+	// interval (0 disables). Each drill ships a sandboxed primary's WAL to
+	// replicas, kills the primary at strided offsets, promotes by
+	// model-predicted recovery time, and verifies the promoted state
+	// against the commit oracle. Like CrashEvery, outcomes fold into the
+	// run digest only when enabled.
+	FailoverEvery int
 
 	// Partitions and DOP seed the engine's partitioning knobs at open
 	// (<= 1 keeps the serial defaults, preserving historical digests).
@@ -226,6 +233,9 @@ type Result struct {
 	// CrashDrills are the recovery drills the loop ran (empty unless
 	// Config.CrashEvery is set).
 	CrashDrills []CrashDrill `json:"crash_drills,omitempty"`
+	// FailoverDrills are the log-shipping failover drills the loop ran
+	// (empty unless Config.FailoverEvery is set).
+	FailoverDrills []FailoverDrill `json:"failover_drills,omitempty"`
 	// CacheEvictions counts entries the bounded prediction cache's LRU
 	// dropped (0 unless the run's template population outgrew the bound).
 	CacheEvictions uint64 `json:"cache_evictions"`
@@ -487,6 +497,16 @@ func Run(cfg Config, ms *modeling.ModelSet) (*Result, error) {
 			hashDrill(digest, drill)
 		}
 
+		// Phase 4c: rehearse log-shipping failover on a sandboxed group.
+		if cfg.FailoverEvery > 0 && (i+1)%cfg.FailoverEvery == 0 {
+			drill, err := runFailoverDrill(cfg, ms, i, len(res.FailoverDrills))
+			if err != nil {
+				return nil, fmt.Errorf("selfdrive: failover drill at interval %d: %w", i, err)
+			}
+			res.FailoverDrills = append(res.FailoverDrills, drill)
+			hashFailover(digest, drill)
+		}
+
 		// Phase 5: forecast, plan, act, and predict the next interval.
 		predictedNext = 0
 		if hist.Len() >= 2 && i < cfg.Intervals-1 {
@@ -681,4 +701,25 @@ func hashDrill(h interface{ Write([]byte) (int, error) }, d CrashDrill) {
 	put(uint64(d.Offsets))
 	put(uint64(d.TornOffsets))
 	put(d.StateDigest)
+}
+
+// hashFailover folds one failover drill's outcome into the run digest. Only
+// runs that enable FailoverEvery are affected.
+func hashFailover(h interface{ Write([]byte) (int, error) }, d FailoverDrill) {
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(d.Interval))
+	h.Write([]byte(d.Workload))
+	h.Write([]byte(d.Policy))
+	put(d.Commits)
+	put(uint64(d.Offsets))
+	put(uint64(d.Crashes))
+	for _, p := range d.Promotions {
+		put(uint64(p))
+	}
+	put(math.Float64bits(d.MeanFailoverUS))
+	put(d.Digest)
 }

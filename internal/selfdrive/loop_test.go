@@ -354,3 +354,57 @@ func TestDriveLoopPublishesIndex(t *testing.T) {
 		t.Error("no interval reported a live index")
 	}
 }
+
+// TestDriveLoopFailoverDrills enables periodic failover drills and checks
+// they run with the model-predicted promotion policy, replay
+// deterministically, and fold into the digest — while a drill-free run's
+// digest is unaffected by the feature existing.
+func TestDriveLoopFailoverDrills(t *testing.T) {
+	ms := sharedModels(t)
+	cfg := DefaultConfig()
+	cfg.Intervals = 6
+	base, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.FailoverDrills) != 0 {
+		t.Fatalf("FailoverEvery=0 ran %d drills", len(base.FailoverDrills))
+	}
+
+	cfg.FailoverEvery = 3
+	a, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.FailoverDrills) != 2 {
+		t.Fatalf("got %d drills over %d intervals, want 2", len(a.FailoverDrills), cfg.Intervals)
+	}
+	for _, d := range a.FailoverDrills {
+		if d.Offsets == 0 || d.Commits == 0 || d.MeanFailoverUS <= 0 {
+			t.Fatalf("empty drill: %+v", d)
+		}
+		if d.Policy != "predicted" {
+			t.Fatalf("drill with a model set must promote by prediction: %+v", d)
+		}
+		promoted := 0
+		for _, p := range d.Promotions {
+			promoted += p
+		}
+		if promoted != d.Offsets {
+			t.Fatalf("promotions do not cover the sweep: %+v", d)
+		}
+	}
+	if a.FailoverDrills[0].Checkpointed || !a.FailoverDrills[1].Checkpointed {
+		t.Fatalf("drills must alternate the checkpoint arm: %+v", a.FailoverDrills)
+	}
+	if a.Digest == base.Digest {
+		t.Fatal("failover drill outcomes must fold into the run digest")
+	}
+	b, err := Run(cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest || !reflect.DeepEqual(a.FailoverDrills, b.FailoverDrills) {
+		t.Fatalf("drill-enabled runs do not replay: %#x vs %#x", a.Digest, b.Digest)
+	}
+}

@@ -46,6 +46,20 @@ type Registry struct {
 	rejected uint64
 	killed   uint64
 	peak     int
+
+	// gate is the checkpoint quiesce barrier: every statement holds it in
+	// read mode for its whole execution (including the auto-commit
+	// commit/abort), and Checkpoint takes it in write mode. That turns the
+	// engine's check-then-act quiesce ("error if any transaction is
+	// active") into a real barrier: once Checkpoint holds the gate, no
+	// registry statement is mid-flight and none can start, so the snapshot
+	// cannot race an in-flight write — even one whose session is killed
+	// while the checkpoint is quiescing (the kill aborts the statement at
+	// an operator boundary, the abort retires the transaction, and only
+	// then is the read side released).
+	gate sync.RWMutex
+
+	checkpoints uint64 // successful Checkpoint calls
 }
 
 // NewRegistry returns a process list over db admitting at most
@@ -191,6 +205,39 @@ func (r *Registry) Kill(id uint64, cause error) bool {
 	}
 	s.Kill(cause)
 	return true
+}
+
+// beginExec blocks the calling statement while a checkpoint is quiescing
+// and otherwise admits it; endExec retires it. Statements hold the gate in
+// read mode for their entire execution (session.beginStatement pairs the
+// two around every statement path).
+func (r *Registry) beginExec() { r.gate.RLock() }
+func (r *Registry) endExec()   { r.gate.RUnlock() }
+
+// Checkpoint quiesces the process list and checkpoints the engine: it
+// blocks new statements, waits for every in-flight statement — including
+// ones being killed right now — to retire its transaction, and only then
+// snapshots. Sessions holding an explicit transaction open across
+// statements still fail the engine's active-transaction check, which comes
+// back as a clean error with every counter and the checkpoint epoch
+// untouched. Snapshot, encode, and device writes are charged to th.
+func (r *Registry) Checkpoint(th *hw.Thread) (engine.CheckpointStats, error) {
+	r.gate.Lock()
+	defer r.gate.Unlock()
+	st, err := r.db.Checkpoint(th)
+	if err == nil {
+		r.mu.Lock()
+		r.checkpoints++
+		r.mu.Unlock()
+	}
+	return st, err
+}
+
+// Checkpoints returns how many registry checkpoints have succeeded.
+func (r *Registry) Checkpoints() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.checkpoints
 }
 
 // DrainObservations takes every live session's buffered observations and

@@ -110,26 +110,39 @@ func (s *Session) interrupted() error {
 	}
 }
 
-// beginStatement admits one statement onto the session worker.
+// beginStatement admits one statement onto the session worker. On success
+// the statement holds the registry's checkpoint-quiesce gate (read side)
+// until endStatement: a quiescing checkpoint waits for it to finish — and
+// for its auto-commit transaction to commit or abort — before snapshotting,
+// even if the session is killed mid-statement.
 func (s *Session) beginStatement(stmt string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch s.state {
 	case Killed:
+		s.mu.Unlock()
 		return ErrKilled
 	case Closed:
+		s.mu.Unlock()
 		return ErrClosed
 	case Active:
+		s.mu.Unlock()
 		return ErrBusy
 	}
 	s.state = Active
 	s.statement = stmt
+	s.mu.Unlock()
+	if s.reg != nil {
+		s.reg.beginExec()
+	}
 	return nil
 }
 
-// endStatement retires the running statement. A kill that landed while
-// the statement ran leaves the state Killed.
+// endStatement retires the running statement and releases the checkpoint
+// gate. A kill that landed while the statement ran leaves the state Killed.
 func (s *Session) endStatement(err error) {
+	if s.reg != nil {
+		s.reg.endExec()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err == nil {

@@ -2,11 +2,13 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
 
 	"mb2/internal/catalog"
+	"mb2/internal/hw"
 	"mb2/internal/storage"
 )
 
@@ -135,6 +137,15 @@ func Replay(records []Record, tables map[int32]*storage.Table) (int, error) {
 // recovery uses to replay a log tail on top of a checkpoint whose snapshot
 // already owns timestamps 1..base.
 func ReplayFrom(records []Record, tables map[int32]*storage.Table, base uint64) (int, error) {
+	return replayOrdered(nil, records, tables, base, 0)
+}
+
+// replayOrdered is the shared redo core: it computes the commit order of
+// the record stream, skips the first `skip` committed transactions (already
+// applied by the caller), and replays the rest at timestamps base+1 upward.
+// When th is non-nil every applied write is charged to it with the same
+// allocate-then-place cost Table.Insert charges on the primary.
+func replayOrdered(th *hw.Thread, records []Record, tables map[int32]*storage.Table, base uint64, skip uint64) (int, error) {
 	// Pass 1: commit order and per-transaction write lists (in log order).
 	seq := make(map[uint64]uint64)
 	writes := make(map[uint64][]Record)
@@ -142,12 +153,19 @@ func ReplayFrom(records []Record, tables map[int32]*storage.Table, base uint64) 
 	for _, r := range records {
 		if r.Type == RecordCommit {
 			if _, ok := seq[r.TxnID]; !ok {
-				seq[r.TxnID] = base + uint64(len(order)+1)
 				order = append(order, r.TxnID)
+				seq[r.TxnID] = 0
 			}
 			continue
 		}
 		writes[r.TxnID] = append(writes[r.TxnID], r)
+	}
+	if skip > uint64(len(order)) {
+		skip = uint64(len(order))
+	}
+	order = order[skip:]
+	for i, txnID := range order {
+		seq[txnID] = base + uint64(i+1)
 	}
 	// Pass 2: redo each committed transaction at its commit-sequence
 	// timestamp.
@@ -167,10 +185,67 @@ func ReplayFrom(records []Record, tables map[int32]*storage.Table, base uint64) 
 			default:
 				return applied, fmt.Errorf("wal: unknown record type %d", r.Type)
 			}
+			if th != nil {
+				th.Alloc(float64(r.Payload.Bytes()) + 32)
+				th.RandWrite(1, t.HeapBytes())
+			}
 			applied++
 		}
 	}
 	return applied, nil
+}
+
+// ErrReplayGap is the sentinel a GapError unwraps to: the caller's applied
+// state and the log it was asked to replay do not meet. The replication
+// layer matches it with errors.Is to decide between "request a snapshot"
+// (history truncated away underneath a restarted replica) and "refuse a
+// rewound stream" (the state claims more commits than the log tail holds).
+var ErrReplayGap = errors.New("wal: replay gap")
+
+// GapError describes exactly how a replay request missed the log: Base is
+// the commit count the caller has already applied, SegmentBase the commit
+// timestamp the segment starts above (its checkpoint's SnapshotTS), and
+// SegmentCommits how many committed transactions the segment contains.
+type GapError struct {
+	Base           uint64
+	SegmentBase    uint64
+	SegmentCommits uint64
+}
+
+// Error implements error.
+func (e *GapError) Error() string {
+	if e.Base < e.SegmentBase {
+		return fmt.Sprintf("wal: replay gap: applied state at commit %d predates segment base %d (history truncated)",
+			e.Base, e.SegmentBase)
+	}
+	return fmt.Sprintf("wal: replay gap: applied state at commit %d is ahead of log tail %d (segment base %d + %d commits)",
+		e.Base, e.SegmentBase+e.SegmentCommits, e.SegmentBase, e.SegmentCommits)
+}
+
+// Unwrap makes errors.Is(err, ErrReplayGap) match.
+func (e *GapError) Unwrap() error { return ErrReplayGap }
+
+// ReplayRange replays onto state that has already applied commits 1..base
+// the tail of a segment whose history starts above segBase (the SnapshotTS
+// of the checkpoint that opened it): committed transactions numbered
+// segBase+1..segBase+n in the segment, of which the first base-segBase are
+// skipped as already applied and the rest stamp base+1 upward. It is the
+// replication apply path — a replica repeatedly feeds its growing received
+// image through here — and it surfaces a typed *GapError instead of
+// silently applying zero records when base and the log do not meet:
+// base < segBase means the primary truncated history the replica never saw
+// (it must re-seed from a checkpoint), and base beyond the segment's last
+// commit means the stream rewound or the caller's state is from a different
+// history. Applied writes are charged to th (which may be nil), so a
+// replica's apply work shows up on its own simulated thread. It returns the
+// write records applied and the new commit count.
+func ReplayRange(th *hw.Thread, records []Record, tables map[int32]*storage.Table, base, segBase uint64) (applied int, newBase uint64, err error) {
+	commits := NumCommitted(records)
+	if base < segBase || base > segBase+commits {
+		return 0, base, &GapError{Base: base, SegmentBase: segBase, SegmentCommits: commits}
+	}
+	applied, err = replayOrdered(th, records, tables, base, base-segBase)
+	return applied, segBase + commits, err
 }
 
 // NumCommitted returns the number of distinct committed transactions in the

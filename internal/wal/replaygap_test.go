@@ -1,0 +1,105 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"mb2/internal/catalog"
+	"mb2/internal/storage"
+)
+
+func gapMeta() *catalog.TableMeta {
+	return &catalog.TableMeta{ID: 3, Name: "t",
+		Schema: catalog.NewSchema(catalog.Column{Name: "v", Type: catalog.Int64})}
+}
+
+// gapRecords builds a record stream of n committed single-write txns whose
+// values encode their commit order (base+1, base+2, ...).
+func gapRecords(n int, firstTxn uint64) []Record {
+	var out []Record
+	for i := 0; i < n; i++ {
+		id := firstTxn + uint64(i)
+		out = append(out,
+			Record{Type: RecordInsert, TxnID: id, TableID: 3, Row: int64(i),
+				Payload: storage.Tuple{storage.NewInt(int64(id))}},
+			Record{Type: RecordCommit, TxnID: id})
+	}
+	return out
+}
+
+// A replica restarted after the primary truncated its log calls ReplayRange
+// with a base that no longer meets the shipped segment. Both directions of
+// the mismatch must surface the typed gap error — not silently apply zero
+// records — so the replication layer can request a re-seed.
+func TestReplayRangeSurfacesTypedGapError(t *testing.T) {
+	records := gapRecords(3, 1)
+	tables := map[int32]*storage.Table{3: storage.NewTable(gapMeta())}
+
+	// Base ahead of the log tail: segment covers commits 11..13, replica
+	// claims 20 applied (a rewound or foreign stream).
+	_, _, err := ReplayRange(nil, records, tables, 20, 10)
+	if !errors.Is(err, ErrReplayGap) {
+		t.Fatalf("base ahead of tail: err = %v, want ErrReplayGap", err)
+	}
+	var gap *GapError
+	if !errors.As(err, &gap) {
+		t.Fatalf("err %T is not a *GapError", err)
+	}
+	if gap.Base != 20 || gap.SegmentBase != 10 || gap.SegmentCommits != 3 {
+		t.Fatalf("gap = %+v", gap)
+	}
+
+	// Base behind the segment's start: history 1..10 was truncated away
+	// before the replica saw it.
+	if _, _, err := ReplayRange(nil, records, tables, 4, 10); !errors.Is(err, ErrReplayGap) {
+		t.Fatalf("base behind segment: err = %v, want ErrReplayGap", err)
+	}
+
+	// Nothing may have been applied by the failed calls.
+	if n := tables[3].NumRows(); n != 0 {
+		t.Fatalf("failed replays applied %d rows", n)
+	}
+}
+
+// ReplayRange applies only the unseen suffix of the segment's commit order,
+// stamping timestamps that continue the replica's applied history — the
+// incremental apply path a replica runs on every shipped extension.
+func TestReplayRangeAppliesUnseenSuffix(t *testing.T) {
+	records := gapRecords(4, 1)
+	tbl := storage.NewTable(gapMeta())
+	tables := map[int32]*storage.Table{3: tbl}
+
+	// Replica has applied the segment's first two commits already
+	// (base 12 over segBase 10): only commits 3 and 4 replay, at 13 and 14.
+	applied, newBase, err := ReplayRange(nil, records, tables, 12, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 || newBase != 14 {
+		t.Fatalf("applied=%d newBase=%d, want 2, 14", applied, newBase)
+	}
+	for row, want := range map[storage.RowID]struct {
+		ts uint64
+		v  int64
+	}{2: {13, 3}, 3: {14, 4}} {
+		data, err := tbl.Read(nil, row, 0, want.ts)
+		if err != nil || data[0].I != want.v {
+			t.Fatalf("row %d at ts %d: %v, %v", row, want.ts, data, err)
+		}
+		if _, err := tbl.Read(nil, row, 0, want.ts-1); err == nil {
+			t.Fatalf("row %d visible before its commit timestamp", row)
+		}
+	}
+	// The skipped commits must not have been applied at all.
+	for _, row := range []storage.RowID{0, 1} {
+		if _, err := tbl.Read(nil, row, 0, storage.MaxTS); err == nil {
+			t.Fatalf("already-applied commit %d was re-applied", row)
+		}
+	}
+
+	// Fully caught up: zero work, no error, base unchanged.
+	applied, newBase, err = ReplayRange(nil, records, tables, 14, 10)
+	if err != nil || applied != 0 || newBase != 14 {
+		t.Fatalf("caught-up replay: applied=%d newBase=%d err=%v", applied, newBase, err)
+	}
+}

@@ -21,8 +21,13 @@ var (
 const SegmentHeaderLen = 20
 
 // checkpointHeaderLen is the byte size of a checkpoint-image header:
-// magic(8) + epoch(8) + snapshotTS(8) + payloadLen(4) + payload CRC-32C (4).
-const checkpointHeaderLen = 32
+// magic(8) + epoch(8) + snapshotTS(8) + payloadLen(4) + payload CRC-32C (4)
+// + header CRC-32C over the preceding 32 bytes (4). The header CRC is what
+// keeps a torn or bit-flipped header from reading as a phantom checkpoint:
+// without it, any 36 bytes starting with the magic whose length/CRC words
+// happened to say "empty payload" decoded as a valid checkpoint with
+// garbage epoch and snapshot timestamp.
+const checkpointHeaderLen = 36
 
 // appendSegmentHeader appends a log-segment header for the given epoch.
 func appendSegmentHeader(dst []byte, epoch uint64) []byte {
@@ -85,6 +90,7 @@ func AppendCheckpointImage(dst []byte, ck Checkpoint) []byte {
 	for _, r := range ck.Records {
 		payload = r.Serialize(payload)
 	}
+	start := len(dst)
 	dst = append(dst, ckptMagic...)
 	var scratch [8]byte
 	binary.LittleEndian.PutUint64(scratch[:], ck.Epoch)
@@ -94,6 +100,8 @@ func AppendCheckpointImage(dst []byte, ck Checkpoint) []byte {
 	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(payload)))
 	dst = append(dst, scratch[:4]...)
 	binary.LittleEndian.PutUint32(scratch[:4], crc32.Checksum(payload, crcTable))
+	dst = append(dst, scratch[:4]...)
+	binary.LittleEndian.PutUint32(scratch[:4], crc32.Checksum(dst[start:start+32], crcTable))
 	dst = append(dst, scratch[:4]...)
 	return append(dst, payload...)
 }
@@ -125,6 +133,10 @@ func LastValidCheckpoint(img []byte) (ck Checkpoint, ok bool, err error) {
 		}
 		if len(rest) < checkpointHeaderLen {
 			return ck, ok, nil // torn header
+		}
+		wantHdrCRC := binary.LittleEndian.Uint32(rest[32:36])
+		if crc32.Checksum(rest[:32], crcTable) != wantHdrCRC {
+			return ck, ok, nil // corrupt header: stop, keep predecessor
 		}
 		payloadLen := int(binary.LittleEndian.Uint32(rest[24:28]))
 		if len(rest) < checkpointHeaderLen+payloadLen {
